@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: table printing and the
+ * standard main() that first prints the paper-vs-measured exhibit and
+ * then runs the registered google-benchmark timers.
+ */
+
+#ifndef ULDMA_BENCH_BENCH_COMMON_HH
+#define ULDMA_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace uldma::benchutil {
+
+/** Print a rule line of the given width. */
+inline void
+rule(unsigned width = 72)
+{
+    for (unsigned i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Print an exhibit header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n");
+    rule();
+    std::printf("%s\n", title.c_str());
+    rule();
+}
+
+/**
+ * Standard main: print the exhibit (callback), then run benchmarks.
+ * Passing --exhibit-only skips the google-benchmark timing loop.
+ */
+template <typename ExhibitFn>
+int
+benchMain(int argc, char **argv, ExhibitFn &&exhibit)
+{
+    exhibit();
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--exhibit-only")
+            return 0;
+    }
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace uldma::benchutil
+
+#endif // ULDMA_BENCH_BENCH_COMMON_HH

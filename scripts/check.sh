@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification pass: configure, build, run the test suite, and
+# print every paper exhibit.  Exits nonzero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+for bench in build/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    "$bench" --exhibit-only
+done
+
+echo
+echo "check.sh: build + ${0##*/} all green"

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The adversarial scenarios of the paper: the figure-5 exploit against
+ * the 3-instruction repeated-passing protocol, the figure-6 exploit
+ * against the 4-instruction variant, and the randomized-schedule
+ * harness that checks the §3.3.1 safety argument for the 5-instruction
+ * protocol (figure 8).
+ *
+ * Threat model (exactly the paper's): the malicious process runs
+ * unprivileged on the same workstation, owns its own pages (and their
+ * shadow mappings), may have *read-only* access to public data of the
+ * victim, has no access to the victim's private pages, and can only
+ * influence execution through scheduling interleavings.
+ */
+
+#ifndef ULDMA_CORE_ATTACK_HH
+#define ULDMA_CORE_ATTACK_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/methods.hh"
+
+namespace uldma {
+
+/** What an attack run observed. */
+struct AttackOutcome
+{
+    /** User-level DMA initiations the engine performed. */
+    std::uint64_t initiations = 0;
+    /** A transfer other than the victim's intended (A -> B) started. */
+    bool wrongTransferStarted = false;
+    /** Some started transfer had contributing accesses from more than
+     *  one process. */
+    bool crossProcessContributors = false;
+    /** The victim's intended transfer started but the victim was told
+     *  failure (the figure-6 deception). */
+    bool legitDeceived = false;
+    /** The victim's destination buffer ended up holding the
+     *  attacker's bytes. */
+    bool dstGotAttackerData = false;
+    /** Victim's final observed status register value. */
+    std::uint64_t legitStatus = 0;
+    /** src/dst of the first wrong transfer (if any). */
+    Addr wrongSrc = 0;
+    Addr wrongDst = 0;
+};
+
+/**
+ * Reproduce the figure-5 interleaving against Repeated3: the attacker
+ * transfers its own data C into the victim's destination B.
+ */
+AttackOutcome runFigure5Attack();
+
+/**
+ * Reproduce the figure-6 interleaving against Repeated4: the attacker
+ * (with read access to public A) completes the victim's sequence, and
+ * the victim is told the DMA did not start.
+ */
+AttackOutcome runFigure6Attack();
+
+/** Configuration of the randomized-interleaving harness. */
+struct RandomAttackConfig
+{
+    DmaMethod method = DmaMethod::Repeated5;
+    std::uint64_t seed = 1;
+    /** Victim initiation attempts. */
+    unsigned legitIterations = 20;
+    /** Random shadow accesses each attacker performs. */
+    unsigned malOps = 60;
+    /** Number of attacker processes. */
+    unsigned malProcesses = 1;
+    /** Maximum instructions per random scheduler slice. */
+    std::uint64_t maxSlice = 3;
+};
+
+/** Aggregate result of one randomized run. */
+struct RandomAttackResult
+{
+    std::uint64_t initiations = 0;
+    /**
+     * Started transfers that harm the protocol-following victim: a
+     * write into one of the victim's private pages that is not its
+     * intended A -> B transfer, or a read out of its private
+     * destination B (which no other process may read).  Transfers
+     * among attacker-owned pages are not violations — colluding
+     * attackers can always exchange their own data (e.g. by bypassing
+     * the sanctioned PAL entry with raw shadow accesses), and the
+     * paper's protection claim is about protecting *other* processes.
+     */
+    std::uint64_t violations = 0;
+    /** Victim initiations that reported success. */
+    std::uint64_t legitSuccesses = 0;
+    /** Transfers that were the victim's intended (A -> B). */
+    std::uint64_t intendedTransfers = 0;
+};
+
+/**
+ * Run the victim (intent: DMA A -> B) against attacker processes
+ * issuing random shadow accesses under a randomized scheduler, then
+ * audit every initiation the engine performed.
+ */
+RandomAttackResult runRandomizedAttack(const RandomAttackConfig &config);
+
+} // namespace uldma
+
+#endif // ULDMA_CORE_ATTACK_HH

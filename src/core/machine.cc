@@ -1,0 +1,118 @@
+#include "core/machine.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace uldma {
+
+Node::Node(EventQueue &eq, Network &network, NodeId id,
+           const NodeConfig &config)
+    : id_(id)
+{
+    const std::string prefix = csprintf("node%u", id);
+
+    memory_ = std::make_unique<PhysicalMemory>(config.memBytes);
+    bus_ = std::make_unique<Bus>(eq, prefix + ".bus", config.bus);
+
+    const NodeId network_id = network.addNode(*memory_);
+    ULDMA_ASSERT(network_id == id, "node id mismatch with network");
+
+    memoryDevice_ =
+        std::make_unique<MemoryDevice>(prefix + ".dram", *memory_);
+    nic_ = std::make_unique<NetworkInterface>(prefix + ".nic", config.nic,
+                                              bus_->clockDomain(), network,
+                                              id, *memory_);
+    engine_ = std::make_unique<DmaEngine>(eq, prefix + ".dma",
+                                          bus_->clockDomain(), config.dma,
+                                          *nic_);
+    atomicUnit_ = std::make_unique<AtomicUnit>(prefix + ".atomic",
+                                               config.atomic,
+                                               bus_->clockDomain(), *nic_);
+
+    bus_->attach(memoryDevice_.get());
+    bus_->attach(nic_.get());
+    bus_->attach(engine_.get());
+    bus_->attach(atomicUnit_.get());
+
+    // The DMA engine steals bus cycles from the CPU while streaming
+    // (only charged when BusParams::dmaContentionCycles is nonzero).
+    DmaEngine *engine_ptr = engine_.get();
+    EventQueue *eq_ptr = &eq;
+    bus_->addContentionSource([engine_ptr, eq_ptr]() {
+        return eq_ptr->now() <
+               engine_ptr->transferEngine().busyUntil();
+    });
+
+    cpu_ = std::make_unique<Cpu>(eq, prefix + ".cpu", config.cpu, *bus_,
+                                 *memory_, id);
+
+    scheduler_ = config.makeScheduler
+                     ? config.makeScheduler()
+                     : std::make_unique<RoundRobinScheduler>();
+    kernel_ = std::make_unique<Kernel>(prefix + ".kernel", *cpu_,
+                                       *scheduler_, config.kernel);
+    kernel_->setDmaEngine(engine_.get());
+    kernel_->setAtomicUnit(atomicUnit_.get());
+    kernel_->setNic(nic_.get());
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), network_(eventq_, config.network)
+{
+    ULDMA_ASSERT(config.numNodes >= 1, "need at least one node");
+    ULDMA_ASSERT(config.numNodes <= config.node.nic.maxNodes,
+                 "more nodes than the NIC window region supports");
+    for (unsigned i = 0; i < config.numNodes; ++i) {
+        nodes_.push_back(std::make_unique<Node>(
+            eventq_, network_, static_cast<NodeId>(i), config.node));
+    }
+}
+
+void
+Machine::start()
+{
+    for (auto &node : nodes_)
+        node->kernel().scheduleFirst();
+}
+
+bool
+Machine::allFinished() const
+{
+    for (const auto &node : nodes_) {
+        if (!node->kernel().allFinished())
+            return false;
+    }
+    return true;
+}
+
+bool
+Machine::run(Tick limit)
+{
+    while (eventq_.nextEventTick() <= limit) {
+        eventq_.step();
+        if (allFinished() && eventq_.empty())
+            return true;
+    }
+    return allFinished();
+}
+
+void
+Machine::dumpStats(std::ostream &os)
+{
+    network_.statsGroup().dump(os);
+    for (auto &node : nodes_) {
+        node->bus().statsGroup().dump(os);
+        node->cpu().statsGroup().dump(os);
+        node->cpu().mergeBuffer().statsGroup().dump(os);
+        node->cpu().tlb().statsGroup().dump(os);
+        if (node->cpu().dcache() != nullptr)
+            node->cpu().dcache()->statsGroup().dump(os);
+        node->kernel().statsGroup().dump(os);
+        node->dmaEngine().statsGroup().dump(os);
+        node->dmaEngine().transferEngine().statsGroup().dump(os);
+        node->atomicUnit().statsGroup().dump(os);
+        node->nic().statsGroup().dump(os);
+    }
+}
+
+} // namespace uldma

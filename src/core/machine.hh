@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Machine construction: one call assembles a whole Network of
+ * Workstations — per node a CPU, DRAM, I/O bus, DMA engine, atomic
+ * unit, NIC and kernel — wired together and ready to run programs.
+ * This is the top of the public API; examples, tests and benches all
+ * start here.
+ */
+
+#ifndef ULDMA_CORE_MACHINE_HH
+#define ULDMA_CORE_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/calibration.hh"
+#include "dma/dma_engine.hh"
+#include "mem/memory_device.hh"
+#include "nic/atomic_unit.hh"
+#include "nic/network.hh"
+#include "nic/network_interface.hh"
+#include "os/kernel.hh"
+#include "os/scheduler.hh"
+
+namespace uldma {
+
+/** Per-node configuration. */
+struct NodeConfig
+{
+    Addr memBytes = 64 * 1024 * 1024;
+    CpuParams cpu = calibration::alpha3000Model300();
+    BusParams bus = BusParams::turboChannel();
+    DmaEngineParams dma;
+    AtomicUnitParams atomic;
+    NicParams nic;
+    KernelParams kernel = calibration::osf1Class();
+    /** Scheduler factory; default is round-robin @ 100 us. */
+    std::function<std::unique_ptr<Scheduler>()> makeScheduler;
+};
+
+/** Whole-machine configuration. */
+struct MachineConfig
+{
+    unsigned numNodes = 1;
+    NodeConfig node;
+    NetworkParams network;
+};
+
+/**
+ * One workstation, fully assembled.
+ */
+class Node
+{
+  public:
+    Node(EventQueue &eq, Network &network, NodeId id,
+         const NodeConfig &config);
+
+    NodeId id() const { return id_; }
+    PhysicalMemory &memory() { return *memory_; }
+    Bus &bus() { return *bus_; }
+    Cpu &cpu() { return *cpu_; }
+    Kernel &kernel() { return *kernel_; }
+    DmaEngine &dmaEngine() { return *engine_; }
+    AtomicUnit &atomicUnit() { return *atomicUnit_; }
+    NetworkInterface &nic() { return *nic_; }
+    Scheduler &scheduler() { return *scheduler_; }
+
+  private:
+    NodeId id_;
+    std::unique_ptr<PhysicalMemory> memory_;
+    std::unique_ptr<Bus> bus_;
+    std::unique_ptr<MemoryDevice> memoryDevice_;
+    std::unique_ptr<NetworkInterface> nic_;
+    std::unique_ptr<DmaEngine> engine_;
+    std::unique_ptr<AtomicUnit> atomicUnit_;
+    std::unique_ptr<Cpu> cpu_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<Kernel> kernel_;
+};
+
+/**
+ * The whole NOW: event queue, network, N nodes.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    EventQueue &eventq() { return eventq_; }
+    Network &network() { return network_; }
+    Tick now() const { return eventq_.now(); }
+
+    unsigned numNodes() const { return nodes_.size(); }
+    Node &node(NodeId id) { return *nodes_.at(id); }
+
+    /** Dispatch every node's first process and start the CPUs. */
+    void start();
+
+    /**
+     * Run until all processes on all nodes have finished (and the
+     * event queue has drained of consequences), or @p limit is hit.
+     * @return true if everything finished.
+     */
+    bool run(Tick limit = maxTick);
+
+    /** Dump every component's stats to @p os. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    bool allFinished() const;
+
+    MachineConfig config_;
+    EventQueue eventq_;
+    Network network_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CORE_MACHINE_HH

@@ -1,0 +1,277 @@
+#include "core/methods.hh"
+
+#include "util/logging.hh"
+
+namespace uldma {
+
+const char *
+toString(DmaMethod method)
+{
+    switch (method) {
+      case DmaMethod::Kernel: return "kernel-level";
+      case DmaMethod::Shrimp1: return "shrimp-1 (mapped-out)";
+      case DmaMethod::Shrimp2: return "shrimp-2";
+      case DmaMethod::Flash: return "flash";
+      case DmaMethod::PalCode: return "pal-code";
+      case DmaMethod::KeyBased: return "key-based";
+      case DmaMethod::ExtShadow: return "ext-shadow";
+      case DmaMethod::Repeated3: return "repeated-3 (unsafe)";
+      case DmaMethod::Repeated4: return "repeated-4 (unsafe)";
+      case DmaMethod::Repeated5: return "repeated-5";
+    }
+    return "?";
+}
+
+bool
+isUserLevel(DmaMethod method)
+{
+    return method != DmaMethod::Kernel;
+}
+
+bool
+requiresKernelModification(DmaMethod method)
+{
+    return method == DmaMethod::Shrimp2 || method == DmaMethod::Flash;
+}
+
+EngineMode
+engineModeFor(DmaMethod method)
+{
+    switch (method) {
+      case DmaMethod::Kernel:
+        return EngineMode::ShadowPair;   // unused; kernel block only
+      case DmaMethod::Shrimp1:
+        return EngineMode::MappedOut;
+      case DmaMethod::Shrimp2:
+      case DmaMethod::Flash:
+      case DmaMethod::PalCode:
+      case DmaMethod::ExtShadow:
+        return EngineMode::ShadowPair;
+      case DmaMethod::KeyBased:
+        return EngineMode::KeyBased;
+      case DmaMethod::Repeated3:
+        return EngineMode::Repeated3;
+      case DmaMethod::Repeated4:
+        return EngineMode::Repeated4;
+      case DmaMethod::Repeated5:
+        return EngineMode::Repeated5;
+    }
+    return EngineMode::ShadowPair;
+}
+
+unsigned
+initiationAccessCount(DmaMethod method)
+{
+    switch (method) {
+      case DmaMethod::Kernel: return 4;    // inside the kernel
+      case DmaMethod::Shrimp1: return 1;
+      case DmaMethod::Shrimp2: return 2;
+      case DmaMethod::Flash: return 2;
+      case DmaMethod::PalCode: return 2;
+      case DmaMethod::KeyBased: return 4;
+      case DmaMethod::ExtShadow: return 2;
+      case DmaMethod::Repeated3: return 3;
+      case DmaMethod::Repeated4: return 4;
+      case DmaMethod::Repeated5: return 5;
+    }
+    return 0;
+}
+
+void
+configureNode(NodeConfig &config, DmaMethod method)
+{
+    config.dma.mode = engineModeFor(method);
+    config.dma.ctxIdBits = method == DmaMethod::ExtShadow ? 2 : 0;
+    config.dma.flashTagCheck = method == DmaMethod::Flash;
+}
+
+void
+prepareMachine(Machine &machine, DmaMethod method)
+{
+    for (unsigned n = 0; n < machine.numNodes(); ++n) {
+        Kernel &kernel = machine.node(n).kernel();
+        if (method == DmaMethod::Shrimp2)
+            kernel.installShrimp2Hook();
+        if (method == DmaMethod::Flash)
+            kernel.installFlashHook();
+
+        if (method == DmaMethod::PalCode) {
+            // The PAL body of §2.7:
+            //   STORE size TO shadow(vdestination)
+            //   LOAD return_status FROM shadow(vsource)
+            // with shadow(vdst) in a0, shadow(vsrc) in a1, size in a2.
+            Program pal;
+            pal.storeIndirectReg(reg::a0, 0, reg::a2);
+            pal.loadIndirect(reg::v0, reg::a1, 0);
+            machine.node(n).cpu().registerPal(palDmaIndex, std::move(pal));
+        }
+    }
+}
+
+bool
+prepareProcess(Kernel &kernel, Process &process, DmaMethod method)
+{
+    switch (method) {
+      case DmaMethod::KeyBased:
+        return kernel.grantKeyContext(process);
+      case DmaMethod::ExtShadow:
+        return kernel.grantShadowContext(process);
+      default:
+        return true;
+    }
+}
+
+void
+emitInitiation(Program &program, Kernel &kernel, Process &process,
+               DmaMethod method, Addr vsrc, Addr vdst, Addr size)
+{
+    switch (method) {
+      case DmaMethod::Kernel: {
+        // Trap with (vsrc, vdst, size); the kernel does the rest
+        // (figure 1).
+        program.move(reg::a0, vsrc);
+        program.move(reg::a1, vdst);
+        program.move(reg::a2, size);
+        program.syscall(sys::dma);
+        program.withLabel("kernel dma");
+        break;
+      }
+
+      case DmaMethod::Shrimp1: {
+        // One compare-and-exchange to shadow(vsrc) carrying the size;
+        // the destination is the mapped-out page (paper §2.4).
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.atomicRmw(reg::v0, ssrc, size);
+        program.withLabel("shrimp1 cmp&exchange");
+        break;
+      }
+
+      case DmaMethod::Shrimp2:
+      case DmaMethod::Flash:
+      case DmaMethod::ExtShadow: {
+        // Figure 2 / figure 4: STORE size TO shadow(vdst);
+        // LOAD status FROM shadow(vsrc).
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.store(sdst, size);
+        program.withLabel("store size->shadow(dst)");
+        program.load(reg::v0, ssrc);
+        program.withLabel("load status<-shadow(src)");
+        break;
+      }
+
+      case DmaMethod::PalCode: {
+        // §2.7: the two-access pair wrapped in an uninterruptible PAL
+        // call.
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.move(reg::a0, sdst);
+        program.move(reg::a1, ssrc);
+        program.move(reg::a2, size);
+        program.callPal(palDmaIndex);
+        program.withLabel("call_pal user_level_dma");
+        break;
+      }
+
+      case DmaMethod::KeyBased: {
+        // Figure 3: two keyed address-passing stores, a size store to
+        // the register-context page, and the initiating status load.
+        const auto &grant = process.dmaGrant();
+        ULDMA_ASSERT(grant.keyContext.has_value(),
+                     "key-based initiation without a granted context");
+        const std::uint64_t payload =
+            keyfield::pack(grant.key, *grant.keyContext);
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.store(sdst, payload);
+        program.withLabel("store key#ctx->shadow(dst)");
+        program.store(ssrc, payload);
+        program.withLabel("store key#ctx->shadow(src)");
+        program.store(grant.contextPageVaddr, size);
+        program.withLabel("store size->ctx page");
+        program.load(reg::v0, grant.contextPageVaddr);
+        program.withLabel("load status<-ctx page");
+        break;
+      }
+
+      case DmaMethod::Repeated3: {
+        // §3.3, Dubnicki's 3-instruction sequence.  The membar keeps
+        // the second load from being serviced by the read buffer
+        // (footnote 6).
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.load(reg::t0, ssrc);
+        program.withLabel("1: load shadow(src)");
+        program.membar();
+        program.store(sdst, size);
+        program.withLabel("2: store shadow(dst)");
+        program.load(reg::v0, ssrc);
+        program.withLabel("3: load shadow(src)");
+        break;
+      }
+
+      case DmaMethod::Repeated4: {
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        program.store(sdst, size);
+        program.withLabel("1: store shadow(dst)");
+        program.load(reg::t0, ssrc);
+        program.withLabel("2: load shadow(src)");
+        program.membar();
+        program.store(sdst, size);
+        program.withLabel("3: store shadow(dst)");
+        program.load(reg::v0, ssrc);
+        program.withLabel("4: load shadow(src)");
+        break;
+      }
+
+      case DmaMethod::Repeated5: {
+        // Figure 7, complete with the retry-on-failure branches and
+        // the memory barriers §3.4 says the measurement used.
+        const Addr sdst = kernel.shadowVaddrFor(process, vdst);
+        const Addr ssrc = kernel.shadowVaddrFor(process, vsrc);
+        const int restart = program.here();
+        program.store(sdst, size);
+        program.withLabel("1: store shadow(dst)");
+        program.load(reg::v0, ssrc);
+        program.withLabel("2: load shadow(src)");
+        program.membar();
+        program.branchEq(reg::v0, dmastatus::failure, restart);
+        program.store(sdst, size);
+        program.withLabel("3: store shadow(dst)");
+        program.load(reg::v0, ssrc);
+        program.withLabel("4: load shadow(src)");
+        program.membar();
+        program.branchEq(reg::v0, dmastatus::failure, restart);
+        program.load(reg::v0, sdst);
+        program.withLabel("5: load shadow(dst)");
+        program.membar();
+        program.branchEq(reg::v0, dmastatus::failure, restart);
+        break;
+      }
+    }
+}
+
+DmaSession::DmaSession(Machine &machine, NodeId node, Process &process,
+                       DmaMethod method)
+    : kernel_(machine.node(node).kernel()), process_(process),
+      method_(method)
+{
+    ready_ = prepareProcess(kernel_, process_, method_);
+}
+
+Addr
+DmaSession::allocBuffer(Addr bytes, Rights rights)
+{
+    const Addr vaddr = kernel_.allocate(process_, bytes, rights);
+    kernel_.createShadowMappings(process_, vaddr, bytes);
+    return vaddr;
+}
+
+void
+DmaSession::mapForDma(Addr vaddr, Addr bytes)
+{
+    kernel_.createShadowMappings(process_, vaddr, bytes);
+}
+
+} // namespace uldma

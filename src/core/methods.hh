@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The paper's DMA-initiation methods as a uniform API.
+ *
+ * Each method knows: how the engine must be configured, which kernel
+ * modifications (if any) it needs, what per-process resources the
+ * kernel grants at setup time, and the exact micro-op sequence a user
+ * process issues to start DMA(vsrc, vdst, size).
+ *
+ * | method     | paper | user-level | kernel mod | instructions        |
+ * |------------|-------|------------|------------|---------------------|
+ * | Kernel     | §2.2  | no         | n/a        | syscall (thousands) |
+ * | Shrimp1    | §2.4  | yes        | no¹        | 1 (cmp&exchange)    |
+ * | Shrimp2    | §2.5  | yes        | YES        | 2                   |
+ * | Flash      | §2.6  | yes        | YES        | 2                   |
+ * | PalCode    | §2.7  | yes        | no         | call_pal (+3 moves) |
+ * | KeyBased   | §3.1  | yes        | no         | 4                   |
+ * | ExtShadow  | §3.2  | yes        | no         | 2                   |
+ * | Repeated3  | §3.3  | yes        | no (UNSAFE)| 3 (+membar)         |
+ * | Repeated4  | §3.3  | yes        | no (UNSAFE)| 4 (+membar)         |
+ * | Repeated5  | §3.3  | yes        | no         | 5 (+membars)        |
+ *
+ * ¹ Shrimp1 needs no context-switch hook but restricts each source
+ *   page to a single pre-arranged destination.
+ */
+
+#ifndef ULDMA_CORE_METHODS_HH
+#define ULDMA_CORE_METHODS_HH
+
+#include <string>
+
+#include "core/machine.hh"
+#include "cpu/program.hh"
+#include "os/kernel.hh"
+
+namespace uldma {
+
+/** Every initiation method the paper discusses. */
+enum class DmaMethod : std::uint8_t
+{
+    Kernel,
+    Shrimp1,
+    Shrimp2,
+    Flash,
+    PalCode,
+    KeyBased,
+    ExtShadow,
+    Repeated3,
+    Repeated4,
+    Repeated5,
+};
+
+/** All methods, in paper order (for sweeps). */
+inline constexpr DmaMethod allMethods[] = {
+    DmaMethod::Kernel,    DmaMethod::Shrimp1,   DmaMethod::Shrimp2,
+    DmaMethod::Flash,     DmaMethod::PalCode,   DmaMethod::KeyBased,
+    DmaMethod::ExtShadow, DmaMethod::Repeated3, DmaMethod::Repeated4,
+    DmaMethod::Repeated5,
+};
+
+/** The four rows of the paper's Table 1. */
+inline constexpr DmaMethod table1Methods[] = {
+    DmaMethod::Kernel,
+    DmaMethod::ExtShadow,
+    DmaMethod::Repeated5,
+    DmaMethod::KeyBased,
+};
+
+const char *toString(DmaMethod method);
+
+/** True for every method except the traditional kernel path. */
+bool isUserLevel(DmaMethod method);
+
+/** True for the SHRIMP-2 and FLASH baselines only. */
+bool requiresKernelModification(DmaMethod method);
+
+/** Engine protocol mode this method runs against. */
+EngineMode engineModeFor(DmaMethod method);
+
+/** PAL function index used by the PalCode method. */
+inline constexpr std::uint64_t palDmaIndex = 7;
+
+/**
+ * Fill in the engine/kernel parts of a NodeConfig for @p method
+ * (engine mode, CONTEXT_ID bits, FLASH tag checking).
+ */
+void configureNode(NodeConfig &config, DmaMethod method);
+
+/**
+ * Machine-level setup after construction: install the baselines'
+ * context-switch hooks and the PAL function.  Must be called once
+ * per machine before launching processes.
+ */
+void prepareMachine(Machine &machine, DmaMethod method);
+
+/**
+ * Per-process setup: grant the register context / CONTEXT_ID the
+ * method needs.
+ * @return false if the engine's contexts are exhausted and this
+ *         process must fall back to kernel DMA (paper §3.2).
+ */
+bool prepareProcess(Kernel &kernel, Process &process, DmaMethod method);
+
+/**
+ * Append the initiation sequence for DMA(vsrc, vdst, size) to
+ * @p program.  Buffers must already be mapped and shadow-mapped
+ * (kernel.createShadowMappings) and prepareProcess must have
+ * succeeded.  The initiation status lands in reg::v0
+ * (dmastatus::failure on failure).
+ *
+ * For Shrimp1 the destination is implied by the mapped-out table
+ * (kernel.setupMapOut); @p vdst is ignored.
+ */
+void emitInitiation(Program &program, Kernel &kernel, Process &process,
+                    DmaMethod method, Addr vsrc, Addr vdst, Addr size);
+
+/**
+ * Number of user-mode instructions emitInitiation produces, excluding
+ * memory barriers and the moves that stage immediates (reported
+ * separately by bench_instr_counts).
+ */
+unsigned initiationAccessCount(DmaMethod method);
+
+/**
+ * Convenience facade: one process using one method on one node.
+ */
+class DmaSession
+{
+  public:
+    /** Prepares @p process for @p method (grants resources). */
+    DmaSession(Machine &machine, NodeId node, Process &process,
+               DmaMethod method);
+
+    bool ready() const { return ready_; }
+    DmaMethod method() const { return method_; }
+    Process &process() { return process_; }
+    Kernel &kernel() { return kernel_; }
+
+    /** Allocate a buffer and create its shadow mappings. */
+    Addr allocBuffer(Addr bytes, Rights rights = Rights::ReadWrite);
+
+    /** Shadow-map an existing buffer (e.g. a shared mapping). */
+    void mapForDma(Addr vaddr, Addr bytes);
+
+    /** Append one DMA initiation to @p program. */
+    void
+    emitDma(Program &program, Addr vsrc, Addr vdst, Addr size)
+    {
+        emitInitiation(program, kernel_, process_, method_, vsrc, vdst,
+                       size);
+    }
+
+  private:
+    Kernel &kernel_;
+    Process &process_;
+    DmaMethod method_;
+    bool ready_ = false;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CORE_METHODS_HH

@@ -1,0 +1,409 @@
+#include "cpu/cpu.hh"
+
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+Cpu::Cpu(EventQueue &eq, std::string name, const CpuParams &params,
+         Bus &bus, PhysicalMemory &memory, NodeId node)
+    : Clocked(eq, ClockDomain::fromMHz(name + ".clk", params.clockMHz)),
+      name_(std::move(name)), params_(params), bus_(bus), memory_(memory),
+      node_(node),
+      mergeBuffer_(name_ + ".wb", bus, params.mergeBuffer),
+      tlb_(name_ + ".tlb", params.tlb),
+      tickEvent_(*this),
+      statsGroup_(name_)
+{
+    if (params_.dcache.enabled) {
+        dcache_ = std::make_unique<Dcache>(name_ + ".dcache",
+                                           params_.dcache, memory_);
+    }
+    statsGroup_.addScalar("instructions", &instrs_,
+                          "micro-ops retired");
+    statsGroup_.addScalar("loads", &loads_, "load micro-ops");
+    statsGroup_.addScalar("stores", &stores_, "store micro-ops");
+    statsGroup_.addScalar("uncached_loads", &uncachedLoads_,
+                          "loads that reached the I/O bus path");
+    statsGroup_.addScalar("uncached_stores", &uncachedStores_,
+                          "stores that entered the write buffer");
+    statsGroup_.addScalar("membars", &membars_, "memory barriers");
+    statsGroup_.addScalar("syscalls", &syscalls_, "syscall traps");
+    statsGroup_.addScalar("pal_calls", &palCalls_, "PAL calls executed");
+    statsGroup_.addScalar("faults", &faults_, "memory faults taken");
+}
+
+void
+Cpu::registerPal(std::uint64_t index, Program program)
+{
+    ULDMA_ASSERT(program.size() <= params_.palMaxInstructions,
+                 "PAL function ", index, " has ", program.size(),
+                 " micro-ops; the limit is ", params_.palMaxInstructions);
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        const OpKind kind = program.at(i).kind;
+        ULDMA_ASSERT(kind != OpKind::Syscall && kind != OpKind::CallPal &&
+                     kind != OpKind::Yield && kind != OpKind::Exit,
+                     "PAL function ", index,
+                     " contains a trapping micro-op");
+    }
+    palTable_[index] = std::move(program);
+}
+
+void
+Cpu::setCurrentContext(ExecContext *ctx)
+{
+    current_ = ctx;
+    if (ctx != nullptr)
+        ctx->setState(RunState::Running);
+}
+
+void
+Cpu::setInstructionQuantum(std::uint64_t instructions)
+{
+    sliceLimited_ = instructions != 0;
+    sliceInstrLeft_ = instructions;
+}
+
+void
+Cpu::start()
+{
+    if (!tickEvent_.scheduled() && current_ != nullptr)
+        eventq().schedule(&tickEvent_, clockEdge());
+}
+
+void
+Cpu::stop()
+{
+    if (tickEvent_.scheduled())
+        eventq().deschedule(&tickEvent_);
+}
+
+Tick
+Cpu::kernelBusAccess(Packet &pkt)
+{
+    pkt.uncacheable = true;
+    pkt.srcNode = node_;
+    return bus_.access(pkt);
+}
+
+void
+Cpu::tick()
+{
+    if (current_ == nullptr)
+        return;   // idled; the kernel restarts us
+
+    ExecContext &ctx = *current_;
+    Tick cost = executeOne(ctx);
+
+    // Quantum accounting happens at instruction boundaries only —
+    // exactly where the paper's context-switch races live.
+    if (current_ != nullptr && os_ != nullptr) {
+        bool expire = false;
+        if (sliceLimited_ && current_ == &ctx) {
+            ULDMA_ASSERT(sliceInstrLeft_ > 0, "slice underflow");
+            if (--sliceInstrLeft_ == 0)
+                expire = true;
+        }
+        if (!expire && now() + cost >= quantumDeadline_ &&
+            quantumDeadline_ != maxTick) {
+            expire = true;
+        }
+        if (expire)
+            cost += os_->quantumExpired();
+    }
+
+    if (current_ != nullptr && !tickEvent_.scheduled()) {
+        const Tick next = now() + (cost > 0 ? cost : clockPeriod());
+        eventq().schedule(&tickEvent_, next);
+    }
+}
+
+Tick
+Cpu::executeOne(ExecContext &ctx)
+{
+    if (ctx.atEnd()) {
+        // Falling off the end of the program is an implicit Exit.
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        return os_->exited();
+    }
+
+    const MicroOp op = ctx.currentOp();
+    int next_pc = ctx.pc() + 1;
+    ++instrs_;
+    ctx.countRetired();
+
+    const Tick cost = executeOp(ctx, op, /*in_pal=*/false, next_pc);
+
+    // A fault does not advance the PC; every other op does (branches
+    // set next_pc themselves).
+    if (ctx.state() != RunState::Faulted)
+        ctx.setPc(next_pc);
+    return cost;
+}
+
+Tick
+Cpu::executeOp(ExecContext &ctx, const MicroOp &op, bool in_pal,
+               int &next_pc)
+{
+    Tick cost = cyclesToTicks(params_.baseInstrCycles);
+
+    switch (op.kind) {
+      case OpKind::Move:
+        ctx.setReg(op.dstReg, op.imm);
+        break;
+
+      case OpKind::AddImm:
+        ctx.setReg(op.dstReg, ctx.reg(op.srcReg) + op.imm);
+        break;
+
+      case OpKind::Compute:
+        cost += cyclesToTicks(op.imm);
+        break;
+
+      case OpKind::Load: {
+        ++loads_;
+        bool faulted = false;
+        cost += memoryAccess(ctx, op, /*is_load=*/true, in_pal, faulted);
+        if (faulted)
+            return cost;
+        break;
+      }
+
+      case OpKind::Store: {
+        ++stores_;
+        bool faulted = false;
+        cost += memoryAccess(ctx, op, /*is_load=*/false, in_pal, faulted);
+        if (faulted)
+            return cost;
+        break;
+      }
+
+      case OpKind::AtomicRmw: {
+        bool faulted = false;
+        cost += atomicAccess(ctx, op, in_pal, faulted);
+        if (faulted)
+            return cost;
+        break;
+      }
+
+      case OpKind::Membar:
+        ++membars_;
+        cost += cyclesToTicks(params_.membarCycles);
+        cost += mergeBuffer_.membar();
+        break;
+
+      case OpKind::BranchEq:
+        if (ctx.reg(op.srcReg) == op.imm)
+            next_pc = op.target;
+        break;
+
+      case OpKind::BranchNe:
+        if (ctx.reg(op.srcReg) != op.imm)
+            next_pc = op.target;
+        break;
+
+      case OpKind::Jump:
+        next_pc = op.target;
+        break;
+
+      case OpKind::Syscall: {
+        ULDMA_ASSERT(!in_pal, "syscall inside PAL code");
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        ++syscalls_;
+        // The PC must already point past the trap when the kernel
+        // runs, so a context switch resumes correctly.
+        ctx.setPc(next_pc);
+        const SyscallResult result = os_->syscall(ctx, op.imm);
+        ctx.setReg(reg::v0, result.retval);
+        next_pc = ctx.pc();
+        cost += result.cost;
+        break;
+      }
+
+      case OpKind::CallPal:
+        ULDMA_ASSERT(!in_pal, "nested PAL call");
+        ++palCalls_;
+        cost += executePal(ctx, op.imm);
+        break;
+
+      case OpKind::Callback:
+        if (op.hook)
+            op.hook(ctx);
+        cost += cyclesToTicks(op.imm);
+        break;
+
+      case OpKind::Yield: {
+        ULDMA_ASSERT(!in_pal, "yield inside PAL code");
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        ctx.setPc(next_pc);
+        cost += os_->yielded();
+        next_pc = ctx.pc();
+        break;
+      }
+
+      case OpKind::Exit: {
+        ULDMA_ASSERT(!in_pal, "exit inside PAL code");
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        cost += os_->exited();
+        break;
+      }
+    }
+
+    return cost;
+}
+
+Tick
+Cpu::executePal(ExecContext &ctx, std::uint64_t index)
+{
+    auto it = palTable_.find(index);
+    ULDMA_ASSERT(it != palTable_.end(), "PAL function ", index,
+                 " not installed");
+    const Program &pal = it->second;
+
+    ULDMA_TRACE("Cpu", now(), name_, ": PAL call ", index, " by pid ",
+                ctx.pid());
+
+    // The whole PAL body runs inside this one tick event: no quantum
+    // check, no interrupt — the uninterruptibility of paper §2.7.
+    Tick cost = cyclesToTicks(params_.palEntryExitCycles);
+    int pal_pc = 0;
+    unsigned executed = 0;
+    while (pal_pc >= 0 && pal_pc < static_cast<int>(pal.size())) {
+        ULDMA_ASSERT(executed < 4 * params_.palMaxInstructions,
+                     "runaway PAL function ", index);
+        const MicroOp &op = pal.at(static_cast<std::size_t>(pal_pc));
+        int next_pc = pal_pc + 1;
+        cost += executeOp(ctx, op, /*in_pal=*/true, next_pc);
+        ULDMA_ASSERT(ctx.state() != RunState::Faulted,
+                     "memory fault inside PAL function ", index);
+        pal_pc = next_pc;
+        ++executed;
+    }
+    return cost;
+}
+
+Tick
+Cpu::atomicAccess(ExecContext &ctx, const MicroOp &op, bool in_pal,
+                  bool &faulted)
+{
+    faulted = false;
+    const Addr vaddr =
+        (op.addrReg >= 0 ? ctx.reg(op.addrReg) : 0) + op.vaddr;
+
+    Cycles miss_cycles = 0;
+    const Translation xlate = tlb_.translate(ctx.pageTable(), vaddr,
+                                             Rights::ReadWrite,
+                                             miss_cycles);
+    Tick cost = cyclesToTicks(miss_cycles);
+
+    if (!xlate.ok()) {
+        ++faults_;
+        faulted = true;
+        ULDMA_ASSERT(!in_pal, "fault inside PAL code");
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        ctx.recordFault(xlate.fault, vaddr);
+        cost += os_->handleFault(ctx, xlate.fault, vaddr);
+        return cost;
+    }
+
+    const std::uint64_t operand =
+        op.srcReg >= 0 ? ctx.reg(op.srcReg) : op.imm;
+
+    if (xlate.uncacheable) {
+        Packet pkt = Packet::makeWrite(xlate.paddr, operand, op.size);
+        pkt.uncacheable = true;
+        pkt.rmw = true;
+        pkt.srcPid = ctx.pid();
+        pkt.srcNode = node_;
+        cost += cyclesToTicks(params_.uncachedIssueExtraCycles);
+        cost += mergeBuffer_.rmw(pkt);
+        ctx.setReg(op.dstReg, pkt.data);
+    } else {
+        // In-memory atomic exchange (single-threaded event model makes
+        // this trivially atomic).
+        const std::uint64_t old = memory_.readInt(xlate.paddr, op.size);
+        {
+            Dcache::SelfAccess guard(dcache_.get());
+            memory_.writeInt(xlate.paddr, operand, op.size);
+        }
+        ctx.setReg(op.dstReg, old);
+        if (dcache_ != nullptr) {
+            cost += cyclesToTicks(
+                dcache_->access(xlate.paddr, op.size, false) +
+                dcache_->access(xlate.paddr, op.size, true));
+        } else {
+            cost += cyclesToTicks(params_.cachedMemExtraCycles * 2);
+        }
+    }
+    return cost;
+}
+
+Tick
+Cpu::memoryAccess(ExecContext &ctx, const MicroOp &op, bool is_load,
+                  bool in_pal, bool &faulted)
+{
+    faulted = false;
+    const Addr vaddr =
+        (op.addrReg >= 0 ? ctx.reg(op.addrReg) : 0) + op.vaddr;
+    const Rights need = is_load ? Rights::Read : Rights::Write;
+
+    Cycles miss_cycles = 0;
+    const Translation xlate =
+        tlb_.translate(ctx.pageTable(), vaddr, need, miss_cycles);
+    Tick cost = cyclesToTicks(miss_cycles);
+
+    if (!xlate.ok()) {
+        ++faults_;
+        faulted = true;
+        if (in_pal) {
+            ULDMA_PANIC("fault inside PAL code at vaddr 0x", std::hex,
+                        vaddr);
+        }
+        ULDMA_ASSERT(os_ != nullptr, "CPU has no OS attached");
+        ctx.recordFault(xlate.fault, vaddr);
+        cost += os_->handleFault(ctx, xlate.fault, vaddr);
+        return cost;
+    }
+
+    if (xlate.uncacheable) {
+        Packet pkt = is_load
+            ? Packet::makeRead(xlate.paddr, op.size)
+            : Packet::makeWrite(xlate.paddr,
+                                op.srcReg >= 0 ? ctx.reg(op.srcReg)
+                                               : op.imm,
+                                op.size);
+        pkt.uncacheable = true;
+        pkt.srcPid = ctx.pid();
+        pkt.srcNode = node_;
+
+        cost += cyclesToTicks(params_.uncachedIssueExtraCycles);
+        if (is_load) {
+            ++uncachedLoads_;
+            cost += mergeBuffer_.load(pkt);
+            ctx.setReg(op.dstReg, pkt.data);
+        } else {
+            ++uncachedStores_;
+            cost += mergeBuffer_.store(pkt);
+        }
+    } else {
+        if (dcache_ != nullptr) {
+            cost += cyclesToTicks(
+                dcache_->access(xlate.paddr, op.size, !is_load));
+        } else {
+            cost += cyclesToTicks(params_.cachedMemExtraCycles);
+        }
+        if (is_load) {
+            ctx.setReg(op.dstReg, memory_.readInt(xlate.paddr, op.size));
+        } else {
+            // The CPU's own write-through store keeps its cache line
+            // coherent; suppress the snoop invalidation.
+            Dcache::SelfAccess guard(dcache_.get());
+            memory_.writeInt(xlate.paddr,
+                             op.srcReg >= 0 ? ctx.reg(op.srcReg) : op.imm,
+                             op.size);
+        }
+    }
+    return cost;
+}
+
+} // namespace uldma

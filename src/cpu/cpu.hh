@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The simulated host CPU: an in-order micro-op interpreter with an
+ * Alpha-style PAL mode, clocked at 150 MHz by default (the DEC Alpha
+ * 3000 model 300 of the paper's testbed).
+ *
+ * One micro-op executes per CPU tick event; its cost in ticks is
+ * computed from the cost model plus any bus time consumed, and the next
+ * tick is scheduled after it.  The OS is invoked through OsCallbacks at
+ * traps (syscall, fault) and at quantum boundaries — the only places a
+ * context switch can happen, matching the instruction-boundary
+ * preemption the paper's race conditions are built from.  A PAL call
+ * executes all of its micro-ops inside a single tick event and is
+ * therefore uninterruptible, which is precisely the property the PAL
+ * solution (paper §2.7) relies on.
+ */
+
+#ifndef ULDMA_CPU_CPU_HH
+#define ULDMA_CPU_CPU_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cpu/dcache.hh"
+#include "cpu/exec_context.hh"
+#include "cpu/os_iface.hh"
+#include "cpu/program.hh"
+#include "mem/bus.hh"
+#include "mem/merge_buffer.hh"
+#include "mem/physical_memory.hh"
+#include "sim/clocked.hh"
+#include "sim/stats.hh"
+#include "vm/tlb.hh"
+
+namespace uldma {
+
+/** CPU cost model and configuration. */
+struct CpuParams
+{
+    /** Core clock; 150 MHz matches the Alpha 3000/300. */
+    std::uint64_t clockMHz = 150;
+    /** Cycles charged to every instruction. */
+    Cycles baseInstrCycles = 1;
+    /** Extra cycles for a cached (DRAM) memory access. */
+    Cycles cachedMemExtraCycles = 2;
+    /** CPU-side extra cycles to issue an uncached access (pipeline
+     *  drain and bus interface), on top of the bus time itself. */
+    Cycles uncachedIssueExtraCycles = 4;
+    /** Cycles for a memory barrier (plus any drain bus time). */
+    Cycles membarCycles = 6;
+    /** Entry + exit overhead of a PAL call. */
+    Cycles palEntryExitCycles = 40;
+    /** Maximum micro-ops per PAL function (16 on the Alpha). */
+    unsigned palMaxInstructions = 16;
+
+    TlbParams tlb;
+    MergeBufferParams mergeBuffer;
+    /** Optional L1 data cache (off by default; see dcache.hh). */
+    DcacheParams dcache;
+};
+
+/**
+ * One workstation's processor.
+ */
+class Cpu : public Clocked
+{
+  public:
+    Cpu(EventQueue &eq, std::string name, const CpuParams &params,
+        Bus &bus, PhysicalMemory &memory, NodeId node = 0);
+
+    /** Deschedules the pending tick event, if any. */
+    ~Cpu() { stop(); }
+
+    const std::string &name() const { return name_; }
+    const CpuParams &params() const { return params_; }
+    NodeId node() const { return node_; }
+
+    /** Wire up the OS; must be called before running. */
+    void setOs(OsCallbacks *os) { os_ = os; }
+
+    /// @name PAL code management (paper §2.7).
+    /// @{
+    /**
+     * Install a PAL function.  Only the superuser (i.e. machine setup
+     * code) may do this; once installed, any process may invoke it via
+     * the CallPal micro-op.  The program may not trap or exceed the
+     * 16-instruction limit.
+     */
+    void registerPal(std::uint64_t index, Program program);
+    bool hasPal(std::uint64_t index) const { return palTable_.count(index); }
+    /// @}
+
+    /// @name Context control (kernel-facing).
+    /// @{
+    /** Set the running context (nullptr idles the CPU). */
+    void setCurrentContext(ExecContext *ctx);
+    ExecContext *currentContext() { return current_; }
+
+    /**
+     * Limit the current slice to @p instructions before the kernel's
+     * quantumExpired() fires; 0 means unlimited.
+     */
+    void setInstructionQuantum(std::uint64_t instructions);
+
+    /** Expire the slice at absolute tick @p deadline; maxTick = never. */
+    void setTimeQuantum(Tick deadline) { quantumDeadline_ = deadline; }
+
+    /** Begin/resume executing (schedules the tick event). */
+    void start();
+    /** Stop executing after the current instruction. */
+    void stop();
+
+    bool idle() const { return current_ == nullptr; }
+    /// @}
+
+    MergeBuffer &mergeBuffer() { return mergeBuffer_; }
+    Tlb &tlb() { return tlb_; }
+    /** The L1 data cache, or nullptr when disabled. */
+    Dcache *dcache() { return dcache_.get(); }
+    Bus &bus() { return bus_; }
+    PhysicalMemory &memory() { return memory_; }
+
+    /**
+     * Privileged bus access on behalf of the kernel (used by the
+     * kernel-level DMA driver to touch device registers).
+     * @return bus latency in ticks.
+     */
+    Tick kernelBusAccess(Packet &pkt);
+
+    /** Convert CPU cycles to ticks. */
+    Tick cyclesToTicks(Cycles c) const
+    {
+        return clockDomain().cyclesToTicks(c);
+    }
+
+    stats::Group &statsGroup() { return statsGroup_; }
+    std::uint64_t instructionsRetired() const { return instrs_.value(); }
+    std::uint64_t numUncachedAccesses() const
+    {
+        return uncachedLoads_.value() + uncachedStores_.value();
+    }
+    std::uint64_t numSyscalls() const { return syscalls_.value(); }
+    std::uint64_t numPalCalls() const { return palCalls_.value(); }
+
+  private:
+    class TickEvent : public Event
+    {
+      public:
+        explicit TickEvent(Cpu &cpu)
+            : Event(cpu.name() + ".tick", CpuPrio), cpu_(cpu)
+        {}
+        void process() override { cpu_.tick(); }
+
+      private:
+        Cpu &cpu_;
+    };
+
+    /** Execute one instruction and reschedule. */
+    void tick();
+
+    /** Execute the current op of @p ctx. @return cost in ticks. */
+    Tick executeOne(ExecContext &ctx);
+
+    /** Execute a single micro-op. @return cost in ticks. */
+    Tick executeOp(ExecContext &ctx, const MicroOp &op, bool in_pal,
+                   int &next_pc);
+
+    /** Execute a whole PAL function uninterruptibly. */
+    Tick executePal(ExecContext &ctx, std::uint64_t index);
+
+    /** Common load/store path. @return cost in ticks. */
+    Tick memoryAccess(ExecContext &ctx, const MicroOp &op, bool is_load,
+                      bool in_pal, bool &faulted);
+
+    /** Atomic read-modify-write path. @return cost in ticks. */
+    Tick atomicAccess(ExecContext &ctx, const MicroOp &op, bool in_pal,
+                      bool &faulted);
+
+    std::string name_;
+    CpuParams params_;
+    Bus &bus_;
+    PhysicalMemory &memory_;
+    NodeId node_;
+
+    OsCallbacks *os_ = nullptr;
+    ExecContext *current_ = nullptr;
+
+    MergeBuffer mergeBuffer_;
+    Tlb tlb_;
+    std::unique_ptr<Dcache> dcache_;
+    TickEvent tickEvent_;
+
+    std::map<std::uint64_t, Program> palTable_;
+
+    std::uint64_t sliceInstrLeft_ = 0;   ///< 0 = unlimited
+    bool sliceLimited_ = false;
+    Tick quantumDeadline_ = maxTick;
+
+    stats::Group statsGroup_;
+    stats::Scalar instrs_;
+    stats::Scalar loads_;
+    stats::Scalar stores_;
+    stats::Scalar uncachedLoads_;
+    stats::Scalar uncachedStores_;
+    stats::Scalar membars_;
+    stats::Scalar syscalls_;
+    stats::Scalar palCalls_;
+    stats::Scalar faults_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CPU_CPU_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The narrow interface the CPU uses to call up into the operating
+ * system.  Defining it here (in the cpu module) keeps the layering
+ * clean: cpu depends on this abstract class, os implements it.
+ */
+
+#ifndef ULDMA_CPU_OS_IFACE_HH
+#define ULDMA_CPU_OS_IFACE_HH
+
+#include <cstdint>
+
+#include "vm/page_table.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+class ExecContext;
+
+/** What the kernel returns from a syscall trap. */
+struct SyscallResult
+{
+    std::uint64_t retval = 0;
+    /** Ticks consumed inside the kernel (entry + work + exit). */
+    Tick cost = 0;
+};
+
+/**
+ * Upcalls from the CPU into the OS.
+ */
+class OsCallbacks
+{
+  public:
+    virtual ~OsCallbacks() = default;
+
+    /**
+     * A process executed a Syscall micro-op.  Arguments are in the
+     * context's a0..a3 registers.  May switch the current context.
+     */
+    virtual SyscallResult syscall(ExecContext &ctx,
+                                  std::uint64_t number) = 0;
+
+    /**
+     * A memory access faulted.  The kernel decides the consequence
+     * (kill the process, in this model).
+     * @return ticks consumed handling the fault.
+     */
+    virtual Tick handleFault(ExecContext &ctx, Fault fault, Addr vaddr) = 0;
+
+    /**
+     * The scheduling quantum of the current context expired.  The
+     * kernel typically context-switches here (this is exactly the
+     * moment the paper's race conditions live in).
+     * @return ticks consumed (context-switch cost).
+     */
+    virtual Tick quantumExpired() = 0;
+
+    /** The current context executed Yield. @return ticks consumed. */
+    virtual Tick yielded() = 0;
+
+    /** The current context executed Exit. @return ticks consumed. */
+    virtual Tick exited() = 0;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CPU_OS_IFACE_HH

@@ -1,0 +1,644 @@
+#include "dma/dma_engine.hh"
+
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+const char *
+toString(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::ShadowPair: return "shadow-pair";
+      case EngineMode::KeyBased: return "key-based";
+      case EngineMode::Repeated3: return "repeated-3";
+      case EngineMode::Repeated4: return "repeated-4";
+      case EngineMode::Repeated5: return "repeated-5";
+      case EngineMode::MappedOut: return "mapped-out";
+    }
+    return "?";
+}
+
+DmaEngine::DmaEngine(EventQueue &eq, std::string name,
+                     const ClockDomain &bus_clock,
+                     const DmaEngineParams &params, TransferBackend &backend)
+    : name_(std::move(name)), params_(params), backend_(backend),
+      xfer_(eq, name_ + ".xfer", bus_clock,
+            TransferTiming{params.bytesPerBusCycle,
+                           params.transferStartupCycles},
+            backend),
+      statsGroup_(name_)
+{
+    ULDMA_ASSERT(params_.numContexts >= 1 && params_.numContexts <= 8,
+                 "numContexts must be in [1, 8]");
+    ULDMA_ASSERT(params_.ctxIdBits <= 2,
+                 "the paper envisions at most 2 CONTEXT_ID bits");
+
+    pairLatch_.resize(std::size_t(1) << params_.ctxIdBits);
+    contexts_.resize(params_.numContexts);
+
+    statsGroup_.addScalar("shadow_stores", &shadowStores_,
+                          "stores decoded in the shadow window");
+    statsGroup_.addScalar("shadow_loads", &shadowLoads_,
+                          "loads decoded in the shadow window");
+    statsGroup_.addScalar("initiations", &started_,
+                          "DMA transfers started");
+    statsGroup_.addScalar("rejections", &rejected_,
+                          "initiation attempts rejected");
+    statsGroup_.addScalar("key_mismatches", &keyMismatch_,
+                          "key-based stores with a wrong key");
+    statsGroup_.addScalar("fsm_resets", &fsmResets_,
+                          "repeated-passing sequence resets");
+    statsGroup_.addScalar("cross_page_rejects", &crossPageRejects_,
+                          "user transfers rejected for page crossing");
+    statsGroup_.addScalar("kernel_starts", &kernelStarts_,
+                          "kernel-channel DMA starts");
+}
+
+std::vector<AddrRange>
+DmaEngine::deviceRanges() const
+{
+    return {
+        AddrRange(params_.kernelRegsBase,
+                  params_.kernelRegsBase + kregs::blockSize),
+        AddrRange(params_.contextPagesBase,
+                  params_.contextPagesBase + params_.numContexts * pageSize),
+        AddrRange(params_.shadowBase,
+                  params_.shadowBase + params_.shadowWindowSize()),
+    };
+}
+
+Addr
+DmaEngine::contextPageAddr(unsigned ctx) const
+{
+    ULDMA_ASSERT(ctx < params_.numContexts, "context id out of range");
+    return params_.contextPagesBase + Addr(ctx) * pageSize;
+}
+
+std::uint64_t
+DmaEngine::contextKey(unsigned ctx) const
+{
+    ULDMA_ASSERT(ctx < params_.numContexts, "context id out of range");
+    return contexts_[ctx].key;
+}
+
+bool
+DmaEngine::pairLatchValid(unsigned ctx) const
+{
+    return ctx < pairLatch_.size() && pairLatch_[ctx].valid;
+}
+
+Tick
+DmaEngine::access(Packet &pkt)
+{
+    const Addr a = pkt.paddr;
+    if (a >= params_.kernelRegsBase &&
+        a < params_.kernelRegsBase + kregs::blockSize) {
+        accessKernelRegs(pkt, a - params_.kernelRegsBase);
+    } else if (a >= params_.contextPagesBase &&
+               a < params_.contextPagesBase +
+                       params_.numContexts * pageSize) {
+        const Addr offset = a - params_.contextPagesBase;
+        accessContextPage(pkt, static_cast<unsigned>(offset / pageSize),
+                          offset % pageSize);
+    } else if (a >= params_.shadowBase &&
+               a < params_.shadowBase + params_.shadowWindowSize()) {
+        accessShadow(pkt);
+    } else {
+        ULDMA_PANIC(name_, ": access to unmapped engine address 0x",
+                    std::hex, a);
+    }
+    return xfer_.clockDomain().cyclesToTicks(params_.accessCycles);
+}
+
+// ---------------------------------------------------------------------
+// Kernel register block.
+// ---------------------------------------------------------------------
+
+void
+DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
+{
+    if (pkt.isWrite()) {
+        switch (offset) {
+          case kregs::source:
+            kSrc_ = pkt.data;
+            break;
+          case kregs::destination:
+            kDst_ = pkt.data;
+            break;
+          case kregs::size:
+            kSize_ = pkt.data;
+            kernelStart();
+            break;
+          case kregs::osProcessTag:
+            // FLASH hook: the modified context-switch handler tells the
+            // engine who runs now (paper §2.6).
+            osTag_ = pkt.data;
+            break;
+          case kregs::invalidate:
+            // SHRIMP-2 hook: abort half-initiated user DMAs on context
+            // switch (paper §2.5).
+            for (PairLatch &latch : pairLatch_)
+                latch.valid = false;
+            fsmReset();
+            break;
+          case kregs::keyCtxSelect:
+            keyCtxSelect_ = pkt.data;
+            break;
+          case kregs::keyValue:
+            if (keyCtxSelect_ < contexts_.size()) {
+                contexts_[keyCtxSelect_].key = pkt.data;
+                contexts_[keyCtxSelect_].keyValid = true;
+            }
+            break;
+          case kregs::ctxReset:
+            if (pkt.data < contexts_.size()) {
+                contexts_[pkt.data].resetArgs();
+                contexts_[pkt.data].transfer = invalidTransfer;
+                contexts_[pkt.data].keyValid = false;
+            }
+            break;
+          case kregs::startDelay:
+            kStartDelay_ = pkt.data;
+            break;
+          case kregs::mapOutPfn:
+            mapOutPfn_ = pkt.data;
+            break;
+          case kregs::mapOutTarget:
+            mapOutTable_[mapOutPfn_] = pkt.data;
+            break;
+          default:
+            ULDMA_WARN(name_, ": write to unknown kernel register 0x",
+                       std::hex, offset);
+        }
+        return;
+    }
+
+    switch (offset) {
+      case kregs::status:
+        if (kFailed_)
+            pkt.data = dmastatus::failure;
+        else if (kTransfer_ != invalidTransfer)
+            pkt.data = xfer_.remaining(kTransfer_);
+        else
+            pkt.data = 0;
+        break;
+      case kregs::source:
+        pkt.data = kSrc_;
+        break;
+      case kregs::destination:
+        pkt.data = kDst_;
+        break;
+      case kregs::size:
+        pkt.data = kSize_;
+        break;
+      case kregs::osProcessTag:
+        pkt.data = osTag_;
+        break;
+      default:
+        pkt.data = 0;
+    }
+}
+
+void
+DmaEngine::kernelStart()
+{
+    ++kernelStarts_;
+    kFailed_ = false;
+
+    if (kSize_ == 0 || kSize_ > params_.kernelMaxTransfer ||
+        !backend_.validEndpoint(kSrc_, kSize_) ||
+        !backend_.validEndpoint(kDst_, kSize_)) {
+        kFailed_ = true;
+        ++rejected_;
+        return;
+    }
+
+    // Kernel transfers may span pages: the kernel checked the whole
+    // range in software (figure 1's check_size()).  The transfer's
+    // wall-clock start honours the syscall entry time (startDelay).
+    kTransfer_ = xfer_.start(
+        kSrc_, kDst_, kSize_,
+        [this]() {
+            if (kernelCompletionHandler_)
+                kernelCompletionHandler_();
+        },
+        xfer_.now() + kStartDelay_);
+    ++started_;
+    initiations_.push_back(InitiationRecord{
+        xfer_.now(), params_.mode, kSrc_, kDst_, kSize_, 0,
+        /*viaKernel=*/true, {}});
+}
+
+// ---------------------------------------------------------------------
+// Register-context pages (paper §3.1).
+// ---------------------------------------------------------------------
+
+void
+DmaEngine::accessContextPage(Packet &pkt, unsigned ctx, Addr offset)
+{
+    (void)offset;  // every store lands on the size register (paper §3.1)
+    RegisterContext &rc = contexts_[ctx];
+
+    if (pkt.isWrite()) {
+        rc.size = pkt.data;
+        rc.sizeValid = true;
+        rc.contributors.push_back(pkt.srcPid);
+        return;
+    }
+
+    // Load: initiation attempt or completion poll.
+    if (rc.srcValid && rc.dstValid && rc.sizeValid) {
+        rc.contributors.push_back(pkt.srcPid);
+        const TransferId id = tryStartUser(rc.src, rc.dst, rc.size, ctx,
+                                           rc.contributors);
+        rc.resetArgs();
+        if (id == invalidTransfer) {
+            pkt.data = dmastatus::failure;
+        } else {
+            rc.transfer = id;
+            pkt.data = xfer_.remaining(id);
+        }
+        return;
+    }
+
+    if (rc.transfer != invalidTransfer) {
+        pkt.data = xfer_.remaining(rc.transfer);
+        return;
+    }
+
+    // Incomplete argument set: report failure and discard the stale
+    // arguments so the process restarts its sequence cleanly.
+    rc.resetArgs();
+    pkt.data = dmastatus::failure;
+}
+
+// ---------------------------------------------------------------------
+// Shadow window dispatch (paper §2.3).
+// ---------------------------------------------------------------------
+
+void
+DmaEngine::accessShadow(Packet &pkt)
+{
+    if (pkt.isWrite())
+        ++shadowStores_;
+    else
+        ++shadowLoads_;
+
+    Addr target = 0;
+    unsigned ctx = 0;
+    params_.decodeShadow(pkt.paddr, target, ctx);
+
+    switch (params_.mode) {
+      case EngineMode::ShadowPair:
+        shadowPair(pkt, target, ctx);
+        break;
+      case EngineMode::KeyBased:
+        shadowKeyBased(pkt, target);
+        break;
+      case EngineMode::Repeated3:
+      case EngineMode::Repeated4:
+      case EngineMode::Repeated5:
+        shadowRepeated(pkt, target);
+        break;
+      case EngineMode::MappedOut:
+        shadowMappedOut(pkt, target);
+        break;
+    }
+}
+
+void
+DmaEngine::shadowPair(Packet &pkt, Addr target, unsigned ctx)
+{
+    PairLatch &latch = pairLatch_.at(ctx);
+
+    if (pkt.isWrite()) {
+        // STORE size TO shadow(vdestination): latch the destination.
+        latch.valid = true;
+        latch.dst = target;
+        latch.size = pkt.data;
+        latch.osTag = osTag_;
+        latch.contributor = pkt.srcPid;
+        return;
+    }
+
+    // LOAD status FROM shadow(vsource): complete the pair.
+    bool ok = latch.valid;
+    if (ok && params_.flashTagCheck && latch.osTag != osTag_) {
+        // FLASH: the latch came from a process that has since been
+        // switched out; refuse to mix arguments (paper §2.6).
+        ok = false;
+    }
+
+    if (!ok) {
+        latch.valid = false;
+        ++rejected_;
+        pkt.data = dmastatus::failure;
+        return;
+    }
+
+    const TransferId id = tryStartUser(target, latch.dst, latch.size, ctx,
+                                       {latch.contributor, pkt.srcPid});
+    latch.valid = false;
+    pkt.data = id == invalidTransfer ? dmastatus::failure : dmastatus::ok;
+}
+
+void
+DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
+{
+    if (!pkt.isWrite()) {
+        // The key-based protocol passes both addresses with stores
+        // (paper §3.1); a shadow load is undefined and rejected.
+        ++rejected_;
+        pkt.data = dmastatus::failure;
+        return;
+    }
+
+    const unsigned ctx = keyfield::ctxOf(pkt.data);
+    if (ctx >= contexts_.size()) {
+        ++rejected_;
+        return;
+    }
+
+    RegisterContext &rc = contexts_[ctx];
+    if (!rc.keyValid || keyfield::keyOf(pkt.data) != rc.key) {
+        // "only if the provided key matches the key stored by the
+        // operating system in the DMA engine" (paper §3.1).
+        ++keyMismatch_;
+        return;
+    }
+
+    // The paper's order: destination first, then source.  A store when
+    // both are already valid begins a fresh argument pair.
+    if (rc.srcValid && rc.dstValid)
+        rc.resetArgs();
+    if (!rc.dstValid) {
+        rc.dst = target;
+        rc.dstValid = true;
+    } else {
+        rc.src = target;
+        rc.srcValid = true;
+    }
+    rc.contributors.push_back(pkt.srcPid);
+}
+
+// ---------------------------------------------------------------------
+// Repeated passing of arguments (paper §3.3).
+// ---------------------------------------------------------------------
+
+void
+DmaEngine::fsmReset()
+{
+    if (fsmStep_ != 0)
+        ++fsmResets_;
+    fsmStep_ = 0;
+    fsmContributors_.clear();
+}
+
+void
+DmaEngine::shadowRepeated(Packet &pkt, Addr target)
+{
+    fsmStepAccess(pkt, target);
+}
+
+void
+DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
+{
+    const bool is_store = pkt.isWrite();
+
+    // Two attempts: if the access mismatches mid-sequence, the engine
+    // resets and the same access may begin a new sequence (this is what
+    // makes the figure-5 interleaving possible against Repeated3).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        bool matched = false;
+
+        switch (params_.mode) {
+          case EngineMode::Repeated3:
+            // LOAD(src) STORE(dst) LOAD(src)
+            switch (fsmStep_) {
+              case 0:
+                if (!is_store) {
+                    fsmLoadAddr_ = target;
+                    fsmContributors_.assign({pkt.srcPid});
+                    fsmStep_ = 1;
+                    pkt.data = dmastatus::pending;
+                    matched = true;
+                }
+                break;
+              case 1:
+                if (is_store) {
+                    fsmStoreAddr_ = target;
+                    fsmSize_ = pkt.data;
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 2;
+                    matched = true;
+                }
+                break;
+              case 2:
+                if (!is_store && target == fsmLoadAddr_) {
+                    fsmContributors_.push_back(pkt.srcPid);
+                    const TransferId id =
+                        tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
+                                     0, fsmContributors_);
+                    pkt.data = id == invalidTransfer ? dmastatus::failure
+                                                     : dmastatus::ok;
+                    fsmStep_ = 0;
+                    fsmContributors_.clear();
+                    matched = true;
+                }
+                break;
+            }
+            break;
+
+          case EngineMode::Repeated4:
+            // STORE(dst) LOAD(src) STORE(dst) LOAD(src)
+            switch (fsmStep_) {
+              case 0:
+                if (is_store) {
+                    fsmStoreAddr_ = target;
+                    fsmSize_ = pkt.data;
+                    fsmContributors_.assign({pkt.srcPid});
+                    fsmStep_ = 1;
+                    matched = true;
+                }
+                break;
+              case 1:
+                if (!is_store) {
+                    fsmLoadAddr_ = target;
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 2;
+                    pkt.data = dmastatus::pending;
+                    matched = true;
+                }
+                break;
+              case 2:
+                if (is_store && target == fsmStoreAddr_) {
+                    fsmSize_ = pkt.data;
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 3;
+                    matched = true;
+                }
+                break;
+              case 3:
+                if (!is_store && target == fsmLoadAddr_) {
+                    fsmContributors_.push_back(pkt.srcPid);
+                    const TransferId id =
+                        tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
+                                     0, fsmContributors_);
+                    pkt.data = id == invalidTransfer ? dmastatus::failure
+                                                     : dmastatus::ok;
+                    fsmStep_ = 0;
+                    fsmContributors_.clear();
+                    matched = true;
+                }
+                break;
+            }
+            break;
+
+          case EngineMode::Repeated5:
+            // STORE(dst) LOAD(src) STORE(dst) LOAD(src) LOAD(dst)
+            // (figure 7: addresses of 1,3,5 equal; of 2,4 equal)
+            switch (fsmStep_) {
+              case 0:
+                if (is_store) {
+                    fsmStoreAddr_ = target;
+                    fsmSize_ = pkt.data;
+                    fsmContributors_.assign({pkt.srcPid});
+                    fsmStep_ = 1;
+                    matched = true;
+                }
+                break;
+              case 1:
+                if (!is_store) {
+                    fsmLoadAddr_ = target;
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 2;
+                    pkt.data = dmastatus::pending;
+                    matched = true;
+                }
+                break;
+              case 2:
+                if (is_store && target == fsmStoreAddr_) {
+                    fsmSize_ = pkt.data;
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 3;
+                    matched = true;
+                }
+                break;
+              case 3:
+                if (!is_store && target == fsmLoadAddr_) {
+                    fsmContributors_.push_back(pkt.srcPid);
+                    fsmStep_ = 4;
+                    pkt.data = dmastatus::pending;
+                    matched = true;
+                }
+                break;
+              case 4:
+                if (!is_store && target == fsmStoreAddr_) {
+                    fsmContributors_.push_back(pkt.srcPid);
+                    const TransferId id =
+                        tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
+                                     0, fsmContributors_);
+                    pkt.data = id == invalidTransfer ? dmastatus::failure
+                                                     : dmastatus::ok;
+                    fsmStep_ = 0;
+                    fsmContributors_.clear();
+                    matched = true;
+                }
+                break;
+            }
+            break;
+
+          default:
+            ULDMA_PANIC("fsmStepAccess in non-repeated mode");
+        }
+
+        if (matched)
+            return;
+
+        // Mismatch: reset, and on the second pass let this access seed
+        // a fresh sequence; if it cannot, report failure to loads.
+        fsmReset();
+        if (attempt == 1) {
+            if (!is_store)
+                pkt.data = dmastatus::failure;
+            return;
+        }
+        if (!is_store)
+            pkt.data = dmastatus::failure;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mapped-out pages (SHRIMP-1, paper §2.4).
+// ---------------------------------------------------------------------
+
+void
+DmaEngine::shadowMappedOut(Packet &pkt, Addr target)
+{
+    if (!pkt.isWrite()) {
+        pkt.data = dmastatus::failure;
+        ++rejected_;
+        return;
+    }
+
+    auto it = mapOutTable_.find(pageNumber(target));
+    if (it == mapOutTable_.end()) {
+        // No mapped-out counterpart: the single-access initiation has
+        // nowhere to send the data (paper §2.4's restriction).
+        ++rejected_;
+        if (pkt.rmw)
+            pkt.data = dmastatus::failure;
+        return;
+    }
+
+    const Addr dst = it->second + pageOffset(target);
+    const TransferId id =
+        tryStartUser(target, dst, pkt.data, 0, {pkt.srcPid});
+    mapOutTransfer_ = id;
+    if (pkt.rmw) {
+        pkt.data = id == invalidTransfer ? dmastatus::failure
+                                         : dmastatus::ok;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Common start path.
+// ---------------------------------------------------------------------
+
+TransferId
+DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
+                        const std::vector<Pid> &contributors)
+{
+    if (size == 0 || size > params_.userMaxTransfer) {
+        ++rejected_;
+        return invalidTransfer;
+    }
+    // The shadow mapping only proves access rights to a single page;
+    // a user transfer must therefore stay within one page at both
+    // endpoints (the kernel channel has no such restriction).
+    if (pageNumber(src) != pageNumber(src + size - 1) ||
+        pageNumber(dst) != pageNumber(dst + size - 1)) {
+        ++crossPageRejects_;
+        ++rejected_;
+        return invalidTransfer;
+    }
+    if (!backend_.validEndpoint(src, size) ||
+        !backend_.validEndpoint(dst, size)) {
+        ++rejected_;
+        return invalidTransfer;
+    }
+
+    const TransferId id = xfer_.start(src, dst, size);
+    ++started_;
+    initiations_.push_back(InitiationRecord{
+        xfer_.now(), params_.mode, src, dst, size, ctx,
+        /*viaKernel=*/false, contributors});
+
+    ULDMA_TRACE("Dma", xfer_.now(), name_, ": user DMA started 0x",
+                std::hex, src, " -> 0x", dst, std::dec, " size ", size,
+                " mode ", toString(params_.mode));
+    return id;
+}
+
+} // namespace uldma

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The DMA engine of the network interface — the hardware half of every
+ * protocol in the paper.
+ *
+ * The engine sits on the I/O bus and watches the *stream of physical
+ * accesses* that reaches it.  It has no idea which process is running:
+ * everything it can use is in the access itself (read/write, physical
+ * address, payload), which is exactly the constraint the paper's
+ * protocols are designed around.  Packet provenance (srcPid) is latched
+ * only into the security-oracle records that tests inspect; no protocol
+ * decision reads it.
+ *
+ * Decoded windows:
+ *  - kernel register block (figure 1: SOURCE/DESTINATION/SIZE/STATUS,
+ *    plus the privileged hooks the SHRIMP-2/FLASH baselines need and
+ *    key/map-out management);
+ *  - register-context pages (paper §3.1): stores hit the size register,
+ *    loads return remaining bytes (~0 = failure, 0 = complete);
+ *  - the shadow window (paper §2.3): argument-passing accesses,
+ *    interpreted per EngineMode.
+ */
+
+#ifndef ULDMA_DMA_DMA_ENGINE_HH
+#define ULDMA_DMA_DMA_ENGINE_HH
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dma/dma_params.hh"
+#include "dma/transfer_engine.hh"
+#include "mem/bus.hh"
+#include "sim/stats.hh"
+#include "vm/layout.hh"
+
+namespace uldma {
+
+/**
+ * The programmable DMA controller on the NI board.
+ */
+class DmaEngine : public BusDevice
+{
+  public:
+    DmaEngine(EventQueue &eq, std::string name, const ClockDomain &bus_clock,
+              const DmaEngineParams &params, TransferBackend &backend);
+
+    /// @name BusDevice interface.
+    /// @{
+    const std::string &deviceName() const override { return name_; }
+    std::vector<AddrRange> deviceRanges() const override;
+    Tick access(Packet &pkt) override;
+    /// @}
+
+    const DmaEngineParams &params() const { return params_; }
+    TransferEngine &transferEngine() { return xfer_; }
+
+    /**
+     * Completion interrupt for the kernel channel: invoked when a
+     * kernel-initiated transfer finishes (the OS wires its interrupt
+     * handler here at boot).
+     */
+    void
+    setKernelCompletionHandler(std::function<void()> handler)
+    {
+        kernelCompletionHandler_ = std::move(handler);
+    }
+
+    /** True while a kernel-channel transfer is in flight. */
+    bool
+    kernelChannelBusy() const
+    {
+        return kTransfer_ != invalidTransfer &&
+               !xfer_.complete(kTransfer_);
+    }
+
+    /** Physical address of register-context page @p ctx. */
+    Addr contextPageAddr(unsigned ctx) const;
+
+    /// @name Security oracle (tests/benches only — not device state).
+    /// @{
+    /** Everything the engine knows about one started DMA. */
+    struct InitiationRecord
+    {
+        Tick when;
+        EngineMode mode;
+        Addr src;
+        Addr dst;
+        Addr size;
+        unsigned ctx;              ///< register context / CONTEXT_ID
+        bool viaKernel;            ///< through the kernel register block
+        std::vector<Pid> contributors;  ///< pids of contributing accesses
+    };
+
+    const std::vector<InitiationRecord> &initiations() const
+    {
+        return initiations_;
+    }
+    void clearInitiations() { initiations_.clear(); }
+    /// @}
+
+    /// @name Direct state inspection for unit tests.
+    /// @{
+    std::uint64_t contextKey(unsigned ctx) const;
+    std::uint64_t currentOsTag() const { return osTag_; }
+    bool pairLatchValid(unsigned ctx = 0) const;
+    unsigned fsmStep() const { return fsmStep_; }
+    /// @}
+
+    /// @name Stats.
+    /// @{
+    stats::Group &statsGroup() { return statsGroup_; }
+    std::uint64_t numInitiations() const { return started_.value(); }
+    std::uint64_t numRejects() const { return rejected_.value(); }
+    std::uint64_t numKeyMismatches() const { return keyMismatch_.value(); }
+    std::uint64_t numFsmResets() const { return fsmResets_.value(); }
+    /// @}
+
+  private:
+    /** One key-based register context (paper §3.1). */
+    struct RegisterContext
+    {
+        std::uint64_t key = 0;
+        bool keyValid = false;
+        Addr src = 0;
+        Addr dst = 0;
+        Addr size = 0;
+        bool srcValid = false;
+        bool dstValid = false;
+        bool sizeValid = false;
+        TransferId transfer = invalidTransfer;
+        std::vector<Pid> contributors;
+
+        void
+        resetArgs()
+        {
+            srcValid = dstValid = sizeValid = false;
+            contributors.clear();
+        }
+    };
+
+    /** The STORE-latch of the two-access ShadowPair protocol. */
+    struct PairLatch
+    {
+        bool valid = false;
+        Addr dst = 0;
+        Addr size = 0;
+        std::uint64_t osTag = 0;   ///< FLASH: tag at latch time
+        Pid contributor = invalidPid;
+    };
+
+    /// @name Window handlers.
+    /// @{
+    void accessKernelRegs(Packet &pkt, Addr offset);
+    void accessContextPage(Packet &pkt, unsigned ctx, Addr offset);
+    void accessShadow(Packet &pkt);
+    /// @}
+
+    /// @name Per-protocol shadow handlers.
+    /// @{
+    void shadowPair(Packet &pkt, Addr target, unsigned ctx);
+    void shadowKeyBased(Packet &pkt, Addr target);
+    void shadowRepeated(Packet &pkt, Addr target);
+    void shadowMappedOut(Packet &pkt, Addr target);
+    /// @}
+
+    /**
+     * Validate and start a user-initiated transfer.
+     * @return the transfer id, or invalidTransfer on rejection.
+     */
+    TransferId tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
+                            const std::vector<Pid> &contributors);
+
+    /** Start (or reject) a kernel-channel transfer. */
+    void kernelStart();
+
+    /** Reset the repeated-passing FSM. */
+    void fsmReset();
+
+    /**
+     * Feed one access to the repeated-passing FSM.
+     * Sets pkt.data for loads.
+     */
+    void fsmStepAccess(Packet &pkt, Addr target);
+
+    std::string name_;
+    DmaEngineParams params_;
+    TransferBackend &backend_;
+    TransferEngine xfer_;
+
+    /// Kernel-channel completion interrupt (see the setter).
+    std::function<void()> kernelCompletionHandler_;
+
+    /// Kernel channel registers (figure 1).
+    Tick kStartDelay_ = 0;
+    Addr kSrc_ = 0;
+    Addr kDst_ = 0;
+    Addr kSize_ = 0;
+    bool kFailed_ = false;
+    TransferId kTransfer_ = invalidTransfer;
+
+    /// FLASH hook state: the OS-announced current process tag.
+    std::uint64_t osTag_ = 0;
+
+    /// ShadowPair latches, one per CONTEXT_ID value (1 when no bits).
+    std::vector<PairLatch> pairLatch_;
+
+    /// Key-based register contexts.
+    std::vector<RegisterContext> contexts_;
+
+    /// Key-management staging register.
+    std::uint64_t keyCtxSelect_ = 0;
+
+    /// Mapped-out staging + table (SHRIMP-1): local pfn -> target paddr.
+    std::uint64_t mapOutPfn_ = 0;
+    std::unordered_map<Addr, Addr> mapOutTable_;
+    /// Status of the last mapped-out initiation, readable at kSTATUS.
+    TransferId mapOutTransfer_ = invalidTransfer;
+
+    /// Repeated-passing FSM.
+    unsigned fsmStep_ = 0;
+    Addr fsmStoreAddr_ = 0;    ///< destination (address of the STOREs)
+    Addr fsmLoadAddr_ = 0;     ///< source (address of the LOADs)
+    Addr fsmSize_ = 0;
+    std::vector<Pid> fsmContributors_;
+
+    std::vector<InitiationRecord> initiations_;
+
+    stats::Group statsGroup_;
+    stats::Scalar shadowStores_;
+    stats::Scalar shadowLoads_;
+    stats::Scalar started_;
+    stats::Scalar rejected_;
+    stats::Scalar keyMismatch_;
+    stats::Scalar fsmResets_;
+    stats::Scalar crossPageRejects_;
+    stats::Scalar kernelStarts_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_DMA_DMA_ENGINE_HH

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Configuration and physical-address-map of the DMA engine.
+ *
+ * The engine decodes four windows on the I/O bus:
+ *
+ *  - kernel registers: the traditional privileged register block of
+ *    figure 1 (never mapped into user page tables);
+ *  - register-context pages: one page per context for the key-based
+ *    protocol (paper §3.1), each mappable into exactly one process;
+ *  - the DMA shadow window: shadow(paddr) accesses (paper §2.3), with
+ *    optional CONTEXT_ID bits above the address (paper §3.2);
+ *  - (the atomic-op shadow window lives on the NIC's atomic unit, see
+ *    nic/atomic_unit.hh).
+ */
+
+#ifndef ULDMA_DMA_DMA_PARAMS_HH
+#define ULDMA_DMA_DMA_PARAMS_HH
+
+#include "mem/addr_range.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** Which user-level initiation protocol the engine implements. */
+enum class EngineMode : std::uint8_t
+{
+    /**
+     * Two-access STORE size TO shadow(dst); LOAD status FROM
+     * shadow(src) protocol.  Used by: SHRIMP-2 (paper §2.5, with the
+     * kernel invalidation hook), FLASH (§2.6, with the kernel
+     * current-process notification hook), PAL code (§2.7, atomicity by
+     * uninterruptible execution), and extended shadow addressing
+     * (§3.2, with ctxIdBits > 0 and checkCtxId).
+     */
+    ShadowPair,
+    /** Key-based register contexts (paper §3.1, figure 3). */
+    KeyBased,
+    /** 3-instruction repeated-passing (paper §3.3; exploitable, fig 5). */
+    Repeated3,
+    /** 4-instruction repeated-passing (paper §3.3; exploitable, fig 6). */
+    Repeated4,
+    /** 5-instruction repeated-passing (paper §3.3, figure 7; safe). */
+    Repeated5,
+    /** SHRIMP-1 mapped-out pages (paper §2.4). */
+    MappedOut,
+};
+
+const char *toString(EngineMode mode);
+
+/** Return codes delivered through shadow/context reads. */
+namespace dmastatus {
+/** Initiation succeeded / transfer complete. */
+inline constexpr std::uint64_t ok = 0;
+/** Sequence accepted so far (intermediate read of repeated-passing). */
+inline constexpr std::uint64_t pending = 1;
+/** Failure: bad sequence, bad key, mismatched context, bad argument. */
+inline constexpr std::uint64_t failure = ~std::uint64_t(0);
+} // namespace dmastatus
+
+/** Key payload layout for the key-based protocol (paper §3.1):
+ *  STORE key#context_id TO shadow(vaddr).  The low bits carry the
+ *  context id, the high bits the secret key ("close to 60 bits"). */
+namespace keyfield {
+inline constexpr unsigned ctxBits = 3;       ///< up to 8 contexts
+inline constexpr unsigned keyShift = 8;
+inline constexpr unsigned keyBits = 56;
+
+constexpr std::uint64_t
+pack(std::uint64_t key, unsigned ctx)
+{
+    return (key << keyShift) | (ctx & mask(ctxBits));
+}
+
+constexpr unsigned ctxOf(std::uint64_t payload)
+{
+    return static_cast<unsigned>(payload & mask(ctxBits));
+}
+
+constexpr std::uint64_t keyOf(std::uint64_t payload)
+{
+    return payload >> keyShift;
+}
+} // namespace keyfield
+
+/** Offsets within a register-context page. */
+namespace ctxpage {
+/** Stores land on the size register; loads read remaining/status. */
+inline constexpr Addr sizeReg = 0x0;
+} // namespace ctxpage
+
+/** Offsets within the kernel register block (figure 1's registers). */
+namespace kregs {
+/**
+ * Kernel-channel start delay in ticks, written once at boot: the
+ * simulator charges syscall time as a lump when the trap returns, but
+ * the engine's SIZE write physically happens after the kernel's
+ * entry + translation work, so transfers on the kernel channel begin
+ * this long after the trap instant.  Keeps the data's wall-clock
+ * position honest without splitting the syscall into timed phases.
+ */
+inline constexpr Addr startDelay = 0x58;
+inline constexpr Addr source = 0x00;
+inline constexpr Addr destination = 0x08;
+inline constexpr Addr size = 0x10;       ///< writing starts the DMA
+inline constexpr Addr status = 0x18;     ///< remaining bytes of kernel DMA
+/** FLASH hook: the OS writes the running process's tag here. */
+inline constexpr Addr osProcessTag = 0x20;
+/** SHRIMP-2 hook: any write aborts a half-initiated user DMA. */
+inline constexpr Addr invalidate = 0x28;
+/** Key management: the OS writes keys via keyCtxSelect/keyValue. */
+inline constexpr Addr keyCtxSelect = 0x30;
+inline constexpr Addr keyValue = 0x38;
+/** Context ownership: clears one register context. */
+inline constexpr Addr ctxReset = 0x40;
+/** Mapped-out table management (SHRIMP-1): pfn / node+pfn pair. */
+inline constexpr Addr mapOutPfn = 0x48;
+inline constexpr Addr mapOutTarget = 0x50;
+inline constexpr Addr blockSize = 0x100;
+} // namespace kregs
+
+/** Full engine configuration. */
+struct DmaEngineParams
+{
+    EngineMode mode = EngineMode::ShadowPair;
+
+    /** CONTEXT_ID bits carved out of the shadow physical address
+     *  (paper §3.2 envisions 1-2 bits).  In ShadowPair mode the engine
+     *  keeps one argument latch per CONTEXT_ID value, which is the
+     *  §3.2 matching rule in hardware form. */
+    unsigned ctxIdBits = 0;
+
+    /** FLASH baseline (paper §2.6): the latch records the OS-announced
+     *  process tag and the completing LOAD must observe the same tag.
+     *  Requires the kernel context-switch hook that writes
+     *  kregs::osProcessTag — i.e. a kernel modification. */
+    bool flashTagCheck = false;
+
+    /** Number of register contexts (paper §3.1 suggests 4 to 8). */
+    unsigned numContexts = 4;
+
+    /** Device-side latency of a register/shadow access in bus cycles
+     *  (the FPGA of the prototype board). */
+    Cycles accessCycles = 3;
+
+    /** Bytes moved per bus cycle once a transfer is running. */
+    Addr bytesPerBusCycle = 4;
+    /** Fixed start-up cost of a transfer in bus cycles. */
+    Cycles transferStartupCycles = 8;
+
+    /** User-level transfers may not cross a page boundary (the shadow
+     *  mapping only proves rights to one page); kernel transfers may. */
+    Addr userMaxTransfer = 8 * 1024;
+    /** Upper bound for kernel-initiated transfers. */
+    Addr kernelMaxTransfer = 1 << 20;
+
+    /// @name Physical address map.
+    /// @{
+    Addr kernelRegsBase = 0x4000'0000;
+    Addr contextPagesBase = 0x4001'0000;
+    Addr shadowBase = 0x8000'0000;
+    /** Physical addresses representable through the shadow window
+     *  (DRAM + remote windows must fit below this). */
+    Addr shadowCoverage = 0x2000'0000;
+    /// @}
+
+    /** log2 of shadowCoverage (the CONTEXT_ID field sits above it). */
+    unsigned
+    coverageShift() const
+    {
+        ULDMA_ASSERT(isPowerOf2(shadowCoverage),
+                     "shadowCoverage must be a power of two");
+        return floorLog2(shadowCoverage);
+    }
+
+    /** Size of the whole shadow window including CONTEXT_ID bits. */
+    Addr shadowWindowSize() const { return shadowCoverage << ctxIdBits; }
+
+    /**
+     * shadow(paddr) for context @p ctx: the physical address a shadow
+     * page-table mapping points at (paper §2.3/§3.2).
+     */
+    Addr
+    shadowAddr(Addr paddr, unsigned ctx = 0) const
+    {
+        ULDMA_ASSERT(paddr < shadowCoverage,
+                     "paddr 0x", std::hex, paddr,
+                     " not representable in shadow window");
+        ULDMA_ASSERT(ctx < (1u << ctxIdBits) || ctx == 0,
+                     "context id out of range");
+        return shadowBase + ((Addr(ctx) << coverageShift())) + paddr;
+    }
+
+    /** Inverse of shadowAddr: recover (paddr, ctx). */
+    void
+    decodeShadow(Addr shadow_paddr, Addr &paddr, unsigned &ctx) const
+    {
+        const Addr offset = shadow_paddr - shadowBase;
+        paddr = offset & (shadowCoverage - 1);
+        ctx = static_cast<unsigned>(offset >> coverageShift());
+    }
+};
+
+} // namespace uldma
+
+#endif // ULDMA_DMA_DMA_PARAMS_HH

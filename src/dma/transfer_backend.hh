@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Where DMA'd bytes actually go.  The engine hands completed transfers
+ * to a TransferBackend; the plain LocalBackend copies within host DRAM,
+ * while the network interface's backend (nic module) forwards writes
+ * whose destination falls in a remote-memory window across the network
+ * (Telegraphos-style, paper [9]).
+ */
+
+#ifndef ULDMA_DMA_TRANSFER_BACKEND_HH
+#define ULDMA_DMA_TRANSFER_BACKEND_HH
+
+#include "mem/physical_memory.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** Moves transfer payloads between physical locations. */
+class TransferBackend
+{
+  public:
+    virtual ~TransferBackend() = default;
+
+    /** True if the engine may use @p paddr as a transfer endpoint. */
+    virtual bool validEndpoint(Addr paddr, Addr size) const = 0;
+
+    /**
+     * Functionally move @p size bytes from @p src to @p dst.  Called at
+     * transfer-completion time; either address may name a remote
+     * window.
+     * @return extra ticks of delivery latency beyond the engine's own
+     *         transfer time (e.g. network link latency).
+     */
+    virtual Tick moveBytes(Addr src, Addr dst, Addr size) = 0;
+};
+
+/** Backend for a single workstation: endpoints are local DRAM. */
+class LocalBackend : public TransferBackend
+{
+  public:
+    explicit LocalBackend(PhysicalMemory &memory) : memory_(memory) {}
+
+    bool
+    validEndpoint(Addr paddr, Addr size) const override
+    {
+        return paddr < memory_.size() && size <= memory_.size() - paddr;
+    }
+
+    Tick
+    moveBytes(Addr src, Addr dst, Addr size) override
+    {
+        memory_.copy(dst, src, size);
+        return 0;
+    }
+
+  private:
+    PhysicalMemory &memory_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_DMA_TRANSFER_BACKEND_HH

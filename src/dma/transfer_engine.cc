@@ -1,0 +1,116 @@
+#include "dma/transfer_engine.hh"
+
+#include <algorithm>
+
+#include "sim/trace.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+TransferEngine::TransferEngine(EventQueue &eq, std::string name,
+                               const ClockDomain &bus_clock,
+                               const TransferTiming &timing,
+                               TransferBackend &backend)
+    : Clocked(eq, bus_clock), name_(std::move(name)), timing_(timing),
+      backend_(backend), statsGroup_(name_)
+{
+    ULDMA_ASSERT(timing_.bytesPerBusCycle > 0, "zero DMA bandwidth");
+    statsGroup_.addScalar("transfers_started", &started_,
+                          "DMA transfers begun");
+    statsGroup_.addScalar("transfers_completed", &completed_,
+                          "DMA transfers finished");
+    statsGroup_.addScalar("bytes_moved", &bytes_, "payload bytes moved");
+}
+
+TransferId
+TransferEngine::start(Addr src, Addr dst, Addr size,
+                      std::function<void()> on_complete, Tick not_before)
+{
+    ULDMA_ASSERT(backend_.validEndpoint(src, size),
+                 name_, ": invalid transfer source 0x", std::hex, src);
+    ULDMA_ASSERT(backend_.validEndpoint(dst, size),
+                 name_, ": invalid transfer destination 0x", std::hex, dst);
+
+    ++started_;
+    bytes_ += size;
+
+    const Tick begin = std::max({now(), busyUntil_, not_before});
+    const Cycles busy_cycles =
+        timing_.startupCycles + divCeil(size, timing_.bytesPerBusCycle);
+    const Tick end = begin + clockDomain().cyclesToTicks(busy_cycles);
+    busyUntil_ = end;
+
+    const TransferId id = nextId_++;
+    flights_.push_back(Flight{id, size, begin, end});
+
+    ULDMA_TRACE("Dma", now(), name_, ": transfer ", id, " 0x", std::hex,
+                src, " -> 0x", dst, std::dec, " size ", size,
+                " completes at ", end);
+
+    eventq().scheduleLambda(
+        name_ + ".complete", end,
+        [this, id, src, dst, size, cb = std::move(on_complete)]() {
+            const Tick extra = backend_.moveBytes(src, dst, size);
+            ++completed_;
+            for (Flight &f : flights_) {
+                if (f.id == id) {
+                    f.applied = true;
+                    break;
+                }
+            }
+            // Garbage-collect old applied flights.
+            if (flights_.size() > 64) {
+                flights_.erase(
+                    std::remove_if(flights_.begin(), flights_.end(),
+                                   [](const Flight &f) {
+                                       return f.applied;
+                                   }),
+                    flights_.end());
+            }
+            if (cb) {
+                if (extra == 0) {
+                    cb();
+                } else {
+                    eventq().scheduleLambda(name_ + ".deliver",
+                                            now() + extra, cb);
+                }
+            }
+        },
+        Event::DevicePrio);
+
+    return id;
+}
+
+Addr
+TransferEngine::remaining(TransferId id) const
+{
+    for (const Flight &f : flights_) {
+        if (f.id != id)
+            continue;
+        const Tick t = now();
+        if (t >= f.endTick)
+            return 0;
+        if (t <= f.startTick)
+            return f.size;
+        // Linear interpolation across the active window.
+        const double frac = static_cast<double>(t - f.startTick) /
+                            static_cast<double>(f.endTick - f.startTick);
+        const Addr moved = static_cast<Addr>(frac *
+                                             static_cast<double>(f.size));
+        return f.size - std::min(moved, f.size);
+    }
+    return 0;
+}
+
+bool
+TransferEngine::complete(TransferId id) const
+{
+    for (const Flight &f : flights_) {
+        if (f.id == id)
+            return now() >= f.endTick;
+    }
+    return true;
+}
+
+} // namespace uldma

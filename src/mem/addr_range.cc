@@ -1,0 +1,42 @@
+#include "mem/addr_range.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace uldma {
+
+AddrRange::AddrRange(Addr start, Addr end) : start_(start), end_(end)
+{
+    ULDMA_ASSERT(start <= end, "inverted address range");
+}
+
+bool
+AddrRange::containsSpan(Addr addr, Addr span) const
+{
+    if (span == 0)
+        return contains(addr);
+    return addr >= start_ && span <= end_ - addr;
+}
+
+bool
+AddrRange::overlaps(const AddrRange &other) const
+{
+    return start_ < other.end_ && other.start_ < end_;
+}
+
+Addr
+AddrRange::offset(Addr addr) const
+{
+    ULDMA_ASSERT(contains(addr), "address outside range");
+    return addr - start_;
+}
+
+std::string
+AddrRange::toString() const
+{
+    return csprintf("[0x%llx, 0x%llx)",
+                    static_cast<unsigned long long>(start_),
+                    static_cast<unsigned long long>(end_));
+}
+
+} // namespace uldma

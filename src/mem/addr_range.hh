@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Half-open physical address ranges [start, end), used by the bus to
+ * route transactions to devices and by the DMA engine to carve its
+ * shadow window, register-context pages, and kernel register block out
+ * of the device region.
+ */
+
+#ifndef ULDMA_MEM_ADDR_RANGE_HH
+#define ULDMA_MEM_ADDR_RANGE_HH
+
+#include <string>
+
+#include "util/types.hh"
+
+namespace uldma {
+
+/** A half-open interval of physical addresses. */
+class AddrRange
+{
+  public:
+    AddrRange() = default;
+    AddrRange(Addr start, Addr end);
+
+    Addr start() const { return start_; }
+    Addr end() const { return end_; }
+    Addr size() const { return end_ - start_; }
+    bool empty() const { return start_ == end_; }
+
+    /** True if @p addr lies inside the range. */
+    bool contains(Addr addr) const { return addr >= start_ && addr < end_; }
+
+    /** True if [addr, addr+size) lies entirely inside the range. */
+    bool containsSpan(Addr addr, Addr span) const;
+
+    /** True if this and @p other share at least one address. */
+    bool overlaps(const AddrRange &other) const;
+
+    /** Offset of @p addr from the start; addr must be contained. */
+    Addr offset(Addr addr) const;
+
+    std::string toString() const;
+
+  private:
+    Addr start_ = 0;
+    Addr end_ = 0;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_MEM_ADDR_RANGE_HH

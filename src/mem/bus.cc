@@ -1,0 +1,138 @@
+#include "mem/bus.hh"
+
+#include "sim/ticks.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+BusParams
+BusParams::turboChannel()
+{
+    BusParams p;
+    // The prototype board of the paper runs on a 12.5 MHz TurboChannel;
+    // 12.5 MHz is an 80 ns period, expressed exactly via clockPeriod.
+    p.clockMHz = 12;
+    p.clockPeriod = 80 * tickPerNs;
+    p.arbitrationCycles = 1;
+    p.writeDataCycles = 2;
+    p.readResponseCycles = 2;
+    return p;
+}
+
+BusParams
+BusParams::pci33()
+{
+    BusParams p;
+    p.clockMHz = 33;
+    p.clockPeriod = 0;
+    p.arbitrationCycles = 1;
+    p.writeDataCycles = 2;
+    p.readResponseCycles = 2;
+    return p;
+}
+
+BusParams
+BusParams::pci66()
+{
+    BusParams p;
+    p.clockMHz = 66;
+    p.clockPeriod = 0;
+    p.arbitrationCycles = 1;
+    p.writeDataCycles = 2;
+    p.readResponseCycles = 2;
+    return p;
+}
+
+namespace {
+
+ClockDomain
+busClock(const std::string &name, const BusParams &params)
+{
+    if (params.clockPeriod != 0)
+        return ClockDomain(name + ".clk", params.clockPeriod);
+    return ClockDomain::fromMHz(name + ".clk", params.clockMHz);
+}
+
+} // namespace
+
+Bus::Bus(EventQueue &eq, std::string name, const BusParams &params)
+    : Clocked(eq, busClock(name, params)), name_(std::move(name)),
+      params_(params), statsGroup_(name_)
+{
+    statsGroup_.addScalar("reads", &reads_, "read transactions routed");
+    statsGroup_.addScalar("writes", &writes_, "write transactions routed");
+    statsGroup_.addScalar("contended", &contended_,
+                          "transactions delayed by DMA cycle stealing");
+    statsGroup_.addAverage("latency_ns", &latencyNs_,
+                           "per-transaction latency");
+}
+
+void
+Bus::attach(BusDevice *device)
+{
+    ULDMA_ASSERT(device != nullptr, "attaching null device");
+    for (const AddrRange &range : device->deviceRanges()) {
+        for (const Mapping &existing : mappings_) {
+            if (existing.range.overlaps(range)) {
+                ULDMA_PANIC("bus '", name_, "': device '",
+                            device->deviceName(), "' range ",
+                            range.toString(), " overlaps '",
+                            existing.device->deviceName(), "' range ",
+                            existing.range.toString());
+            }
+        }
+        mappings_.push_back(Mapping{range, device});
+    }
+}
+
+BusDevice *
+Bus::deviceAt(Addr addr) const
+{
+    for (const Mapping &m : mappings_) {
+        if (m.range.contains(addr))
+            return m.device;
+    }
+    return nullptr;
+}
+
+Tick
+Bus::access(Packet &pkt)
+{
+    BusDevice *device = deviceAt(pkt.paddr);
+    if (device == nullptr) {
+        ULDMA_PANIC("bus '", name_, "': no device at paddr 0x", std::hex,
+                    pkt.paddr);
+    }
+
+    if (pkt.isRead())
+        ++reads_;
+    else
+        ++writes_;
+
+    const Tick device_ticks = device->access(pkt);
+    Cycles phases = params_.arbitrationCycles;
+    phases += pkt.isRead() ? params_.readResponseCycles
+                           : params_.writeDataCycles;
+
+    // Cycle stealing: an active DMA stream makes arbitration slower.
+    if (params_.dmaContentionCycles != 0) {
+        for (const auto &busy : contentionSources_) {
+            if (busy()) {
+                phases += params_.dmaContentionCycles;
+                ++contended_;
+                break;
+            }
+        }
+    }
+
+    // Align the start of the transaction to the next bus clock edge,
+    // then charge the bus phases plus the device-side latency.
+    const Tick start = clockDomain().nextEdgeAtOrAfter(now());
+    const Tick finish =
+        start + clockDomain().cyclesToTicks(phases) + device_ticks;
+    const Tick latency = finish - now();
+    latencyNs_.sample(ticksToNs(latency));
+    return latency;
+}
+
+} // namespace uldma

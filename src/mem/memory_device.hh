@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bus-facing wrapper around PhysicalMemory, used by bus masters (the
+ * DMA engine, the remote-write path of the network interface) to reach
+ * host DRAM.  The CPU's own cached accesses bypass the I/O bus and use
+ * PhysicalMemory directly through the cost model.
+ */
+
+#ifndef ULDMA_MEM_MEMORY_DEVICE_HH
+#define ULDMA_MEM_MEMORY_DEVICE_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/physical_memory.hh"
+
+namespace uldma {
+
+/** DRAM as a bus target. */
+class MemoryDevice : public BusDevice
+{
+  public:
+    MemoryDevice(std::string name, PhysicalMemory &memory,
+                 Tick access_latency = 160'000 /* 160 ns */)
+        : name_(std::move(name)), memory_(memory),
+          accessLatency_(access_latency)
+    {}
+
+    const std::string &deviceName() const override { return name_; }
+
+    std::vector<AddrRange>
+    deviceRanges() const override
+    {
+        return {memory_.range()};
+    }
+
+    Tick
+    access(Packet &pkt) override
+    {
+        if (pkt.rmw) {
+            const std::uint64_t old = memory_.readInt(pkt.paddr, pkt.size);
+            memory_.writeInt(pkt.paddr, pkt.data, pkt.size);
+            pkt.data = old;
+        } else if (pkt.isRead()) {
+            pkt.data = memory_.readInt(pkt.paddr, pkt.size);
+        } else {
+            memory_.writeInt(pkt.paddr, pkt.data, pkt.size);
+        }
+        return accessLatency_;
+    }
+
+    PhysicalMemory &memory() { return memory_; }
+
+  private:
+    std::string name_;
+    PhysicalMemory &memory_;
+    Tick accessLatency_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_MEM_MEMORY_DEVICE_HH

@@ -1,0 +1,144 @@
+#include "mem/merge_buffer.hh"
+
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+MergeBuffer::MergeBuffer(std::string name, Bus &bus,
+                         const MergeBufferParams &params)
+    : name_(std::move(name)), bus_(bus), params_(params),
+      statsGroup_(name_)
+{
+    ULDMA_ASSERT(params_.capacity >= 1, "merge buffer needs capacity >= 1");
+    statsGroup_.addScalar("collapsed_stores", &collapsed_,
+                          "stores collapsed into a pending entry");
+    statsGroup_.addScalar("merged_loads", &merged_,
+                          "loads serviced from the read buffer");
+    statsGroup_.addScalar("drains", &drains_, "pending stores drained");
+    statsGroup_.addScalar("membars", &membars_, "memory barriers executed");
+}
+
+Tick
+MergeBuffer::drainOne()
+{
+    ULDMA_ASSERT(!pending_.empty(), "draining empty merge buffer");
+    Packet pkt = pending_.front();
+    pending_.pop_front();
+    ++drains_;
+    return bus_.access(pkt);
+}
+
+std::deque<MergeBuffer::ReadEntry>::iterator
+MergeBuffer::findRead(Addr paddr)
+{
+    for (auto it = readBuffer_.begin(); it != readBuffer_.end(); ++it) {
+        if (it->paddr == paddr)
+            return it;
+    }
+    return readBuffer_.end();
+}
+
+void
+MergeBuffer::invalidateRead(Addr paddr)
+{
+    auto it = findRead(paddr);
+    if (it != readBuffer_.end())
+        readBuffer_.erase(it);
+}
+
+void
+MergeBuffer::recordRead(Addr paddr, std::uint64_t value)
+{
+    invalidateRead(paddr);
+    readBuffer_.push_back(ReadEntry{paddr, value});
+    while (readBuffer_.size() > params_.readBufferEntries)
+        readBuffer_.pop_front();
+}
+
+Tick
+MergeBuffer::store(Packet pkt)
+{
+    ULDMA_ASSERT(pkt.isWrite(), "MergeBuffer::store needs a write packet");
+
+    // A store makes any buffered read of the same address stale.
+    invalidateRead(pkt.paddr);
+
+    if (params_.collapseStores) {
+        for (Packet &p : pending_) {
+            if (p.paddr == pkt.paddr) {
+                // Collapse: the earlier store never reaches the bus.
+                p = pkt;
+                ++collapsed_;
+                ULDMA_TRACE("MergeBuf", bus_.now(), name_,
+                            ": collapsed store to 0x", std::hex, pkt.paddr);
+                return 0;
+            }
+        }
+    }
+
+    Tick cost = 0;
+    if (pending_.size() >= params_.capacity)
+        cost += drainOne();
+    pending_.push_back(pkt);
+    return cost;
+}
+
+Tick
+MergeBuffer::load(Packet &pkt)
+{
+    ULDMA_ASSERT(pkt.isRead(), "MergeBuffer::load needs a read packet");
+
+    if (params_.mergeLoads && params_.readBufferEntries > 0) {
+        auto it = findRead(pkt.paddr);
+        if (it != readBuffer_.end()) {
+            // Serviced by the read buffer: the device never sees this
+            // access — the hazard of the paper's footnote 6.
+            pkt.data = it->value;
+            ++merged_;
+            ULDMA_TRACE("MergeBuf", bus_.now(), name_,
+                        ": merged load from 0x", std::hex, pkt.paddr);
+            return 0;
+        }
+    }
+
+    // Program order: all earlier stores reach the device first.
+    Tick cost = drain();
+    cost += bus_.access(pkt);
+    if (params_.mergeLoads && params_.readBufferEntries > 0)
+        recordRead(pkt.paddr, pkt.data);
+    return cost;
+}
+
+Tick
+MergeBuffer::rmw(Packet &pkt)
+{
+    ULDMA_ASSERT(pkt.isWrite() && pkt.rmw,
+                 "MergeBuffer::rmw needs an rmw write packet");
+    // Atomics are strongly ordered: drain, never collapse, and drop
+    // any stale read-buffer entry for the target.
+    Tick cost = drain();
+    invalidateRead(pkt.paddr);
+    cost += bus_.access(pkt);
+    return cost;
+}
+
+Tick
+MergeBuffer::drain()
+{
+    Tick cost = 0;
+    while (!pending_.empty())
+        cost += drainOne();
+    return cost;
+}
+
+Tick
+MergeBuffer::membar()
+{
+    ++membars_;
+    const Tick cost = drain();
+    readBuffer_.clear();
+    return cost;
+}
+
+} // namespace uldma

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The unit of communication on a simulated I/O bus: a single-beat read
+ * or write transaction of up to 8 bytes.
+ *
+ * A Packet carries *architectural* fields (command, physical address,
+ * size, data) that devices may act on, plus *provenance* fields (issuing
+ * pid/node) that exist only so tests can verify security properties.
+ * The DMA engine must never base protocol decisions on provenance —
+ * that is exactly the information a real bus does not carry, and the
+ * point of the paper's protocols is to work without it.
+ */
+
+#ifndef ULDMA_MEM_PACKET_HH
+#define ULDMA_MEM_PACKET_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace uldma {
+
+/** Bus transaction command. */
+enum class MemCmd : std::uint8_t
+{
+    ReadReq,
+    WriteReq,
+};
+
+/** A single bus transaction. */
+struct Packet
+{
+    MemCmd cmd = MemCmd::ReadReq;
+    Addr paddr = 0;
+    unsigned size = 8;           ///< bytes, 1..8
+    std::uint64_t data = 0;      ///< write payload / read response
+
+    /// Uncacheable (device) access; set for all shadow-window traffic.
+    bool uncacheable = false;
+
+    /// Atomic read-modify-write (e.g. the compare-and-exchange the
+    /// first SHRIMP solution initiates DMA with, paper §2.4): the
+    /// device consumes `data` and replies through `data`.
+    bool rmw = false;
+
+    /// @name Provenance (verification only — see file comment).
+    /// @{
+    Pid srcPid = invalidPid;
+    NodeId srcNode = 0;
+    /// @}
+
+    static Packet
+    makeRead(Addr paddr, unsigned size = 8)
+    {
+        Packet pkt;
+        pkt.cmd = MemCmd::ReadReq;
+        pkt.paddr = paddr;
+        pkt.size = size;
+        return pkt;
+    }
+
+    static Packet
+    makeWrite(Addr paddr, std::uint64_t data, unsigned size = 8)
+    {
+        Packet pkt;
+        pkt.cmd = MemCmd::WriteReq;
+        pkt.paddr = paddr;
+        pkt.size = size;
+        pkt.data = data;
+        return pkt;
+    }
+
+    bool isRead() const { return cmd == MemCmd::ReadReq; }
+    bool isWrite() const { return cmd == MemCmd::WriteReq; }
+};
+
+} // namespace uldma
+
+#endif // ULDMA_MEM_PACKET_HH

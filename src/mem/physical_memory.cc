@@ -1,0 +1,72 @@
+#include "mem/physical_memory.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace uldma {
+
+PhysicalMemory::PhysicalMemory(Addr size_bytes) : store_(size_bytes, 0)
+{
+    ULDMA_ASSERT(size_bytes > 0, "zero-sized physical memory");
+}
+
+void
+PhysicalMemory::checkSpan(Addr addr, Addr size) const
+{
+    ULDMA_ASSERT(addr <= store_.size() && size <= store_.size() - addr,
+                 "physical access [0x", std::hex, addr, ", +0x", size,
+                 ") outside memory of size 0x", store_.size());
+}
+
+void
+PhysicalMemory::read(Addr addr, void *dst, Addr size) const
+{
+    checkSpan(addr, size);
+    std::memcpy(dst, store_.data() + addr, size);
+}
+
+void
+PhysicalMemory::write(Addr addr, const void *src, Addr size)
+{
+    checkSpan(addr, size);
+    std::memcpy(store_.data() + addr, src, size);
+    notifyWritten(addr, size);
+}
+
+std::uint64_t
+PhysicalMemory::readInt(Addr addr, unsigned size) const
+{
+    ULDMA_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad integer access size ", size);
+    std::uint64_t value = 0;
+    read(addr, &value, size);
+    return value;
+}
+
+void
+PhysicalMemory::writeInt(Addr addr, std::uint64_t value, unsigned size)
+{
+    ULDMA_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad integer access size ", size);
+    write(addr, &value, size);
+}
+
+void
+PhysicalMemory::fill(Addr addr, std::uint8_t byte, Addr size)
+{
+    checkSpan(addr, size);
+    std::memset(store_.data() + addr, byte, size);
+    notifyWritten(addr, size);
+}
+
+void
+PhysicalMemory::copy(Addr dst, Addr src, Addr size)
+{
+    checkSpan(dst, size);
+    checkSpan(src, size);
+    std::memmove(store_.data() + dst, store_.data() + src, size);
+    notifyWritten(dst, size);
+}
+
+} // namespace uldma

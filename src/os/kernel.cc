@@ -1,0 +1,667 @@
+#include "os/kernel.hh"
+
+#include "sim/trace.hh"
+#include "util/logging.hh"
+
+namespace uldma {
+
+Kernel::Kernel(std::string name, Cpu &cpu, Scheduler &scheduler,
+               const KernelParams &params)
+    : name_(std::move(name)), cpu_(cpu), scheduler_(scheduler),
+      params_(params),
+      keyRng_(0xF0A7'0000'0000'0001ULL ^ (cpu.node() + 1)),
+      statsGroup_(name_)
+{
+    cpu_.setOs(this);
+    statsGroup_.addScalar("context_switches", &switches_,
+                          "context switches performed");
+    statsGroup_.addScalar("syscalls", &syscalls_, "system calls handled");
+    statsGroup_.addScalar("faulted_processes", &faults_,
+                          "processes killed by memory faults");
+    statsGroup_.addScalar("hook_invocations", &hookRuns_,
+                          "context-switch hook executions (kernel mods)");
+    statsGroup_.addScalar("dma_waits", &dmaWaits_,
+                          "processes blocked in sys::dmaWait");
+    statsGroup_.addScalar("dma_interrupts", &dmaInterrupts_,
+                          "kernel-channel completion interrupts");
+}
+
+void
+Kernel::setDmaEngine(DmaEngine *engine)
+{
+    engine_ = engine;
+    if (engine_ == nullptr)
+        return;
+    // Wire the completion interrupt: wake any process blocked in
+    // sys::dmaWait when the kernel channel's transfer finishes.
+    engine_->setKernelCompletionHandler(
+        [this]() { onKernelDmaInterrupt(); });
+    // Tell the engine how long after a trap its SIZE write physically
+    // lands (kernel entry + two software translations), so
+    // kernel-channel transfers start at the honest wall-clock time.
+    const Tick delay = cyclesToTicks(params_.syscallOverheadCycles * 3 / 4 +
+                                     2 * params_.translateCycles);
+    Packet pkt = Packet::makeWrite(
+        engine_->params().kernelRegsBase + kregs::startDelay, delay);
+    cpu_.kernelBusAccess(pkt);
+}
+
+// ---------------------------------------------------------------------
+// Process lifecycle.
+// ---------------------------------------------------------------------
+
+Process &
+Kernel::createProcess(std::string process_name)
+{
+    processes_.push_back(
+        std::make_unique<Process>(nextPid_++, std::move(process_name)));
+    return *processes_.back();
+}
+
+Process &
+Kernel::process(Pid pid)
+{
+    for (auto &p : processes_) {
+        if (p->pid() == pid)
+            return *p;
+    }
+    ULDMA_PANIC(name_, ": no process with pid ", pid);
+}
+
+void
+Kernel::launch(Process &process, Program program)
+{
+    process.context().setProgram(std::move(program));
+    scheduler_.enqueue(process);
+}
+
+void
+Kernel::scheduleFirst()
+{
+    doContextSwitch();
+    cpu_.start();
+}
+
+bool
+Kernel::allFinished() const
+{
+    for (const auto &p : processes_) {
+        if (!p->finished())
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Memory services.
+// ---------------------------------------------------------------------
+
+Addr
+Kernel::allocFrames(Addr npages)
+{
+    const Addr base = nextFreeFrame_ << pageShift;
+    ULDMA_ASSERT(base + npages * pageSize <= cpu_.memory().size(),
+                 name_, ": out of physical memory");
+    nextFreeFrame_ += npages;
+    return base;
+}
+
+Addr
+Kernel::allocate(Process &process, Addr bytes, Rights rights)
+{
+    ULDMA_ASSERT(bytes > 0, "zero-byte allocation");
+    const Addr npages = divCeil(bytes, pageSize);
+    const Addr paddr = allocFrames(npages);
+    const Addr vaddr = process.allocCursor();
+    process.pageTable().mapRange(vaddr, paddr, npages, rights);
+    // Leave a guard page between allocations.
+    process.setAllocCursor(vaddr + (npages + 1) * pageSize);
+    return vaddr;
+}
+
+Addr
+Kernel::mapShared(Process &owner, Addr owner_vaddr, Addr bytes,
+                  Process &other, Rights rights)
+{
+    const Translation xlate =
+        translateFor(owner, owner_vaddr, Rights::None);
+    ULDMA_ASSERT(xlate.ok(), "mapShared: owner address not mapped");
+    const Addr npages = divCeil(bytes + pageOffset(owner_vaddr), pageSize);
+    const Addr vaddr = other.allocCursor() + pageOffset(owner_vaddr);
+    other.pageTable().mapRange(pageAlignDown(vaddr),
+                               pageAlignDown(xlate.paddr), npages, rights);
+    other.setAllocCursor(pageAlignDown(vaddr) + (npages + 1) * pageSize);
+    return vaddr;
+}
+
+Addr
+Kernel::mapRemoteWindow(Process &process, NodeId node, Addr remote_paddr,
+                        Addr bytes, Rights rights)
+{
+    ULDMA_ASSERT(nic_ != nullptr, "no NIC attached");
+    ULDMA_ASSERT(pageOffset(remote_paddr) == 0,
+                 "remote window mapping must be page aligned");
+    const Addr npages = divCeil(bytes, pageSize);
+    const Addr window = nic_->remoteWindowAddr(node, remote_paddr);
+    const Addr vaddr = process.allocCursor();
+    process.pageTable().mapRange(vaddr, window, npages, rights,
+                                 /*uncacheable=*/true);
+    process.setAllocCursor(vaddr + (npages + 1) * pageSize);
+    return vaddr;
+}
+
+Translation
+Kernel::translateFor(Process &process, Addr vaddr, Rights need) const
+{
+    return process.pageTable().translate(vaddr, need);
+}
+
+// ---------------------------------------------------------------------
+// User-level DMA setup services.
+// ---------------------------------------------------------------------
+
+void
+Kernel::createShadowMappings(Process &process, Addr vaddr, Addr bytes)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    const unsigned ctx = process.dmaGrant().shadowContext.value_or(0);
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    for (Addr page = first; page <= last; page += pageSize) {
+        const auto pte = process.pageTable().lookup(page);
+        ULDMA_ASSERT(pte.has_value(),
+                     "createShadowMappings: page not mapped");
+        const Addr paddr = pte->pfn << pageShift;
+        const Addr shadow_paddr = engine_->params().shadowAddr(paddr, ctx);
+        const Addr shadow_vaddr = shadowVirtualBase + paddr;
+        // Shadow pages mirror the rights of the real mapping, so the
+        // protection argument of §2.3 holds: you can only name a
+        // physical page you could already touch, in the same way.
+        process.pageTable().mapPage(shadow_vaddr, shadow_paddr,
+                                    pte->rights, /*uncacheable=*/true);
+    }
+}
+
+Addr
+Kernel::shadowVaddrFor(Process &process, Addr vaddr) const
+{
+    const Translation xlate = translateFor(process, vaddr, Rights::None);
+    ULDMA_ASSERT(xlate.ok(), "shadowVaddrFor: address not mapped");
+    return shadowVirtualBase + xlate.paddr;
+}
+
+bool
+Kernel::grantKeyContext(Process &process)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    if (keyContextOwner_.empty())
+        keyContextOwner_.assign(engine_->params().numContexts, invalidPid);
+
+    for (unsigned ctx = 0; ctx < keyContextOwner_.size(); ++ctx) {
+        if (keyContextOwner_[ctx] != invalidPid)
+            continue;
+        keyContextOwner_[ctx] = process.pid();
+
+        // Draw a fresh ~56-bit key and program it into the engine
+        // through the privileged register block.
+        const std::uint64_t key = keyRng_.next64() & mask(keyfield::keyBits);
+        Packet sel = Packet::makeWrite(
+            engine_->params().kernelRegsBase + kregs::keyCtxSelect, ctx);
+        cpu_.kernelBusAccess(sel);
+        Packet val = Packet::makeWrite(
+            engine_->params().kernelRegsBase + kregs::keyValue, key);
+        cpu_.kernelBusAccess(val);
+
+        process.dmaGrant().keyContext = ctx;
+        process.dmaGrant().key = key;
+        mapContextPage(process);
+
+        // The same grant covers the atomic unit (keyed §3.5
+        // adaptation): program the key and map its context page too.
+        if (atomicUnit_ != nullptr &&
+            ctx < atomicUnit_->params().numContexts) {
+            Packet asel = Packet::makeWrite(
+                atomicUnit_->params().kernelRegsBase +
+                    akregs::keyCtxSelect,
+                ctx);
+            cpu_.kernelBusAccess(asel);
+            Packet aval = Packet::makeWrite(
+                atomicUnit_->params().kernelRegsBase + akregs::keyValue,
+                key);
+            cpu_.kernelBusAccess(aval);
+
+            const Addr avaddr = contextVirtualBase + 0x100000;
+            process.pageTable().mapPage(
+                avaddr, atomicUnit_->contextPageAddr(ctx),
+                Rights::ReadWrite, /*uncacheable=*/true);
+            process.dmaGrant().atomicContextPageVaddr = avaddr;
+        }
+        return true;
+    }
+    return false;   // all contexts taken: fall back to kernel DMA
+}
+
+void
+Kernel::revokeKeyContext(Process &process)
+{
+    auto &grant = process.dmaGrant();
+    if (!grant.keyContext)
+        return;
+    const unsigned ctx = *grant.keyContext;
+    keyContextOwner_[ctx] = invalidPid;
+    Packet reset = Packet::makeWrite(
+        engine_->params().kernelRegsBase + kregs::ctxReset, ctx);
+    cpu_.kernelBusAccess(reset);
+    if (atomicUnit_ != nullptr &&
+        ctx < atomicUnit_->params().numContexts) {
+        Packet areset = Packet::makeWrite(
+            atomicUnit_->params().kernelRegsBase + akregs::ctxReset, ctx);
+        cpu_.kernelBusAccess(areset);
+    }
+    grant.keyContext.reset();
+    grant.key = 0;
+    grant.atomicContextPageVaddr = 0;
+}
+
+bool
+Kernel::grantShadowContext(Process &process)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    const unsigned slots = 1u << engine_->params().ctxIdBits;
+    if (shadowContextOwner_.empty())
+        shadowContextOwner_.assign(slots, invalidPid);
+
+    for (unsigned ctx = 0; ctx < slots; ++ctx) {
+        if (shadowContextOwner_[ctx] != invalidPid)
+            continue;
+        shadowContextOwner_[ctx] = process.pid();
+        process.dmaGrant().shadowContext = ctx;
+        return true;
+    }
+    return false;   // §3.2: "the rest will have to go through the kernel"
+}
+
+void
+Kernel::setupMapOut(Process &process, Addr vaddr, Addr target_paddr)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    const Translation xlate = translateFor(process, vaddr, Rights::Read);
+    ULDMA_ASSERT(xlate.ok(), "setupMapOut: source page not mapped");
+    ULDMA_ASSERT(pageOffset(target_paddr) == 0,
+                 "mapped-out target must be page aligned");
+
+    Packet pfn = Packet::makeWrite(
+        engine_->params().kernelRegsBase + kregs::mapOutPfn,
+        pageNumber(xlate.paddr));
+    cpu_.kernelBusAccess(pfn);
+    Packet target = Packet::makeWrite(
+        engine_->params().kernelRegsBase + kregs::mapOutTarget,
+        target_paddr);
+    cpu_.kernelBusAccess(target);
+}
+
+void
+Kernel::createAtomicShadowMappings(Process &process, Addr vaddr,
+                                   Addr bytes, AtomicOp op)
+{
+    ULDMA_ASSERT(atomicUnit_ != nullptr, "no atomic unit attached");
+    const unsigned ctx = process.dmaGrant().shadowContext.value_or(0);
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    for (Addr page = first; page <= last; page += pageSize) {
+        const auto pte = process.pageTable().lookup(page);
+        ULDMA_ASSERT(pte.has_value(),
+                     "createAtomicShadowMappings: page not mapped");
+        const Addr paddr = pte->pfn << pageShift;
+        const Addr shadow_paddr =
+            atomicUnit_->params().shadowAddr(op, paddr, ctx);
+        const Addr shadow_vaddr = atomicShadowVirtualFor(op, paddr);
+        // Atomics both read and modify the target, so require RW.
+        if (!allows(pte->rights, Rights::ReadWrite))
+            continue;
+        process.pageTable().mapPage(shadow_vaddr, shadow_paddr,
+                                    Rights::ReadWrite,
+                                    /*uncacheable=*/true);
+    }
+}
+
+Addr
+Kernel::atomicShadowVaddrFor(Process &process, Addr vaddr,
+                             AtomicOp op) const
+{
+    const Translation xlate = translateFor(process, vaddr, Rights::None);
+    ULDMA_ASSERT(xlate.ok(), "atomicShadowVaddrFor: address not mapped");
+    return atomicShadowVirtualFor(op, xlate.paddr);
+}
+
+Addr
+Kernel::mapContextPage(Process &process)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    auto &grant = process.dmaGrant();
+    ULDMA_ASSERT(grant.keyContext.has_value(),
+                 "mapContextPage: no register context granted");
+    const Addr paddr = engine_->contextPageAddr(*grant.keyContext);
+    const Addr vaddr = contextVirtualBase;
+    process.pageTable().mapPage(vaddr, paddr, Rights::ReadWrite,
+                                /*uncacheable=*/true);
+    grant.contextPageVaddr = vaddr;
+    return vaddr;
+}
+
+// ---------------------------------------------------------------------
+// OsCallbacks: traps and scheduling.
+// ---------------------------------------------------------------------
+
+SyscallResult
+Kernel::syscall(ExecContext &ctx, std::uint64_t number)
+{
+    ++syscalls_;
+    switch (number) {
+      case sys::noop:
+        return sysNoop();
+      case sys::dma:
+        return sysDma(ctx);
+      case sys::dmaPoll:
+        return sysDmaPoll(ctx);
+      case sys::atomic:
+        return sysAtomic(ctx);
+      case sys::yield: {
+        SyscallResult r;
+        r.cost = cyclesToTicks(params_.syscallOverheadCycles) + yielded();
+        return r;
+      }
+      case sys::dmaWait:
+        return sysDmaWait(ctx);
+      default: {
+        ULDMA_WARN(name_, ": unknown syscall ", number);
+        SyscallResult r;
+        r.retval = ~std::uint64_t(0);
+        r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+        return r;
+      }
+    }
+}
+
+SyscallResult
+Kernel::sysNoop()
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    return r;
+}
+
+SyscallResult
+Kernel::sysDma(ExecContext &ctx)
+{
+    // Figure 1: translate both addresses, check the whole range, then
+    // program the engine's registers — all with interrupts off.
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+
+    Process &proc = process(ctx.pid());
+    const Addr vsrc = ctx.reg(reg::a0);
+    const Addr vdst = ctx.reg(reg::a1);
+    const Addr size = ctx.reg(reg::a2);
+
+    r.cost += cyclesToTicks(2 * params_.translateCycles);
+    r.retval = ~std::uint64_t(0);
+
+    if (size == 0)
+        return r;
+
+    // check_size(): verify rights and physical contiguity over the
+    // whole transfer range, page by page.
+    const Addr npages_src = pageNumber(vsrc + size - 1) - pageNumber(vsrc);
+    const Addr npages_dst = pageNumber(vdst + size - 1) - pageNumber(vdst);
+    r.cost += cyclesToTicks(params_.perPageCheckCycles *
+                            (npages_src + npages_dst + 2));
+
+    const Translation src0 = translateFor(proc, vsrc, Rights::Read);
+    const Translation dst0 = translateFor(proc, vdst, Rights::Write);
+    if (!src0.ok() || !dst0.ok())
+        return r;
+
+    for (Addr off = pageSize - pageOffset(vsrc); off < size;
+         off += pageSize) {
+        const Translation t = translateFor(proc, vsrc + off, Rights::Read);
+        if (!t.ok() || t.paddr != src0.paddr + off)
+            return r;
+    }
+    for (Addr off = pageSize - pageOffset(vdst); off < size;
+         off += pageSize) {
+        const Translation t = translateFor(proc, vdst + off, Rights::Write);
+        if (!t.ok() || t.paddr != dst0.paddr + off)
+            return r;
+    }
+
+    // Program the engine: three stores and a status load, uncached.
+    const Addr base = engine_->params().kernelRegsBase;
+    Packet w1 = Packet::makeWrite(base + kregs::source, src0.paddr);
+    r.cost += cpu_.kernelBusAccess(w1);
+    Packet w2 = Packet::makeWrite(base + kregs::destination, dst0.paddr);
+    r.cost += cpu_.kernelBusAccess(w2);
+    Packet w3 = Packet::makeWrite(base + kregs::size, size);
+    r.cost += cpu_.kernelBusAccess(w3);
+    Packet s = Packet::makeRead(base + kregs::status);
+    r.cost += cpu_.kernelBusAccess(s);
+
+    r.retval = s.data == dmastatus::failure ? ~std::uint64_t(0) : 0;
+    return r;
+}
+
+SyscallResult
+Kernel::sysDmaPoll(ExecContext &ctx)
+{
+    (void)ctx;
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    Packet s = Packet::makeRead(engine_->params().kernelRegsBase +
+                                kregs::status);
+    r.cost += cpu_.kernelBusAccess(s);
+    r.retval = s.data;
+    return r;
+}
+
+SyscallResult
+Kernel::sysAtomic(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    ULDMA_ASSERT(atomicUnit_ != nullptr, "no atomic unit attached");
+
+    Process &proc = process(ctx.pid());
+    const Addr vaddr = ctx.reg(reg::a0);
+    const std::uint64_t opcode = ctx.reg(reg::a1);
+    const std::uint64_t op1 = ctx.reg(reg::a2);
+    const std::uint64_t op2 = ctx.reg(reg::a3);
+
+    r.cost += cyclesToTicks(params_.translateCycles);
+    const Translation xlate = translateFor(proc, vaddr, Rights::ReadWrite);
+    if (!xlate.ok()) {
+        r.retval = ~std::uint64_t(0);
+        return r;
+    }
+
+    const Addr base = atomicUnit_->params().kernelRegsBase;
+    Packet w1 = Packet::makeWrite(base + akregs::address, xlate.paddr);
+    r.cost += cpu_.kernelBusAccess(w1);
+    Packet w2 = Packet::makeWrite(base + akregs::operand1, op1);
+    r.cost += cpu_.kernelBusAccess(w2);
+    Packet w3 = Packet::makeWrite(base + akregs::operand2, op2);
+    r.cost += cpu_.kernelBusAccess(w3);
+    Packet w4 = Packet::makeWrite(base + akregs::opcodeExec, opcode);
+    r.cost += cpu_.kernelBusAccess(w4);
+    Packet res = Packet::makeRead(base + akregs::result);
+    r.cost += cpu_.kernelBusAccess(res);
+    r.retval = res.data;
+    return r;
+}
+
+SyscallResult
+Kernel::sysDmaWait(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+
+    if (!engine_->kernelChannelBusy())
+        return r;   // nothing in flight: return immediately
+
+    // Sleep: the process leaves the run queue until the completion
+    // interrupt; meanwhile another process (or the idle loop) runs.
+    Process &proc = process(ctx.pid());
+    proc.context().setState(RunState::Blocked);
+    dmaWaiters_.push_back(&proc);
+    ++dmaWaits_;
+    r.cost += doContextSwitch();
+    return r;
+}
+
+void
+Kernel::onKernelDmaInterrupt()
+{
+    ++dmaInterrupts_;
+    if (dmaWaiters_.empty())
+        return;
+    for (Process *waiter : dmaWaiters_) {
+        if (waiter->state() == RunState::Blocked) {
+            waiter->context().setState(RunState::Ready);
+            scheduler_.enqueue(*waiter);
+        }
+    }
+    dmaWaiters_.clear();
+
+    // If the CPU idled waiting for this interrupt, dispatch now.  (A
+    // busy CPU keeps running; the woken process competes at the next
+    // scheduling point — we do not model preemptive interrupts.)
+    if (cpu_.idle()) {
+        doContextSwitch();
+        cpu_.start();
+    }
+}
+
+Tick
+Kernel::handleFault(ExecContext &ctx, Fault fault, Addr vaddr)
+{
+    ++faults_;
+    ULDMA_TRACE("Kernel", cpu_.clockEdge(), name_, ": pid ", ctx.pid(),
+                " faulted (", static_cast<int>(fault), ") at vaddr 0x",
+                std::hex, vaddr);
+    (void)fault;
+    (void)vaddr;
+    // The process was already marked Faulted by the CPU; kill it and
+    // move on.
+    return cyclesToTicks(params_.faultHandlingCycles) + doContextSwitch();
+}
+
+Tick
+Kernel::quantumExpired()
+{
+    if (current_ != nullptr &&
+        current_->state() == RunState::Running) {
+        current_->context().setState(RunState::Ready);
+    }
+    return doContextSwitch();
+}
+
+Tick
+Kernel::yielded()
+{
+    if (current_ != nullptr &&
+        current_->state() == RunState::Running) {
+        current_->context().setState(RunState::Ready);
+    }
+    return doContextSwitch();
+}
+
+Tick
+Kernel::exited()
+{
+    Tick cost = 0;
+    if (current_ != nullptr) {
+        current_->context().setState(RunState::Exited);
+        cost += reapGrants(*current_);
+    }
+    return cost + doContextSwitch();
+}
+
+Tick
+Kernel::reapGrants(Process &process)
+{
+    // Exit-time cleanup: return the register context / CONTEXT_ID to
+    // the free pool so later processes can use user-level DMA.
+    Tick cost = 0;
+    if (process.dmaGrant().keyContext) {
+        const Tick before = cpu_.clockEdge();
+        revokeKeyContext(process);
+        (void)before;
+        // Two or three privileged register writes; charge a nominal
+        // driver cost.
+        cost += cyclesToTicks(60);
+    }
+    if (process.dmaGrant().shadowContext) {
+        const unsigned ctx = *process.dmaGrant().shadowContext;
+        if (ctx < shadowContextOwner_.size() &&
+            shadowContextOwner_[ctx] == process.pid()) {
+            shadowContextOwner_[ctx] = invalidPid;
+        }
+        process.dmaGrant().shadowContext.reset();
+    }
+    return cost;
+}
+
+Tick
+Kernel::doContextSwitch()
+{
+    ++switches_;
+    Tick cost = cyclesToTicks(params_.contextSwitchCycles);
+
+    // Hardware effects of leaving a process: pending writes drain,
+    // the TLB is flushed.
+    cost += cpu_.mergeBuffer().flushForContextSwitch();
+    if (params_.flushTlbOnSwitch)
+        cpu_.tlb().flush();
+
+    Process *previous = current_;
+    const SchedulingDecision decision = scheduler_.pickNext(previous);
+    current_ = decision.next;
+
+    // Kernel-modification hooks (the baselines' requirement).  These
+    // run on *every* switch and their device writes are real cost —
+    // the paper's argument against them.
+    if (shrimp2Hook_ && engine_ != nullptr) {
+        ++hookRuns_;
+        Packet inv = Packet::makeWrite(
+            engine_->params().kernelRegsBase + kregs::invalidate, 1);
+        cost += cpu_.kernelBusAccess(inv);
+    }
+    if (flashHook_ && engine_ != nullptr) {
+        ++hookRuns_;
+        Packet tag = Packet::makeWrite(
+            engine_->params().kernelRegsBase + kregs::osProcessTag,
+            current_ != nullptr
+                ? static_cast<std::uint64_t>(current_->pid())
+                : 0);
+        cost += cpu_.kernelBusAccess(tag);
+    }
+
+    if (current_ != nullptr) {
+        cpu_.setCurrentContext(&current_->context());
+        cpu_.setInstructionQuantum(decision.instructionQuantum);
+        cpu_.setTimeQuantum(decision.timeQuantum != 0
+                                ? cpu_.clockEdge() + decision.timeQuantum
+                                : maxTick);
+    } else {
+        cpu_.setCurrentContext(nullptr);
+    }
+
+    ULDMA_TRACE("Sched", cpu_.clockEdge(), name_, ": switch ",
+                previous != nullptr ? previous->name() : "<none>", " -> ",
+                current_ != nullptr ? current_->name() : "<idle>");
+    return cost;
+}
+
+} // namespace uldma

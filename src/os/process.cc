@@ -1,0 +1,3 @@
+// process.hh is header-only today; this translation unit exists so the
+// class gains a home for out-of-line definitions as it grows.
+#include "os/process.hh"

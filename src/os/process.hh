@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A user process: an ExecContext plus the OS bookkeeping around it —
+ * its page table, its allocated memory regions, and the DMA resources
+ * (shadow mappings, register context + key, CONTEXT_ID) the kernel has
+ * granted it.
+ */
+
+#ifndef ULDMA_OS_PROCESS_HH
+#define ULDMA_OS_PROCESS_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/exec_context.hh"
+#include "vm/page_table.hh"
+
+namespace uldma {
+
+/** DMA capabilities a process has been granted by the kernel. */
+struct DmaGrant
+{
+    /** Key-based protocol (paper §3.1). */
+    std::optional<unsigned> keyContext;   ///< register-context id
+    std::uint64_t key = 0;                ///< the secret key
+    Addr contextPageVaddr = 0;            ///< where the ctx page is mapped
+    /** Atomic unit's register-context page (keyed §3.5 adaptation). */
+    Addr atomicContextPageVaddr = 0;
+
+    /** Extended shadow addressing (paper §3.2). */
+    std::optional<unsigned> shadowContext;  ///< CONTEXT_ID
+};
+
+/**
+ * One simulated process.
+ */
+class Process
+{
+  public:
+    Process(Pid pid, std::string name)
+        : pageTable_(std::make_unique<PageTable>()),
+          ctx_(pid, std::move(name), *pageTable_)
+    {}
+
+    Pid pid() const { return ctx_.pid(); }
+    const std::string &name() const { return ctx_.name(); }
+
+    ExecContext &context() { return ctx_; }
+    const ExecContext &context() const { return ctx_; }
+
+    PageTable &pageTable() { return *pageTable_; }
+
+    RunState state() const { return ctx_.state(); }
+    bool runnable() const
+    {
+        return ctx_.state() == RunState::Ready ||
+               ctx_.state() == RunState::Running;
+    }
+    bool finished() const
+    {
+        return ctx_.state() == RunState::Exited ||
+               ctx_.state() == RunState::Faulted;
+    }
+
+    DmaGrant &dmaGrant() { return grant_; }
+    const DmaGrant &dmaGrant() const { return grant_; }
+
+    /** Next unused virtual address for a fresh mapping. */
+    Addr allocCursor() const { return allocCursor_; }
+    void setAllocCursor(Addr a) { allocCursor_ = a; }
+
+  private:
+    std::unique_ptr<PageTable> pageTable_;
+    ExecContext ctx_;
+    DmaGrant grant_;
+    Addr allocCursor_ = userRegionBase;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_OS_PROCESS_HH

@@ -1,0 +1,34 @@
+#include "sim/clocked.hh"
+
+#include "util/logging.hh"
+
+namespace uldma {
+
+ClockDomain::ClockDomain(std::string name, Tick period)
+    : name_(std::move(name)), period_(period)
+{
+    ULDMA_ASSERT(period_ > 0, "clock domain '", name_,
+                 "' must have a positive period");
+}
+
+ClockDomain
+ClockDomain::fromMHz(std::string name, std::uint64_t mhz)
+{
+    ULDMA_ASSERT(mhz > 0, "zero-frequency clock");
+    return ClockDomain(std::move(name), periodFromMHz(mhz));
+}
+
+double
+ClockDomain::frequencyMHz() const
+{
+    return 1e6 / static_cast<double>(period_);
+}
+
+Tick
+ClockDomain::nextEdgeAtOrAfter(Tick t) const
+{
+    const Tick remainder = t % period_;
+    return remainder == 0 ? t : t + (period_ - remainder);
+}
+
+} // namespace uldma

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Clock domains.  A ClockDomain converts between cycles and ticks for a
+ * component clocked at some frequency; Clocked is a convenience base for
+ * objects living in one domain (the CPU at 150 MHz, the TurboChannel bus
+ * at 12.5 MHz, a PCI bus at 33/66 MHz, ...).
+ */
+
+#ifndef ULDMA_SIM_CLOCKED_HH
+#define ULDMA_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "sim/event.hh"
+#include "sim/ticks.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** A named clock with a fixed period. */
+class ClockDomain
+{
+  public:
+    ClockDomain(std::string name, Tick period);
+
+    /** Construct from a frequency in MHz. */
+    static ClockDomain fromMHz(std::string name, std::uint64_t mhz);
+
+    const std::string &name() const { return name_; }
+    Tick period() const { return period_; }
+    double frequencyMHz() const;
+
+    /** Duration of @p n cycles in ticks. */
+    Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /** Number of whole cycles covering @p t ticks (rounded up). */
+    Cycles ticksToCycles(Tick t) const { return (t + period_ - 1) / period_; }
+
+    /**
+     * The next clock edge at or after tick @p t — devices act on their
+     * own clock edges, which is where bus-frequency sensitivity of the
+     * paper's §3.4 comes from.
+     */
+    Tick nextEdgeAtOrAfter(Tick t) const;
+
+  private:
+    std::string name_;
+    Tick period_;
+};
+
+/** Base class for components that belong to a clock domain. */
+class Clocked
+{
+  public:
+    Clocked(EventQueue &eq, const ClockDomain &domain)
+        : eventq_(eq), domain_(domain)
+    {}
+
+    EventQueue &eventq() const { return eventq_; }
+    const ClockDomain &clockDomain() const { return domain_; }
+
+    Tick now() const { return eventq_.now(); }
+    Tick clockPeriod() const { return domain_.period(); }
+
+    /** Absolute tick of the clock edge @p n cycles after now. */
+    Tick
+    clockEdge(Cycles n = 0) const
+    {
+        return domain_.nextEdgeAtOrAfter(now()) + domain_.cyclesToTicks(n);
+    }
+
+  private:
+    EventQueue &eventq_;
+    ClockDomain domain_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_SIM_CLOCKED_HH

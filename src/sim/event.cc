@@ -1,0 +1,147 @@
+#include "sim/event.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace uldma {
+
+Event::~Event()
+{
+    // Destroying a still-scheduled event would leave a dangling pointer
+    // in the queue; catching it here turns heisenbugs into aborts.
+    ULDMA_ASSERT(!scheduled_, "event '", name_,
+                 "' destroyed while scheduled");
+}
+
+EventQueue::~EventQueue()
+{
+    for (auto &owned : ownedPending_) {
+        if (owned->scheduled())
+            deschedule(owned.get());
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    ULDMA_ASSERT(event != nullptr, "scheduling null event");
+    ULDMA_ASSERT(!event->scheduled_, "event '", event->name(),
+                 "' scheduled twice");
+    ULDMA_ASSERT(when >= now_, "event '", event->name(),
+                 "' scheduled in the past (", when, " < ", now_, ")");
+
+    event->scheduled_ = true;
+    event->squashed_ = false;
+    event->when_ = when;
+    event->sequence_ = nextSequence_++;
+    queue_.push(QueueEntry{when, event->priority(), event->sequence_, event});
+    ++numScheduled_;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    ULDMA_ASSERT(event != nullptr && event->scheduled_,
+                 "descheduling an unscheduled event");
+    // Lazy removal: mark squashed; the entry is skipped when popped.
+    event->scheduled_ = false;
+    event->squashed_ = true;
+    --numScheduled_;
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled())
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::scheduleLambda(std::string name, Tick when,
+                           std::function<void()> fn, int priority)
+{
+    auto owned = std::make_unique<LambdaEvent>(std::move(name),
+                                               std::move(fn), priority);
+    schedule(owned.get(), when);
+    ownedPending_.push_back(std::move(owned));
+}
+
+void
+EventQueue::reclaimOwned(Event *event)
+{
+    auto it = std::find_if(ownedPending_.begin(), ownedPending_.end(),
+                           [event](const std::unique_ptr<LambdaEvent> &p) {
+                               return p.get() == event;
+                           });
+    if (it != ownedPending_.end())
+        ownedPending_.erase(it);
+}
+
+void
+EventQueue::purgeStale()
+{
+    while (!queue_.empty()) {
+        const QueueEntry &top = queue_.top();
+        Event *event = top.event;
+        if (event->scheduled_ && event->sequence_ == top.sequence)
+            return;
+        // Stale or squashed entry: drop it; reclaim squashed owned
+        // lambdas so they do not leak for the queue's lifetime.
+        const bool reclaim = event->squashed_;
+        queue_.pop();
+        if (reclaim) {
+            event->squashed_ = false;
+            reclaimOwned(event);
+        }
+    }
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    purgeStale();
+    return queue_.empty() ? maxTick : queue_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    purgeStale();
+    if (queue_.empty())
+        return false;
+
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    Event *event = entry.event;
+
+    ULDMA_ASSERT(entry.when >= now_, "event queue time went backwards");
+    now_ = entry.when;
+    event->scheduled_ = false;
+    --numScheduled_;
+    ++numProcessed_;
+    event->process();
+    reclaimOwned(event);
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (true) {
+        const Tick next = nextEventTick();
+        if (next == maxTick || next > limit)
+            return;
+        step();
+    }
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    ULDMA_ASSERT(when >= now_, "cannot advance time backwards");
+    now_ = when;
+}
+
+} // namespace uldma

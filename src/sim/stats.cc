@@ -1,0 +1,139 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace uldma::stats {
+
+void
+Average::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+}
+
+double
+Average::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Average::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, unsigned nbuckets)
+    : lo_(lo), hi_(hi),
+      bucketWidth_((hi - lo) / (nbuckets ? nbuckets : 1)),
+      buckets_(nbuckets ? nbuckets : 1, 0)
+{
+    ULDMA_ASSERT(hi > lo, "histogram range must be nonempty");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / bucketWidth_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;   // guard FP edge at hi
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
+void
+Group::addScalar(const std::string &name, const Scalar *s,
+                 const std::string &desc)
+{
+    scalars_.push_back({name, s, desc});
+}
+
+void
+Group::addAverage(const std::string &name, const Average *a,
+                  const std::string &desc)
+{
+    averages_.push_back({name, a, desc});
+}
+
+void
+Group::addHistogram(const std::string &name, const Histogram *h,
+                    const std::string &desc)
+{
+    histograms_.push_back({name, h, desc});
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &e : scalars_) {
+        os << csprintf("%-40s %12llu  # %s\n",
+                       (name_ + "." + e.name).c_str(),
+                       static_cast<unsigned long long>(e.stat->value()),
+                       e.desc.c_str());
+    }
+    for (const auto &e : averages_) {
+        os << csprintf("%-40s mean=%.4g min=%.4g max=%.4g n=%llu  # %s\n",
+                       (name_ + "." + e.name).c_str(), e.stat->mean(),
+                       e.stat->min(), e.stat->max(),
+                       static_cast<unsigned long long>(e.stat->count()),
+                       e.desc.c_str());
+    }
+    for (const auto &e : histograms_) {
+        os << csprintf("%-40s n=%llu under=%llu over=%llu  # %s\n",
+                       (name_ + "." + e.name).c_str(),
+                       static_cast<unsigned long long>(
+                           e.stat->totalSamples()),
+                       static_cast<unsigned long long>(e.stat->underflow()),
+                       static_cast<unsigned long long>(e.stat->overflow()),
+                       e.desc.c_str());
+        for (unsigned i = 0; i < e.stat->numBuckets(); ++i) {
+            if (e.stat->bucketCount(i) == 0)
+                continue;
+            const double lo =
+                e.stat->lo() +
+                i * (e.stat->hi() - e.stat->lo()) / e.stat->numBuckets();
+            os << csprintf("    [%10.4g, ...) %12llu\n", lo,
+                           static_cast<unsigned long long>(
+                               e.stat->bucketCount(i)));
+        }
+    }
+}
+
+} // namespace uldma::stats

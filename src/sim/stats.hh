@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A small statistics package: scalar counters, averages, and histograms,
+ * collected into named groups and dumpable as text.  Every simulated
+ * component exposes its behaviour through these (bus transactions, TLB
+ * hits, context switches, DMA initiations, attack outcomes, ...).
+ */
+
+#ifndef ULDMA_SIM_STATS_HH
+#define ULDMA_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uldma::stats {
+
+/** A monotonically increasing event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulates samples; reports count / sum / min / max / mean. */
+class Average
+{
+  public:
+    Average() = default;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    /** Population standard deviation. */
+    double stddev() const;
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 1) {}
+    Histogram(double lo, double hi, unsigned nbuckets);
+
+    void sample(double v);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    unsigned numBuckets() const { return buckets_.size(); }
+    std::uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Named collection of stats owned by one component.  Components register
+ * their stats once at construction; dump() renders everything.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    void addScalar(const std::string &name, const Scalar *s,
+                   const std::string &desc);
+    void addAverage(const std::string &name, const Average *a,
+                    const std::string &desc);
+    void addHistogram(const std::string &name, const Histogram *h,
+                      const std::string &desc);
+
+    const std::string &name() const { return name_; }
+    void dump(std::ostream &os) const;
+
+  private:
+    struct ScalarEntry { std::string name; const Scalar *stat;
+                         std::string desc; };
+    struct AverageEntry { std::string name; const Average *stat;
+                          std::string desc; };
+    struct HistogramEntry { std::string name; const Histogram *stat;
+                            std::string desc; };
+
+    std::string name_;
+    std::vector<ScalarEntry> scalars_;
+    std::vector<AverageEntry> averages_;
+    std::vector<HistogramEntry> histograms_;
+};
+
+} // namespace uldma::stats
+
+#endif // ULDMA_SIM_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Time units.  The simulator's base time unit (one Tick) is one
+ * picosecond, fine enough to represent both a 150 MHz CPU cycle
+ * (6,666 ps, the DEC Alpha 3000/300 of the paper's testbed) and a
+ * 12.5 MHz TurboChannel bus cycle (80,000 ps) without rounding drift
+ * that would distort the microsecond-scale results of Table 1.
+ */
+
+#ifndef ULDMA_SIM_TICKS_HH
+#define ULDMA_SIM_TICKS_HH
+
+#include "util/types.hh"
+
+namespace uldma {
+
+/** Ticks per common unit. */
+inline constexpr Tick tickPerPs = 1;
+inline constexpr Tick tickPerNs = 1000;
+inline constexpr Tick tickPerUs = 1000 * tickPerNs;
+inline constexpr Tick tickPerMs = 1000 * tickPerUs;
+inline constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** Clock period in ticks for a frequency given in Hz. */
+constexpr Tick
+periodFromHz(std::uint64_t hz)
+{
+    return tickPerSec / hz;
+}
+
+/** Clock period in ticks for a frequency given in MHz. */
+constexpr Tick
+periodFromMHz(std::uint64_t mhz)
+{
+    return periodFromHz(mhz * 1000 * 1000);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerUs);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+} // namespace uldma
+
+#endif // ULDMA_SIM_TICKS_HH

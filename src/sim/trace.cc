@@ -1,0 +1,83 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/strutil.hh"
+
+namespace uldma::trace {
+
+namespace {
+
+std::set<std::string> &
+flags()
+{
+    static std::set<std::string> instance;
+    return instance;
+}
+
+bool allEnabled = false;
+
+} // namespace
+
+void
+enable(const std::string &flag)
+{
+    flags().insert(flag);
+}
+
+void
+disable(const std::string &flag)
+{
+    flags().erase(flag);
+}
+
+void
+enableAll()
+{
+    allEnabled = true;
+}
+
+void
+disableAll()
+{
+    allEnabled = false;
+    flags().clear();
+}
+
+bool
+enabled(const std::string &flag)
+{
+    if (allEnabled)
+        return true;
+    const auto &f = flags();
+    return !f.empty() && f.count(flag) != 0;
+}
+
+void
+emit(const std::string &flag, Tick when, const std::string &msg)
+{
+    std::fprintf(stderr, "%12llu: [%s] %s\n",
+                 static_cast<unsigned long long>(when), flag.c_str(),
+                 msg.c_str());
+}
+
+void
+initFromEnvironment()
+{
+    const char *env = std::getenv("ULDMA_DEBUG");
+    if (env == nullptr)
+        return;
+    for (const auto &raw : split(env, ',')) {
+        const std::string flag = trim(raw);
+        if (flag.empty())
+            continue;
+        if (flag == "All")
+            enableAll();
+        else
+            enable(flag);
+    }
+}
+
+} // namespace uldma::trace

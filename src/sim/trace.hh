@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lightweight debug tracing with named flags, in the spirit of gem5's
+ * DPRINTF.  Flags are enabled programmatically or via the ULDMA_DEBUG
+ * environment variable (comma-separated list, or "All").
+ *
+ * Tracing is for humans debugging the simulator; it never affects
+ * simulated behaviour.
+ */
+
+#ifndef ULDMA_SIM_TRACE_HH
+#define ULDMA_SIM_TRACE_HH
+
+#include <string>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace uldma::trace {
+
+/** Enable a single debug flag (e.g. "Dma", "Bus", "Sched"). */
+void enable(const std::string &flag);
+
+/** Disable a single debug flag. */
+void disable(const std::string &flag);
+
+/** Enable/disable everything. */
+void enableAll();
+void disableAll();
+
+/** True if the flag (or All) is enabled. */
+bool enabled(const std::string &flag);
+
+/** Emit one trace line (internal; use the ULDMA_TRACE macro). */
+void emit(const std::string &flag, Tick when, const std::string &msg);
+
+/** Re-read the ULDMA_DEBUG environment variable. */
+void initFromEnvironment();
+
+} // namespace uldma::trace
+
+/**
+ * Trace a message under a flag at a given simulated time.
+ * Arguments after the tick are streamed, so any operator<<-able values
+ * work: ULDMA_TRACE("Dma", now(), "start ctx=", ctx, " size=", size);
+ */
+#define ULDMA_TRACE(flag, when, ...)                                        \
+    do {                                                                    \
+        if (::uldma::trace::enabled(flag)) {                                \
+            ::uldma::trace::emit(flag, when,                                \
+                ::uldma::detail::concatToString(__VA_ARGS__));              \
+        }                                                                   \
+    } while (0)
+
+#endif // ULDMA_SIM_TRACE_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Bit-manipulation helpers in the style of gem5's base/bitfield.hh.
+ *
+ * These are used pervasively by the DMA engine to carve context ids and
+ * keys out of shadow physical addresses and store payloads.
+ */
+
+#ifndef ULDMA_UTIL_BITFIELD_HH
+#define ULDMA_UTIL_BITFIELD_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace uldma {
+
+/**
+ * Generate a 64-bit mask of @p nbits ones in the low-order bits.
+ * mask(64) is all ones; mask(0) is zero.
+ */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << nbits) - 1;
+}
+
+/**
+ * Extract the inclusive bit range [last:first] from @p val
+ * (bit 0 is the least significant bit).
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Extract the single bit @p bit from @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned bit)
+{
+    return bits(val, bit, bit);
+}
+
+/**
+ * Return @p val with the inclusive bit range [last:first] replaced by the
+ * low-order bits of @p field.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t val, unsigned last, unsigned first,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** True if @p val has exactly one bit set. */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer ceil(log2(val)); val must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t val)
+{
+    unsigned result = 0;
+    std::uint64_t acc = 1;
+    while (acc < val) {
+        acc <<= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** Integer floor(log2(val)); val must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    unsigned result = 0;
+    while (val >>= 1)
+        ++result;
+    return result;
+}
+
+/** Divide @p a by @p b, rounding up. @p b must be nonzero. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t val, std::uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t val, std::uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+} // namespace uldma
+
+#endif // ULDMA_UTIL_BITFIELD_HH

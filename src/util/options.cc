@@ -1,0 +1,124 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace uldma {
+
+void
+Options::addString(const std::string &name, const std::string &def,
+                   const std::string &help)
+{
+    entries_[name] = Entry{Kind::String, def, def, help};
+    order_.push_back(name);
+}
+
+void
+Options::addInt(const std::string &name, std::int64_t def,
+                const std::string &help)
+{
+    const std::string s = std::to_string(def);
+    entries_[name] = Entry{Kind::Int, s, s, help};
+    order_.push_back(name);
+}
+
+void
+Options::addFlag(const std::string &name, bool def, const std::string &help)
+{
+    const std::string s = def ? "true" : "false";
+    entries_[name] = Entry{Kind::Flag, s, s, help};
+    order_.push_back(name);
+}
+
+bool
+Options::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage(argv[0]).c_str(), stdout);
+            return false;
+        }
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            have_value = true;
+        }
+        auto it = entries_.find(arg);
+        if (it == entries_.end())
+            ULDMA_FATAL("unknown option --", arg, "; try --help");
+        Entry &entry = it->second;
+        if (entry.kind == Kind::Flag) {
+            entry.value = have_value ? value : "true";
+            if (entry.value != "true" && entry.value != "false")
+                ULDMA_FATAL("option --", arg, " expects true/false");
+        } else {
+            if (!have_value) {
+                if (i + 1 >= argc)
+                    ULDMA_FATAL("option --", arg, " needs a value");
+                value = argv[++i];
+            }
+            entry.value = value;
+        }
+    }
+    return true;
+}
+
+const Options::Entry &
+Options::lookup(const std::string &name, Kind kind) const
+{
+    auto it = entries_.find(name);
+    ULDMA_ASSERT(it != entries_.end(), "option ", name, " not registered");
+    ULDMA_ASSERT(it->second.kind == kind, "option ", name,
+                 " accessed with wrong type");
+    return it->second;
+}
+
+std::string
+Options::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+std::int64_t
+Options::getInt(const std::string &name) const
+{
+    const Entry &entry = lookup(name, Kind::Int);
+    char *end = nullptr;
+    const long long v = std::strtoll(entry.value.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        ULDMA_FATAL("option --", name, " expects an integer, got '",
+                    entry.value, "'");
+    return v;
+}
+
+bool
+Options::getFlag(const std::string &name) const
+{
+    return lookup(name, Kind::Flag).value == "true";
+}
+
+std::string
+Options::usage(const std::string &argv0) const
+{
+    std::string out = description_ + "\n\nusage: " + argv0 + " [options]\n";
+    for (const auto &name : order_) {
+        const Entry &entry = entries_.at(name);
+        out += csprintf("  --%-24s %s (default: %s)\n", name.c_str(),
+                        entry.help.c_str(), entry.def.c_str());
+    }
+    return out;
+}
+
+} // namespace uldma

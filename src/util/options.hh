@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A tiny command-line option parser for the example programs and
+ * benchmark drivers.  Supports --name=value and --name value forms,
+ * boolean flags, and produces a usage string.
+ */
+
+#ifndef ULDMA_UTIL_OPTIONS_HH
+#define ULDMA_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace uldma {
+
+/**
+ * Declarative option set.  Register options with defaults, then parse
+ * argv; unknown options are fatal, so typos do not silently run the
+ * default experiment.
+ */
+class Options
+{
+  public:
+    explicit Options(std::string program_description)
+        : description_(std::move(program_description))
+    {}
+
+    /** Register a string-valued option. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Register an integer-valued option. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    /** Register a boolean flag (presence or =true/=false). */
+    void addFlag(const std::string &name, bool def, const std::string &help);
+
+    /**
+     * Parse the command line.
+     * @return true to continue; false if --help was requested (usage has
+     *         already been printed).
+     */
+    bool parse(int argc, char **argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+    /** Render the usage text. */
+    std::string usage(const std::string &argv0) const;
+
+  private:
+    enum class Kind { String, Int, Flag };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string value;
+        std::string def;
+        std::string help;
+    };
+
+    const Entry &lookup(const std::string &name, Kind kind) const;
+
+    std::string description_;
+    std::map<std::string, Entry> entries_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_UTIL_OPTIONS_HH

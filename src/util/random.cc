@@ -1,0 +1,81 @@
+#include "util/random.hh"
+
+#include <cassert>
+
+namespace uldma {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Random::reseed(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Random::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Random::below(std::uint64_t bound)
+{
+    assert(bound != 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % bound);
+    std::uint64_t v;
+    do {
+        v = next64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::uint64_t
+Random::inRange(std::uint64_t lo, std::uint64_t hi)
+{
+    assert(lo <= hi);
+    if (lo == 0 && hi == ~std::uint64_t(0))
+        return next64();
+    return lo + below(hi - lo + 1);
+}
+
+double
+Random::nextDouble()
+{
+    // 53 high bits → double in [0, 1).
+    return (next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace uldma

@@ -1,0 +1,99 @@
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace uldma {
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed));
+        // C++11 guarantees contiguous storage; +1 for the NUL vsnprintf
+        // writes is covered by writing into a buffer of needed+1.
+        std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+        out.assign(buf.data(), static_cast<std::size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double value = static_cast<double>(bytes);
+    unsigned unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    if (unit == 0)
+        return csprintf("%llu B", static_cast<unsigned long long>(bytes));
+    return csprintf("%.1f %s", value, units[unit]);
+}
+
+std::string
+formatTime(std::uint64_t picoseconds)
+{
+    const double ps = static_cast<double>(picoseconds);
+    if (picoseconds < 1000ULL)
+        return csprintf("%llu ps",
+                        static_cast<unsigned long long>(picoseconds));
+    if (picoseconds < 1000'000ULL)
+        return csprintf("%.2f ns", ps / 1e3);
+    if (picoseconds < 1000'000'000ULL)
+        return csprintf("%.2f us", ps / 1e6);
+    if (picoseconds < 1000'000'000'000ULL)
+        return csprintf("%.2f ms", ps / 1e9);
+    return csprintf("%.3f s", ps / 1e12);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace uldma

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string helpers used for reporting: printf-style formatting into
+ * std::string, human-readable byte/time quantities, and splitting.
+ */
+
+#ifndef ULDMA_UTIL_STRUTIL_HH
+#define ULDMA_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uldma {
+
+/** printf into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** "4.0 KiB", "1.5 MiB", ... */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render picoseconds as the most natural unit: "18.60 us", "80 ns", ... */
+std::string formatTime(std::uint64_t picoseconds);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace uldma
+
+#endif // ULDMA_UTIL_STRUTIL_HH

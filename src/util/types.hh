@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef ULDMA_UTIL_TYPES_HH
+#define ULDMA_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace uldma {
+
+/** Simulated time, measured in picoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A physical or virtual memory address inside the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Process identifier inside the simulated operating system. */
+using Pid = std::int32_t;
+
+/** Node identifier inside the simulated network of workstations. */
+using NodeId = std::uint32_t;
+
+/** Invalid/unassigned process id. */
+inline constexpr Pid invalidPid = -1;
+
+/** The largest representable tick; used as "never". */
+inline constexpr Tick maxTick = ~Tick(0);
+
+} // namespace uldma
+
+#endif // ULDMA_UTIL_TYPES_HH

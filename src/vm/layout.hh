@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Address-space layout constants for the simulated machine, modeled on
+ * a DEC Alpha 3000-class workstation: 8 KiB pages, DRAM at physical 0,
+ * the I/O (device) region above it.
+ */
+
+#ifndef ULDMA_VM_LAYOUT_HH
+#define ULDMA_VM_LAYOUT_HH
+
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** Page size: 8 KiB, as on the Alpha. */
+inline constexpr Addr pageSize = 8 * 1024;
+inline constexpr unsigned pageShift = 13;
+
+static_assert(Addr(1) << pageShift == pageSize);
+
+/** Page-align helpers. */
+constexpr Addr pageAlignDown(Addr a) { return roundDown(a, pageSize); }
+constexpr Addr pageAlignUp(Addr a) { return roundUp(a, pageSize); }
+constexpr Addr pageOffset(Addr a) { return a & (pageSize - 1); }
+constexpr Addr pageNumber(Addr a) { return a >> pageShift; }
+
+/** Default start of a process's private data region (virtual). */
+inline constexpr Addr userRegionBase = 0x0001'0000;
+
+/** Virtual base where the kernel maps DMA shadow pages for a process. */
+inline constexpr Addr shadowVirtualBase = 0x4000'0000'0000;
+
+/** Virtual base where the kernel maps atomic-op shadow pages. */
+inline constexpr Addr atomicVirtualBase = 0x6000'0000'0000;
+
+/** Virtual base where register-context pages are mapped. */
+inline constexpr Addr contextVirtualBase = 0x7000'0000'0000;
+
+} // namespace uldma
+
+#endif // ULDMA_VM_LAYOUT_HH

@@ -1,0 +1,63 @@
+#include "vm/page_table.hh"
+
+#include "util/logging.hh"
+
+namespace uldma {
+
+void
+PageTable::mapPage(Addr vaddr, Addr paddr, Rights rights, bool uncacheable)
+{
+    const Addr vpn = pageNumber(vaddr);
+    entries_[vpn] = PageTableEntry{pageNumber(paddr), rights, uncacheable};
+    ++generation_;
+}
+
+void
+PageTable::mapRange(Addr vaddr, Addr paddr, Addr npages, Rights rights,
+                    bool uncacheable)
+{
+    ULDMA_ASSERT(pageOffset(vaddr) == pageOffset(paddr),
+                 "range mapping with mismatched page offsets");
+    for (Addr i = 0; i < npages; ++i) {
+        mapPage(vaddr + i * pageSize, paddr + i * pageSize, rights,
+                uncacheable);
+    }
+}
+
+void
+PageTable::unmapPage(Addr vaddr)
+{
+    entries_.erase(pageNumber(vaddr));
+    ++generation_;
+}
+
+std::optional<PageTableEntry>
+PageTable::lookup(Addr vaddr) const
+{
+    auto it = entries_.find(pageNumber(vaddr));
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Translation
+PageTable::translate(Addr vaddr, Rights need) const
+{
+    Translation result;
+    const auto pte = lookup(vaddr);
+    if (!pte) {
+        result.fault = Fault::NotMapped;
+        return result;
+    }
+    if (!allows(pte->rights, need)) {
+        result.fault = allows(need, Rights::Write)
+                           ? Fault::ProtectionWrite
+                           : Fault::ProtectionRead;
+        return result;
+    }
+    result.paddr = (pte->pfn << pageShift) | pageOffset(vaddr);
+    result.uncacheable = pte->uncacheable;
+    return result;
+}
+
+} // namespace uldma

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-process page table.  Maps virtual pages to physical pages with
+ * access rights and cacheability.  The OS kernel owns and edits these;
+ * the CPU consults them (through the TLB) on every memory micro-op.
+ *
+ * Shadow mappings (paper §2.3) are ordinary entries whose physical page
+ * lies inside the DMA engine's shadow window and which are marked
+ * uncacheable; the engine, not the page table, gives them their special
+ * meaning.
+ */
+
+#ifndef ULDMA_VM_PAGE_TABLE_HH
+#define ULDMA_VM_PAGE_TABLE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "vm/layout.hh"
+#include "vm/rights.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** One page-table entry. */
+struct PageTableEntry
+{
+    Addr pfn = 0;                ///< physical frame number
+    Rights rights = Rights::None;
+    bool uncacheable = false;    ///< device / shadow page
+};
+
+/** Why a translation failed. */
+enum class Fault : std::uint8_t
+{
+    None,
+    NotMapped,
+    ProtectionRead,
+    ProtectionWrite,
+};
+
+/** Result of a translation attempt. */
+struct Translation
+{
+    Fault fault = Fault::None;
+    Addr paddr = 0;
+    bool uncacheable = false;
+
+    bool ok() const { return fault == Fault::None; }
+};
+
+/**
+ * A software page table: VPN → PTE.
+ */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    /**
+     * Map the page containing virtual address @p vaddr to the physical
+     * frame containing @p paddr.  Both are truncated to page
+     * boundaries.  Remapping an existing page replaces the entry.
+     */
+    void mapPage(Addr vaddr, Addr paddr, Rights rights,
+                 bool uncacheable = false);
+
+    /** Map @p npages consecutive pages starting at (vaddr, paddr). */
+    void mapRange(Addr vaddr, Addr paddr, Addr npages, Rights rights,
+                  bool uncacheable = false);
+
+    /** Remove the mapping for the page containing @p vaddr. */
+    void unmapPage(Addr vaddr);
+
+    /** Lookup without rights checking. */
+    std::optional<PageTableEntry> lookup(Addr vaddr) const;
+
+    /** Translate @p vaddr for an access needing @p need rights. */
+    Translation translate(Addr vaddr, Rights need) const;
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Monotonically increasing generation number, bumped on every
+     * modification; TLBs use it to invalidate stale entries cheaply.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    std::unordered_map<Addr, PageTableEntry> entries_;  // keyed by VPN
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_VM_PAGE_TABLE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Page access rights.  The protection half of the user-level DMA
+ * problem (paper §2.1) is enforced here: a process can only generate a
+ * shadow physical address for a page the OS actually mapped into its
+ * address space, with the rights the OS granted.
+ */
+
+#ifndef ULDMA_VM_RIGHTS_HH
+#define ULDMA_VM_RIGHTS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace uldma {
+
+/** Bitmask of page permissions. */
+enum class Rights : std::uint8_t
+{
+    None = 0,
+    Read = 1 << 0,
+    Write = 1 << 1,
+    ReadWrite = Read | Write,
+};
+
+constexpr Rights
+operator|(Rights a, Rights b)
+{
+    return static_cast<Rights>(static_cast<std::uint8_t>(a) |
+                               static_cast<std::uint8_t>(b));
+}
+
+constexpr Rights
+operator&(Rights a, Rights b)
+{
+    return static_cast<Rights>(static_cast<std::uint8_t>(a) &
+                               static_cast<std::uint8_t>(b));
+}
+
+/** True if @p have includes every right in @p need. */
+constexpr bool
+allows(Rights have, Rights need)
+{
+    return (have & need) == need;
+}
+
+inline std::string
+toString(Rights r)
+{
+    switch (r) {
+      case Rights::None: return "none";
+      case Rights::Read: return "r";
+      case Rights::Write: return "w";
+      case Rights::ReadWrite: return "rw";
+    }
+    return "?";
+}
+
+} // namespace uldma
+
+#endif // ULDMA_VM_RIGHTS_HH

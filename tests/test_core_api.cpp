@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the core public API: method traits, the DmaSession facade,
+ * the experiment drivers (which the Table-1 bench builds on), and the
+ * wire-time model used by the crossover exhibit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/machine.hh"
+#include "core/methods.hh"
+
+namespace uldma {
+namespace {
+
+// ---------------------------------------------------------------------
+// Method traits.
+// ---------------------------------------------------------------------
+
+TEST(MethodTraits, KernelModificationFlags)
+{
+    // The paper's central claim: only the SHRIMP-2 and FLASH baselines
+    // need the kernel changed.
+    for (DmaMethod m : allMethods) {
+        const bool needs_mod = requiresKernelModification(m);
+        EXPECT_EQ(needs_mod,
+                  m == DmaMethod::Shrimp2 || m == DmaMethod::Flash)
+            << toString(m);
+    }
+}
+
+TEST(MethodTraits, UserLevelFlags)
+{
+    for (DmaMethod m : allMethods)
+        EXPECT_EQ(isUserLevel(m), m != DmaMethod::Kernel) << toString(m);
+}
+
+TEST(MethodTraits, AccessCountsMatchThePaper)
+{
+    // Abstract: "a DMA operation can be initiated in 2 to 5 assembly
+    // instructions" — these are the shadow/register accesses.
+    EXPECT_EQ(initiationAccessCount(DmaMethod::ExtShadow), 2u);
+    EXPECT_EQ(initiationAccessCount(DmaMethod::PalCode), 2u);
+    EXPECT_EQ(initiationAccessCount(DmaMethod::KeyBased), 4u);
+    EXPECT_EQ(initiationAccessCount(DmaMethod::Repeated5), 5u);
+    EXPECT_EQ(initiationAccessCount(DmaMethod::Shrimp1), 1u);
+    for (DmaMethod m : allMethods) {
+        if (isUserLevel(m)) {
+            EXPECT_GE(initiationAccessCount(m), 1u);
+            EXPECT_LE(initiationAccessCount(m), 5u);
+        }
+    }
+}
+
+TEST(MethodTraits, EngineModesAreConsistent)
+{
+    EXPECT_EQ(engineModeFor(DmaMethod::KeyBased), EngineMode::KeyBased);
+    EXPECT_EQ(engineModeFor(DmaMethod::ExtShadow),
+              EngineMode::ShadowPair);
+    EXPECT_EQ(engineModeFor(DmaMethod::Shrimp1), EngineMode::MappedOut);
+    EXPECT_EQ(engineModeFor(DmaMethod::Repeated5),
+              EngineMode::Repeated5);
+
+    NodeConfig config;
+    configureNode(config, DmaMethod::ExtShadow);
+    EXPECT_EQ(config.dma.ctxIdBits, 2u);
+    configureNode(config, DmaMethod::Flash);
+    EXPECT_TRUE(config.dma.flashTagCheck);
+    configureNode(config, DmaMethod::KeyBased);
+    EXPECT_FALSE(config.dma.flashTagCheck);
+}
+
+// ---------------------------------------------------------------------
+// DmaSession facade.
+// ---------------------------------------------------------------------
+
+TEST(DmaSession, EndToEnd)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::KeyBased);
+    Machine machine(config);
+    prepareMachine(machine, DmaMethod::KeyBased);
+
+    Kernel &kernel = machine.node(0).kernel();
+    Process &proc = kernel.createProcess("app");
+    DmaSession session(machine, 0, proc, DmaMethod::KeyBased);
+    ASSERT_TRUE(session.ready());
+
+    const Addr src = session.allocBuffer(pageSize);
+    const Addr dst = session.allocBuffer(pageSize);
+
+    const Addr src_paddr =
+        kernel.translateFor(proc, src, Rights::Read).paddr;
+    machine.node(0).memory().fill(src_paddr, 0x21, 64);
+
+    std::uint64_t status = 0;
+    Program prog;
+    session.emitDma(prog, src, dst, 64);
+    prog.callback([&status](ExecContext &ctx) {
+        status = ctx.reg(reg::v0);
+    });
+    prog.exit();
+    kernel.launch(proc, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    EXPECT_NE(status, dmastatus::failure);
+    const Addr dst_paddr =
+        kernel.translateFor(proc, dst, Rights::Write).paddr;
+    EXPECT_EQ(machine.node(0).memory().readInt(dst_paddr, 1), 0x21u);
+}
+
+TEST(DmaSession, NotReadyWhenContextsExhausted)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::KeyBased);
+    config.node.dma.numContexts = 1;
+    Machine machine(config);
+
+    Kernel &kernel = machine.node(0).kernel();
+    Process &first = kernel.createProcess("first");
+    Process &second = kernel.createProcess("second");
+    DmaSession s1(machine, 0, first, DmaMethod::KeyBased);
+    DmaSession s2(machine, 0, second, DmaMethod::KeyBased);
+    EXPECT_TRUE(s1.ready());
+    EXPECT_FALSE(s2.ready());   // must fall back to kernel DMA
+}
+
+// ---------------------------------------------------------------------
+// Experiment drivers.
+// ---------------------------------------------------------------------
+
+TEST(Experiment, InitiationMeasurementSanity)
+{
+    MeasureConfig config;
+    config.method = DmaMethod::ExtShadow;
+    config.iterations = 100;
+    const InitiationMeasurement m = measureInitiation(config);
+
+    EXPECT_EQ(m.iterations, 100u);
+    EXPECT_EQ(m.successes, 100u);
+    EXPECT_EQ(m.initiationsStarted, 100u);
+    EXPECT_GT(m.avgUs, 0.5);
+    EXPECT_LT(m.avgUs, 3.0);
+    EXPECT_GE(m.minUs, 0.1);
+    EXPECT_GE(m.maxUs, m.minUs);
+    // Two shadow accesses per initiation (plus nothing else uncached).
+    EXPECT_NEAR(m.uncachedAccesses, 2.0, 0.01);
+}
+
+TEST(Experiment, KernelCostsAnOrderOfMagnitudeMore)
+{
+    MeasureConfig user;
+    user.method = DmaMethod::ExtShadow;
+    user.iterations = 100;
+    MeasureConfig kern;
+    kern.method = DmaMethod::Kernel;
+    kern.iterations = 100;
+
+    const double user_us = measureInitiation(user).avgUs;
+    const double kernel_us = measureInitiation(kern).avgUs;
+    // The paper's headline: user-level is ~an order of magnitude
+    // cheaper (18.6 vs 1.1-2.6 us).
+    EXPECT_GT(kernel_us / user_us, 6.0);
+}
+
+TEST(Experiment, Table1OrderingHolds)
+{
+    const auto rows = measureTable1(/*iterations=*/200);
+    ASSERT_EQ(rows.size(), 4u);
+    const double kernel = rows[0].avgUs;
+    const double ext = rows[1].avgUs;
+    const double rep = rows[2].avgUs;
+    const double key = rows[3].avgUs;
+
+    // Qualitative shape of Table 1.
+    EXPECT_GT(kernel, rep);
+    EXPECT_GT(kernel, key);
+    EXPECT_GT(rep, ext);
+    EXPECT_GT(key, ext);
+    // Within 35% of the paper's absolute numbers.
+    EXPECT_NEAR(kernel, 18.6, 18.6 * 0.35);
+    EXPECT_NEAR(ext, 1.1, 1.1 * 0.35);
+    EXPECT_NEAR(rep, 2.6, 2.6 * 0.35);
+    EXPECT_NEAR(key, 2.3, 2.3 * 0.35);
+}
+
+TEST(Experiment, FasterBusShrinksUserInitiation)
+{
+    MeasureConfig tc;
+    tc.method = DmaMethod::KeyBased;
+    tc.iterations = 100;
+    MeasureConfig pci = tc;
+    pci.bus = BusParams::pci66();
+
+    const double tc_us = measureInitiation(tc).avgUs;
+    const double pci_us = measureInitiation(pci).avgUs;
+    // §3.4: "user-level DMA can achieve quite better performance in
+    // modern systems, that use faster buses."
+    EXPECT_LT(pci_us, tc_us / 2.0);
+}
+
+TEST(Experiment, PaperTable1Values)
+{
+    EXPECT_DOUBLE_EQ(paperTable1Us(DmaMethod::Kernel), 18.6);
+    EXPECT_DOUBLE_EQ(paperTable1Us(DmaMethod::ExtShadow), 1.1);
+    EXPECT_DOUBLE_EQ(paperTable1Us(DmaMethod::Repeated5), 2.6);
+    EXPECT_DOUBLE_EQ(paperTable1Us(DmaMethod::KeyBased), 2.3);
+    EXPECT_DOUBLE_EQ(paperTable1Us(DmaMethod::PalCode), 0.0);
+}
+
+TEST(Experiment, WireTimeModel)
+{
+    // 1 KiB at 155 Mb/s ATM ~= 52.9 us; at 1 Gb/s ~= 8.2 us.
+    EXPECT_NEAR(wireTimeUs(1024, 155'000'000), 52.85, 0.2);
+    EXPECT_NEAR(wireTimeUs(1024, 1'000'000'000), 8.19, 0.05);
+    // Monotone in size, inverse in bandwidth.
+    EXPECT_GT(wireTimeUs(2048, 155'000'000),
+              wireTimeUs(1024, 155'000'000));
+}
+
+TEST(Experiment, AtomicUserBeatsKernel)
+{
+    AtomicMeasureConfig user;
+    user.op = AtomicOp::Add;
+    user.userLevel = true;
+    user.iterations = 100;
+    AtomicMeasureConfig kern = user;
+    kern.userLevel = false;
+
+    const AtomicMeasurement mu = measureAtomic(user);
+    const AtomicMeasurement mk = measureAtomic(kern);
+    EXPECT_EQ(mu.executed, 100u);
+    EXPECT_EQ(mk.executed, 100u);
+    // §3.5: kernel-initiated atomics carry the syscall overhead.
+    EXPECT_GT(mk.avgUs / mu.avgUs, 5.0);
+}
+
+TEST(Experiment, MergeBufferAblationBreaksRepeated5)
+{
+    // Footnote 6 in reverse: with collapsing/merging hardware present
+    // and NO barriers the protocol would hang; our emission includes
+    // the barriers, so it works.  With merging hardware *disabled*
+    // entirely, it must also work and be slightly faster.
+    MeasureConfig with;
+    with.method = DmaMethod::Repeated5;
+    with.iterations = 50;
+    MeasureConfig without = with;
+    without.mergeBuffer.collapseStores = false;
+    without.mergeBuffer.mergeLoads = false;
+
+    const InitiationMeasurement a = measureInitiation(with);
+    const InitiationMeasurement b = measureInitiation(without);
+    EXPECT_EQ(a.successes, 50u);
+    EXPECT_EQ(b.successes, 50u);
+}
+
+} // namespace
+} // namespace uldma

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Determinism regression tests: the simulator must produce *bit-equal*
+ * results across repeated runs with the same configuration and seed —
+ * timings, initiation counts, attack outcomes, and stats.  This is
+ * what makes every number in EXPERIMENTS.md reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/attack.hh"
+#include "core/experiment.hh"
+
+namespace uldma {
+namespace {
+
+TEST(Determinism, InitiationMeasurementIsExactlyRepeatable)
+{
+    MeasureConfig config;
+    config.method = DmaMethod::KeyBased;
+    config.iterations = 200;
+
+    const InitiationMeasurement a = measureInitiation(config);
+    const InitiationMeasurement b = measureInitiation(config);
+    EXPECT_EQ(a.avgUs, b.avgUs);
+    EXPECT_EQ(a.minUs, b.minUs);
+    EXPECT_EQ(a.maxUs, b.maxUs);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.uncachedAccesses, b.uncachedAccesses);
+}
+
+TEST(Determinism, UserLevelInitiationHasZeroJitter)
+{
+    // A single process on a quiet machine: every initiation takes the
+    // same number of ticks (after the first-touch TLB warmup, which
+    // the slot cycling spreads over the first lap).
+    MeasureConfig config;
+    config.method = DmaMethod::ExtShadow;
+    config.iterations = 300;
+    const InitiationMeasurement m = measureInitiation(config);
+    // min and max within the TLB-warmup spread.
+    EXPECT_LT(m.maxUs - m.minUs, 1.0);
+    // The bulk is flat: mean is within 10% of min.
+    EXPECT_LT(m.avgUs, m.minUs * 1.10);
+}
+
+TEST(Determinism, RandomizedAttackIsSeedStable)
+{
+    RandomAttackConfig config;
+    config.method = DmaMethod::Repeated3;
+    config.seed = 17;
+    config.legitIterations = 10;
+    config.malOps = 40;
+    config.malProcesses = 2;
+
+    const RandomAttackResult a = runRandomizedAttack(config);
+    const RandomAttackResult b = runRandomizedAttack(config);
+    EXPECT_EQ(a.initiations, b.initiations);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.legitSuccesses, b.legitSuccesses);
+    EXPECT_EQ(a.intendedTransfers, b.intendedTransfers);
+}
+
+TEST(Determinism, FigureAttacksAreStable)
+{
+    const AttackOutcome a = runFigure5Attack();
+    const AttackOutcome b = runFigure5Attack();
+    EXPECT_EQ(a.initiations, b.initiations);
+    EXPECT_EQ(a.wrongSrc, b.wrongSrc);
+    EXPECT_EQ(a.wrongDst, b.wrongDst);
+    EXPECT_EQ(a.legitStatus, b.legitStatus);
+}
+
+TEST(Determinism, StatsDumpIsIdenticalAcrossRuns)
+{
+    auto run_once = []() {
+        MachineConfig config;
+        configureNode(config.node, DmaMethod::KeyBased);
+        Machine machine(config);
+        prepareMachine(machine, DmaMethod::KeyBased);
+        Kernel &kernel = machine.node(0).kernel();
+        Process &p = kernel.createProcess("p");
+        prepareProcess(kernel, p, DmaMethod::KeyBased);
+        const Addr src = kernel.allocate(p, pageSize, Rights::ReadWrite);
+        const Addr dst = kernel.allocate(p, pageSize, Rights::ReadWrite);
+        kernel.createShadowMappings(p, src, pageSize);
+        kernel.createShadowMappings(p, dst, pageSize);
+        Program prog;
+        emitInitiation(prog, kernel, p, DmaMethod::KeyBased, src, dst,
+                       256);
+        prog.exit();
+        kernel.launch(p, std::move(prog));
+        machine.start();
+        machine.run(tickPerSec);
+        std::ostringstream os;
+        machine.dumpStats(os);
+        return os.str();
+    };
+
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DisassemblyIsStable)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::Repeated5);
+    Machine machine(config);
+    prepareMachine(machine, DmaMethod::Repeated5);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    const Addr src = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(p, src, pageSize);
+    kernel.createShadowMappings(p, dst, pageSize);
+
+    Program prog;
+    emitInitiation(prog, kernel, p, DmaMethod::Repeated5, src, dst, 64);
+    const std::string listing = prog.disassemble();
+
+    // Spot-check the figure-7 shape: two stores to the same shadow
+    // destination, loads of the shadow source, barriers, branches.
+    EXPECT_NE(listing.find("store"), std::string::npos);
+    EXPECT_NE(listing.find("membar"), std::string::npos);
+    EXPECT_NE(listing.find("beq"), std::string::npos);
+    EXPECT_NE(listing.find("1: store shadow(dst)"), std::string::npos);
+    EXPECT_NE(listing.find("5: load shadow(dst)"), std::string::npos);
+    // 5 memory accesses + 3 membars + 3 branches = 11 lines.
+    EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 11);
+}
+
+} // namespace
+} // namespace uldma

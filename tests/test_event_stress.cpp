@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Stress/model-check tests for the event queue: thousands of randomly
+ * scheduled, rescheduled and cancelled events checked against a
+ * reference model, plus stats/trace plumbing smoke tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/methods.hh"
+#include "sim/event.hh"
+#include "util/random.hh"
+
+namespace uldma {
+namespace {
+
+/** Event that logs (id, fire tick). */
+class LogEvent : public Event
+{
+  public:
+    LogEvent(int id, EventQueue &eq,
+             std::vector<std::pair<int, Tick>> &log)
+        : Event("log" + std::to_string(id)), id_(id), eq_(eq), log_(log)
+    {}
+
+    void process() override { log_.emplace_back(id_, eq_.now()); }
+
+  private:
+    int id_;
+    EventQueue &eq_;
+    std::vector<std::pair<int, Tick>> &log_;
+};
+
+TEST(EventStress, RandomScheduleMatchesReferenceModel)
+{
+    Random rng(0xE5E5);
+    EventQueue eq;
+    std::vector<std::pair<int, Tick>> log;
+
+    constexpr int numEvents = 500;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    // Reference: id -> expected fire tick (or absent if cancelled).
+    std::map<int, Tick> expected;
+
+    for (int i = 0; i < numEvents; ++i) {
+        events.push_back(std::make_unique<LogEvent>(i, eq, log));
+        const Tick when = rng.below(100000);
+        eq.schedule(events.back().get(), when);
+        expected[i] = when;
+    }
+
+    // Random mutations: cancel some, reschedule others (twice for
+    // some, exercising stale-entry purging).
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < numEvents; ++i) {
+            const double roll = rng.nextDouble();
+            if (roll < 0.1 && events[i]->scheduled()) {
+                eq.deschedule(events[i].get());
+                expected.erase(i);
+            } else if (roll < 0.3 && events[i]->scheduled()) {
+                const Tick when = rng.below(100000);
+                eq.reschedule(events[i].get(), when);
+                expected[i] = when;
+            }
+        }
+    }
+
+    eq.runToExhaustion();
+
+    // Every non-cancelled event fired exactly once at its tick.
+    ASSERT_EQ(log.size(), expected.size());
+    std::map<int, Tick> fired;
+    for (const auto &[id, when] : log) {
+        ASSERT_EQ(fired.count(id), 0u) << "event " << id << " refired";
+        fired[id] = when;
+    }
+    EXPECT_EQ(fired, expected);
+
+    // Firing order was non-decreasing in time.
+    for (std::size_t i = 1; i < log.size(); ++i)
+        ASSERT_LE(log[i - 1].second, log[i].second);
+}
+
+TEST(EventStress, HeavySelfRescheduling)
+{
+    EventQueue eq;
+    int fires = 0;
+
+    class Ticker : public Event
+    {
+      public:
+        Ticker(EventQueue &eq, int &fires)
+            : Event("ticker"), eq_(eq), fires_(fires)
+        {}
+
+        void
+        process() override
+        {
+            if (++fires_ < 10000)
+                eq_.schedule(this, eq_.now() + 7);
+        }
+
+      private:
+        EventQueue &eq_;
+        int &fires_;
+    };
+
+    Ticker t(eq, fires);
+    eq.schedule(&t, 0);
+    eq.runToExhaustion();
+    EXPECT_EQ(fires, 10000);
+    EXPECT_EQ(eq.now(), 9999u * 7);
+}
+
+TEST(EventStress, InterleavedLambdaStorm)
+{
+    EventQueue eq;
+    Random rng(77);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 2000; ++i) {
+        eq.scheduleLambda("storm", rng.below(5000),
+                          [&sum, i] { sum += static_cast<unsigned>(i); });
+    }
+    eq.runToExhaustion();
+    EXPECT_EQ(sum, 2000ull * 1999 / 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+// ---------------------------------------------------------------------
+// Machine-level stats plumbing.
+// ---------------------------------------------------------------------
+
+TEST(MachineStats, DumpMentionsEveryComponent)
+{
+    MachineConfig config;
+    config.numNodes = 2;
+    Machine machine(config);
+
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    Program prog;
+    prog.compute(100);
+    prog.syscall(sys::noop);
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    std::ostringstream os;
+    machine.dumpStats(os);
+    const std::string text = os.str();
+
+    for (const char *needle :
+         {"network.messages", "node0.bus.reads", "node0.cpu.instructions",
+          "node0.cpu.wb.membars", "node0.cpu.tlb.hits",
+          "node0.kernel.syscalls", "node0.dma.initiations",
+          "node0.dma.xfer.bytes_moved", "node0.atomic.executed",
+          "node0.nic.remote_stores", "node1.cpu.instructions"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "stats dump missing " << needle;
+    }
+}
+
+TEST(MachineStats, CountersReflectActivity)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    Machine machine(config);
+    prepareMachine(machine, DmaMethod::ExtShadow);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    ASSERT_TRUE(prepareProcess(kernel, p, DmaMethod::ExtShadow));
+
+    const Addr src = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(p, src, pageSize);
+    kernel.createShadowMappings(p, dst, pageSize);
+
+    Program prog;
+    emitInitiation(prog, kernel, p, DmaMethod::ExtShadow, src, dst, 128);
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    Node &node = machine.node(0);
+    EXPECT_EQ(node.dmaEngine().numInitiations(), 1u);
+    EXPECT_EQ(node.dmaEngine().transferEngine().bytesMoved(), 128u);
+    EXPECT_EQ(node.cpu().numUncachedAccesses(), 2u);
+    EXPECT_GE(node.bus().numTransactions(), 2u);
+    EXPECT_GE(node.kernel().numContextSwitches(), 1u);
+}
+
+} // namespace
+} // namespace uldma

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Robustness fuzzing: random programs (memory ops over valid and
+ * shadow mappings, branches, syscalls, atomics, yields) on random
+ * machine configurations with random schedulers.  The machine must
+ * never panic, and every run must terminate or hit the time limit
+ * with coherent bookkeeping (processes in terminal or runnable
+ * states, engine counters consistent).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/methods.hh"
+#include "util/random.hh"
+
+namespace uldma {
+namespace {
+
+class FuzzMachine : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzMachine, RandomProgramsNeverBreakTheMachine)
+{
+    Random rng(GetParam() * 0x9E37'79B9'7F4A'7C15ull + 11);
+
+    const DmaMethod methods[] = {
+        DmaMethod::Kernel,    DmaMethod::PalCode,   DmaMethod::KeyBased,
+        DmaMethod::ExtShadow, DmaMethod::Repeated3,
+        DmaMethod::Repeated4, DmaMethod::Repeated5,
+    };
+    const DmaMethod method = methods[rng.below(std::size(methods))];
+
+    MachineConfig config;
+    configureNode(config.node, method);
+    config.node.cpu.mergeBuffer.collapseStores = rng.chance(0.5);
+    config.node.cpu.mergeBuffer.mergeLoads = rng.chance(0.5);
+    const std::uint64_t sched_seed = rng.next64();
+    const std::uint64_t max_slice = 1 + rng.below(6);
+    config.node.makeScheduler = [sched_seed, max_slice]() {
+        return std::make_unique<RandomScheduler>(sched_seed, max_slice);
+    };
+    Machine machine(config);
+    prepareMachine(machine, method);
+    Kernel &kernel = machine.node(0).kernel();
+
+    const unsigned nprocs = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned pi = 0; pi < nprocs; ++pi) {
+        Process &p = kernel.createProcess("fuzz" + std::to_string(pi));
+        prepareProcess(kernel, p, method);
+
+        const Addr buf = kernel.allocate(p, 2 * pageSize,
+                                         Rights::ReadWrite);
+        kernel.createShadowMappings(p, buf, 2 * pageSize);
+        const Addr shadow = kernel.shadowVaddrFor(p, buf);
+
+        Program prog;
+        const unsigned ops = 10 + static_cast<unsigned>(rng.below(40));
+        for (unsigned i = 0; i < ops; ++i) {
+            switch (rng.below(10)) {
+              case 0:
+                prog.store(buf + rng.below(2 * pageSize - 8), rng.next64(),
+                           8);
+                break;
+              case 1:
+                prog.load(reg::t0, buf + rng.below(2 * pageSize - 8), 8);
+                break;
+              case 2:
+                prog.store(shadow + rng.below(pageSize - 8) * 1,
+                           rng.below(1 << 16));
+                break;
+              case 3:
+                prog.load(reg::t1, shadow + rng.below(pageSize - 8));
+                break;
+              case 4:
+                prog.membar();
+                break;
+              case 5:
+                prog.move(reg::t2, rng.next64());
+                break;
+              case 6:
+                // Forward-only branch: never loops.
+                prog.branchNe(reg::t2, rng.next64(), prog.here() + 2);
+                prog.compute(rng.below(100));
+                break;
+              case 7:
+                prog.syscall(rng.below(6));
+                break;
+              case 8:
+                prog.atomicRmw(reg::t3,
+                               buf + rng.below(2 * pageSize - 8) / 8 * 8,
+                               rng.next64(), 8);
+                break;
+              case 9:
+                prog.yield();
+                break;
+            }
+        }
+        prog.exit();
+        kernel.launch(p, std::move(prog));
+    }
+
+    machine.start();
+    const bool finished = machine.run(tickPerSec);
+
+    // Coherence: either everything terminated, or we hit the limit
+    // with the machine still in a sane state.
+    if (finished) {
+        for (const auto &p : kernel.processes()) {
+            EXPECT_TRUE(p->state() == RunState::Exited ||
+                        p->state() == RunState::Faulted);
+        }
+    }
+    // Engine bookkeeping is consistent regardless.
+    DmaEngine &engine = machine.node(0).dmaEngine();
+    std::uint64_t user_inits = 0;
+    for (const auto &rec : engine.initiations()) {
+        EXPECT_GT(rec.size, 0u);
+        if (!rec.viaKernel)
+            ++user_inits;
+    }
+    EXPECT_EQ(engine.numInitiations(), engine.initiations().size());
+    EXPECT_EQ(engine.transferEngine().transfersStarted(),
+              engine.numInitiations());
+    (void)user_inits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMachine,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+} // namespace
+} // namespace uldma

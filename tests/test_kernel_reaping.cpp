@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Exit-time resource reaping: a process's register context / key and
+ * CONTEXT_ID return to the free pool when it exits, so long-running
+ * systems do not leak the 4-8 contexts of paper §3.1 or the 2-4
+ * CONTEXT_IDs of §3.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/methods.hh"
+
+namespace uldma {
+namespace {
+
+TEST(KernelReaping, KeyContextRecyclesAfterExit)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::KeyBased);
+    config.node.dma.numContexts = 1;   // single context forces reuse
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &first = kernel.createProcess("first");
+    ASSERT_TRUE(kernel.grantKeyContext(first));
+    const std::uint64_t first_key = first.dmaGrant().key;
+
+    // No free context while `first` is alive.
+    Process &second = kernel.createProcess("second");
+    EXPECT_FALSE(kernel.grantKeyContext(second));
+
+    // Run `first` to completion; exit reaps its grant.
+    Program prog;
+    prog.compute(10);
+    prog.exit();
+    kernel.launch(first, std::move(prog));
+    machine.start();
+    // `second` is created but never launched, so allFinished() stays
+    // false; just drain the events and check `first` exited.
+    machine.run(tickPerSec);
+    ASSERT_EQ(first.state(), RunState::Exited);
+    EXPECT_FALSE(first.dmaGrant().keyContext.has_value());
+
+    // Now the context is free again — with a fresh key.
+    ASSERT_TRUE(kernel.grantKeyContext(second));
+    EXPECT_EQ(*second.dmaGrant().keyContext, 0u);
+    EXPECT_NE(second.dmaGrant().key, first_key);
+    // The engine holds the new key, not the old one.
+    EXPECT_EQ(machine.node(0).dmaEngine().contextKey(0),
+              second.dmaGrant().key);
+}
+
+TEST(KernelReaping, ShadowContextRecyclesAfterExit)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    config.node.dma.ctxIdBits = 1;   // two CONTEXT_IDs
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &a = kernel.createProcess("a");
+    Process &b = kernel.createProcess("b");
+    Process &c = kernel.createProcess("c");
+    ASSERT_TRUE(kernel.grantShadowContext(a));
+    ASSERT_TRUE(kernel.grantShadowContext(b));
+    EXPECT_FALSE(kernel.grantShadowContext(c));
+
+    Program prog;
+    prog.exit();
+    kernel.launch(a, std::move(prog));
+    machine.start();
+    machine.run(tickPerSec);   // b and c never launch; just drain
+    ASSERT_EQ(a.state(), RunState::Exited);
+
+    EXPECT_TRUE(kernel.grantShadowContext(c));
+    EXPECT_EQ(*c.dmaGrant().shadowContext, 0u);
+}
+
+TEST(KernelReaping, FaultedProcessKeepsNothingUsable)
+{
+    // A process killed by a fault exits through a different path; its
+    // stale engine context must not let anyone replay its key.
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::KeyBased);
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &victim = kernel.createProcess("victim");
+    ASSERT_TRUE(kernel.grantKeyContext(victim));
+    const std::uint64_t old_key = victim.dmaGrant().key;
+    const unsigned ctx = *victim.dmaGrant().keyContext;
+
+    Program prog;
+    prog.load(reg::t0, 0xDEAD'0000);   // fault
+    prog.exit();
+    kernel.launch(victim, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+    ASSERT_EQ(victim.state(), RunState::Faulted);
+
+    // Even if the context is not reaped on a fault (the process is
+    // dead, not exited), the key is useless to others: nobody else
+    // has the context page mapped, and the key value never leaked.
+    EXPECT_EQ(machine.node(0).dmaEngine().contextKey(ctx), old_key);
+    EXPECT_EQ(machine.node(0).dmaEngine().numInitiations(), 0u);
+}
+
+} // namespace
+} // namespace uldma

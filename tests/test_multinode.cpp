@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Multi-node integration tests: user-level DMA into a remote
+ * workstation's memory through the remote-memory window (the
+ * Telegraphos NOW setting of the paper's introduction), remote atomic
+ * operations, and a two-process message round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/methods.hh"
+#include "core/user_atomics.hh"
+
+namespace uldma {
+namespace {
+
+class MultiNode : public ::testing::TestWithParam<DmaMethod>
+{
+};
+
+TEST_P(MultiNode, UserDmaReachesRemoteMemory)
+{
+    const DmaMethod method = GetParam();
+
+    MachineConfig config;
+    config.numNodes = 2;
+    configureNode(config.node, method);
+    Machine machine(config);
+    prepareMachine(machine, method);
+
+    Node &node0 = machine.node(0);
+    Kernel &kernel = node0.kernel();
+    Process &sender = kernel.createProcess("sender");
+    ASSERT_TRUE(prepareProcess(kernel, sender, method));
+
+    const Addr size = 256;
+    const Addr src = kernel.allocate(sender, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(sender, src, pageSize);
+
+    // Map one page of node 1's memory at remote physical 0x40000.
+    const Addr remote_paddr = 0x40000;
+    const Addr dst = kernel.mapRemoteWindow(sender, 1, remote_paddr,
+                                            pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(sender, dst, pageSize);
+
+    const Addr src_paddr =
+        kernel.translateFor(sender, src, Rights::Read).paddr;
+    if (method == DmaMethod::Shrimp1) {
+        // Mapped-out destination: the remote window address.
+        kernel.setupMapOut(sender, src,
+                           node0.nic().remoteWindowAddr(1, remote_paddr));
+    }
+
+    node0.memory().fill(src_paddr, 0xE7, size);
+    machine.node(1).memory().fill(remote_paddr, 0, size);
+
+    std::uint64_t status = 0;
+    Program prog;
+    emitInitiation(prog, kernel, sender, method, src, dst, size);
+    prog.callback([&status](ExecContext &ctx) {
+        status = ctx.reg(reg::v0);
+    });
+    prog.exit();
+
+    kernel.launch(sender, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    EXPECT_NE(status, dmastatus::failure);
+    PhysicalMemory &remote_mem = machine.node(1).memory();
+    for (Addr i = 0; i < size; ++i) {
+        ASSERT_EQ(remote_mem.readInt(remote_paddr + i, 1), 0xE7u)
+            << "remote byte " << i << " for " << toString(method);
+    }
+    EXPECT_GE(machine.network().messagesSent(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, MultiNode,
+    ::testing::Values(DmaMethod::Kernel, DmaMethod::Shrimp1,
+                      DmaMethod::PalCode, DmaMethod::KeyBased,
+                      DmaMethod::ExtShadow, DmaMethod::Repeated5),
+    [](const ::testing::TestParamInfo<DmaMethod> &info) {
+        std::string name = toString(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(MultiNodeAtomic, RemoteAtomicAddThroughShadow)
+{
+    MachineConfig config;
+    config.numNodes = 2;
+    Machine machine(config);
+
+    Node &node0 = machine.node(0);
+    Kernel &kernel = node0.kernel();
+    Process &p = kernel.createProcess("p");
+
+    // The shared counter lives in node 1's memory.
+    const Addr remote_paddr = 0x50000;
+    machine.node(1).memory().writeInt(remote_paddr, 100, 8);
+    const Addr v = kernel.mapRemoteWindow(p, 1, remote_paddr, pageSize,
+                                          Rights::ReadWrite);
+    kernel.createAtomicShadowMappings(p, v, pageSize, AtomicOp::Add);
+
+    std::uint64_t old_value = 0;
+    Program prog;
+    emitAtomicAdd(prog, kernel, p, v, 7);
+    prog.callback([&old_value](ExecContext &ctx) {
+        old_value = ctx.reg(reg::v0);
+    });
+    prog.exit();
+
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    EXPECT_EQ(old_value, 100u);
+    EXPECT_EQ(machine.node(1).memory().readInt(remote_paddr, 8), 107u);
+}
+
+TEST(MultiNodeMessage, PingPongViaRemoteWrites)
+{
+    // Node 0 writes a flag into node 1's memory; a process on node 1
+    // polls its local memory, then answers with a remote write back.
+    MachineConfig config;
+    config.numNodes = 2;
+    Machine machine(config);
+
+    Kernel &k0 = machine.node(0).kernel();
+    Kernel &k1 = machine.node(1).kernel();
+    Process &ping = k0.createProcess("ping");
+    Process &pong = k1.createProcess("pong");
+
+    // Mailboxes at fixed physical addresses on each node.
+    const Addr mbox1 = 0x60000;   // on node 1, poked by node 0
+    const Addr mbox0 = 0x60000;   // on node 0, poked by node 1
+
+    const Addr ping_window =
+        k0.mapRemoteWindow(ping, 1, mbox1, pageSize, Rights::ReadWrite);
+    const Addr ping_local =
+        k0.allocate(ping, pageSize, Rights::ReadWrite);
+    // Alias ping's view of its own mailbox: identity physical mapping.
+    (void)ping_local;
+    ping.pageTable().mapPage(0x7100'0000, mbox0, Rights::ReadWrite);
+
+    const Addr pong_window =
+        k1.mapRemoteWindow(pong, 0, mbox0, pageSize, Rights::ReadWrite);
+    pong.pageTable().mapPage(0x7100'0000, mbox1, Rights::ReadWrite);
+
+    // Ping: send 0xAB, then poll own mailbox for 0xCD.
+    Program pp;
+    pp.store(ping_window, 0xAB);
+    const int ping_poll = pp.here();
+    pp.load(reg::t0, 0x7100'0000);
+    pp.branchNe(reg::t0, 0xCD, ping_poll);
+    pp.exit();
+
+    // Pong: poll for 0xAB, then answer 0xCD.
+    Program qq;
+    const int pong_poll = qq.here();
+    qq.load(reg::t0, 0x7100'0000);
+    qq.branchNe(reg::t0, 0xAB, pong_poll);
+    qq.store(pong_window, 0xCD);
+    qq.membar();
+    qq.exit();
+
+    k0.launch(ping, std::move(pp));
+    k1.launch(pong, std::move(qq));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec)) << "ping-pong did not complete";
+
+    EXPECT_EQ(ping.state(), RunState::Exited);
+    EXPECT_EQ(pong.state(), RunState::Exited);
+    EXPECT_GE(machine.network().messagesSent(), 2u);
+}
+
+} // namespace
+} // namespace uldma

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Security edge cases beyond the headline attacks:
+ *
+ *  - a process cannot reach shadow addresses for pages it does not
+ *    own (the page table is the protection boundary of §2.3);
+ *  - extended shadow addressing: a process cannot forge another
+ *    CONTEXT_ID because the kernel bakes the id into the only shadow
+ *    PTEs the process has (§3.2);
+ *  - kernel DMA refuses transfers the caller lacks rights for;
+ *  - figure 8(a): five cooperating processes of ONE application can
+ *    legitimately contribute one access each to a 5-instruction
+ *    sequence (the paper's point that write-sharing implies consent);
+ *  - kernel register block is unreachable from user space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/methods.hh"
+
+namespace uldma {
+namespace {
+
+TEST(SecurityEdges, ShadowAccessWithoutMappingFaults)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &victim = kernel.createProcess("victim");
+    Process &snoop = kernel.createProcess("snoop");
+    kernel.grantShadowContext(victim);
+    kernel.grantShadowContext(snoop);
+
+    const Addr v = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(victim, v, pageSize);
+    const Addr victim_shadow = kernel.shadowVaddrFor(victim, v);
+
+    // The snoop tries the *same virtual address* — its page table has
+    // no such mapping, so the access faults and the process dies.
+    Program sp;
+    sp.load(reg::t0, victim_shadow);
+    sp.exit();
+    kernel.launch(snoop, std::move(sp));
+
+    Program vp;
+    vp.compute(10);
+    vp.exit();
+    kernel.launch(victim, std::move(vp));
+
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+    EXPECT_EQ(snoop.state(), RunState::Faulted);
+    EXPECT_EQ(machine.node(0).dmaEngine().numInitiations(), 0u);
+}
+
+TEST(SecurityEdges, ContextIdCannotBeForged)
+{
+    // Two processes, two CONTEXT_IDs.  The attacker creates shadow
+    // mappings for ITS pages; the kernel stamps the attacker's ctx id
+    // into the physical address.  Even replaying the victim's exact
+    // two-access sequence, the attacker's accesses land in its own
+    // latch, never the victim's.
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    config.node.makeScheduler = []() {
+        // Fine-grained interleaving.
+        return std::make_unique<RoundRobinScheduler>(2 * tickPerUs);
+    };
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &victim = kernel.createProcess("victim");
+    Process &mal = kernel.createProcess("mal");
+    ASSERT_TRUE(kernel.grantShadowContext(victim));
+    ASSERT_TRUE(kernel.grantShadowContext(mal));
+
+    const Addr va = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    const Addr vb = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(victim, va, pageSize);
+    kernel.createShadowMappings(victim, vb, pageSize);
+
+    const Addr ma = kernel.allocate(mal, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(mal, ma, pageSize);
+
+    const Addr paddr_b =
+        kernel.translateFor(victim, vb, Rights::Write).paddr;
+
+    // Victim repeatedly DMAs A->B; attacker interleaves stores/loads
+    // of its own shadow page trying to poison the victim's latch.
+    Program vp;
+    std::uint64_t failures = 0;
+    for (int i = 0; i < 20; ++i) {
+        emitInitiation(vp, kernel, victim, DmaMethod::ExtShadow, va, vb,
+                       64);
+        vp.callback([&failures](ExecContext &ctx) {
+            if (ctx.reg(reg::v0) == dmastatus::failure)
+                ++failures;
+        });
+        vp.membar();   // fresh shadow accesses each round (footnote 6)
+    }
+    vp.exit();
+
+    Program mp;
+    const Addr mal_shadow = kernel.shadowVaddrFor(mal, ma);
+    for (int i = 0; i < 60; ++i) {
+        mp.store(mal_shadow, 32);
+        mp.load(reg::t0, mal_shadow);
+        mp.membar();
+    }
+    mp.exit();
+
+    kernel.launch(victim, std::move(vp));
+    kernel.launch(mal, std::move(mp));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    // The victim never failed: per-CONTEXT_ID latches isolate it.
+    EXPECT_EQ(failures, 0u);
+    // Every victim transfer went exactly where intended.
+    for (const auto &rec : machine.node(0).dmaEngine().initiations()) {
+        if (rec.ctx == *victim.dmaGrant().shadowContext) {
+            EXPECT_EQ(rec.dst, paddr_b);
+        }
+    }
+}
+
+TEST(SecurityEdges, KernelDmaChecksCallerRights)
+{
+    MachineConfig config;
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &owner = kernel.createProcess("owner");
+    Process &thief = kernel.createProcess("thief");
+    // Skip a slot in the owner's address space so the secret's virtual
+    // address is NOT mapped in the thief's (both allocators start at
+    // the same base).
+    kernel.allocate(owner, pageSize, Rights::ReadWrite);
+    const Addr secret = kernel.allocate(owner, pageSize,
+                                        Rights::ReadWrite);
+    const Addr thief_buf = kernel.allocate(thief, pageSize,
+                                           Rights::ReadWrite);
+    ASSERT_FALSE(kernel.translateFor(thief, secret, Rights::Read).ok());
+
+    // The thief asks the kernel to DMA from the owner's secret (a
+    // virtual address not mapped in the thief's table).
+    std::uint64_t status = 0;
+    Program tp;
+    tp.move(reg::a0, secret);
+    tp.move(reg::a1, thief_buf);
+    tp.move(reg::a2, 64);
+    tp.syscall(sys::dma);
+    tp.callback([&status](ExecContext &ctx) {
+        status = ctx.reg(reg::v0);
+    });
+    tp.exit();
+    kernel.launch(thief, std::move(tp));
+
+    Program op;
+    op.exit();
+    kernel.launch(owner, std::move(op));
+
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+    EXPECT_EQ(status, ~std::uint64_t(0));
+    EXPECT_EQ(machine.node(0).dmaEngine().numInitiations(), 0u);
+}
+
+TEST(SecurityEdges, Figure8aCooperatingApplication)
+{
+    // Five processes of one application share the source and
+    // destination pages rw.  The figure-8(a) interleaving — each
+    // process contributes exactly one access of the 5-sequence — is
+    // legitimate (the paper: write-sharing implies synchronization
+    // and consent), and the engine does start the transfer.
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::Repeated5);
+    const Pid p1 = 1, p2 = 2, p3 = 3, p4 = 4, p5 = 5;
+    std::vector<ScriptedScheduler::Slice> script = {
+        {p1, 1}, {p2, 1}, {p3, 1}, {p4, 1}, {p5, 1}};
+    config.node.makeScheduler = [&script]() {
+        return std::make_unique<ScriptedScheduler>(script);
+    };
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &leader = kernel.createProcess("t1");
+    const Addr a = kernel.allocate(leader, pageSize, Rights::ReadWrite);
+    const Addr b = kernel.allocate(leader, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(leader, a, pageSize);
+    kernel.createShadowMappings(leader, b, pageSize);
+    const Addr sa = kernel.shadowVaddrFor(leader, a);
+    const Addr sb = kernel.shadowVaddrFor(leader, b);
+
+    std::vector<Process *> team = {&leader};
+    for (int i = 2; i <= 5; ++i) {
+        Process &t = kernel.createProcess("t" + std::to_string(i));
+        const Addr ta = kernel.mapShared(leader, a, pageSize, t,
+                                         Rights::ReadWrite);
+        const Addr tb = kernel.mapShared(leader, b, pageSize, t,
+                                         Rights::ReadWrite);
+        kernel.createShadowMappings(t, ta, pageSize);
+        kernel.createShadowMappings(t, tb, pageSize);
+        // Shared pages have identical physical (hence shadow virtual)
+        // addresses in every team member.
+        EXPECT_EQ(kernel.shadowVaddrFor(t, ta), sa);
+        EXPECT_EQ(kernel.shadowVaddrFor(t, tb), sb);
+        team.push_back(&t);
+    }
+
+    // One access per process: ST LD ST LD LD (figure 8(a)).
+    Program s1, s2, s3, s4, s5;
+    s1.store(sb, 96);
+    s1.exit();
+    s2.load(reg::t0, sa);
+    s2.exit();
+    s3.store(sb, 96);
+    s3.exit();
+    s4.load(reg::t0, sa);
+    s4.exit();
+    s5.load(reg::v0, sb);
+    s5.exit();
+    kernel.launch(*team[0], std::move(s1));
+    kernel.launch(*team[1], std::move(s2));
+    kernel.launch(*team[2], std::move(s3));
+    kernel.launch(*team[3], std::move(s4));
+    kernel.launch(*team[4], std::move(s5));
+
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    DmaEngine &engine = machine.node(0).dmaEngine();
+    ASSERT_EQ(engine.initiations().size(), 1u);
+    const auto &rec = engine.initiations()[0];
+    EXPECT_EQ(rec.size, 96u);
+    // All five pids contributed — legitimate cooperation.
+    ASSERT_EQ(rec.contributors.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(rec.contributors[i], i + 1);
+}
+
+TEST(SecurityEdges, KernelRegistersUnreachableFromUserSpace)
+{
+    // No user page table ever maps the kernel register block; a
+    // process that guesses its virtual address just faults.
+    MachineConfig config;
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+
+    Program prog;
+    prog.store(0x4000'0000, 0xDEAD);   // kregs base as a vaddr guess
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+    EXPECT_EQ(p.state(), RunState::Faulted);
+}
+
+} // namespace
+} // namespace uldma

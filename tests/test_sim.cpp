@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the sim module: event queue ordering and lifecycle,
+ * clock domains, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace uldma {
+namespace {
+
+/** Event that appends its tag to a log when fired. */
+class TagEvent : public Event
+{
+  public:
+    TagEvent(std::string tag, std::vector<std::string> &log,
+             int priority = DefaultPrio)
+        : Event("tag." + tag, priority), tag_(std::move(tag)), log_(log)
+    {}
+
+    void process() override { log_.push_back(tag_); }
+
+  private:
+    std::string tag_;
+    std::vector<std::string> &log_;
+};
+
+// ---------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent late("late", log), early("early", log), mid("mid", log);
+
+    eq.schedule(&late, 300);
+    eq.schedule(&early, 100);
+    eq.schedule(&mid, 200);
+    eq.runToExhaustion();
+
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], "early");
+    EXPECT_EQ(log[1], "mid");
+    EXPECT_EQ(log[2], "late");
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickUsesPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent a("cpu", log, Event::CpuPrio);
+    TagEvent b("device", log, Event::DevicePrio);
+    TagEvent c("first", log, Event::DefaultPrio);
+    TagEvent d("second", log, Event::DefaultPrio);
+
+    eq.schedule(&c, 50);
+    eq.schedule(&d, 50);
+    eq.schedule(&a, 50);
+    eq.schedule(&b, 50);
+    eq.runToExhaustion();
+
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0], "device");   // lowest priority value first
+    EXPECT_EQ(log[1], "cpu");
+    EXPECT_EQ(log[2], "first");    // insertion order tie-break
+    EXPECT_EQ(log[3], "second");
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    eq.runToExhaustion();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], "b");
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.runToExhaustion();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], "b");
+    EXPECT_EQ(log[1], "a");
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 100);
+    eq.runUntil(50);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_FALSE(eq.empty());
+    eq.deschedule(&b);
+}
+
+TEST(EventQueue, LambdaEventsSelfClean)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleLambda("l1", 5, [&] { ++fired; });
+    eq.scheduleLambda("l2", 6, [&] { ++fired; });
+    eq.runToExhaustion();
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> fire_times;
+    std::function<void()> chain = [&]() {
+        fire_times.push_back(eq.now());
+        if (fire_times.size() < 5)
+            eq.scheduleLambda("chain", eq.now() + 10, chain);
+    };
+    eq.scheduleLambda("chain", 0, chain);
+    eq.runToExhaustion();
+    ASSERT_EQ(fire_times.size(), 5u);
+    EXPECT_EQ(fire_times.back(), 40u);
+}
+
+TEST(EventQueue, NextEventTickSkipsSquashed)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    TagEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_EQ(eq.nextEventTick(), 20u);
+    eq.runToExhaustion();
+}
+
+TEST(EventQueue, CountsProcessedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleLambda("e", i * 10, [] {});
+    eq.runToExhaustion();
+    EXPECT_EQ(eq.numProcessed(), 7u);
+}
+
+// ---------------------------------------------------------------------
+// ClockDomain
+// ---------------------------------------------------------------------
+
+TEST(ClockDomain, PeriodsFromMHz)
+{
+    const auto clk = ClockDomain::fromMHz("cpu", 150);
+    EXPECT_EQ(clk.period(), tickPerSec / 150'000'000);
+    const auto tc = ClockDomain("tc", 80 * tickPerNs);
+    EXPECT_NEAR(tc.frequencyMHz(), 12.5, 0.001);
+}
+
+TEST(ClockDomain, CycleConversions)
+{
+    const ClockDomain clk("c", 80 * tickPerNs);
+    EXPECT_EQ(clk.cyclesToTicks(0), 0u);
+    EXPECT_EQ(clk.cyclesToTicks(5), 400 * tickPerNs);
+    EXPECT_EQ(clk.ticksToCycles(400 * tickPerNs), 5u);
+    EXPECT_EQ(clk.ticksToCycles(401 * tickPerNs), 6u);   // rounds up
+}
+
+TEST(ClockDomain, NextEdge)
+{
+    const ClockDomain clk("c", 100);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(0), 0u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(1), 100u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(100), 100u);
+    EXPECT_EQ(clk.nextEdgeAtOrAfter(101), 200u);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, ScalarCounts)
+{
+    stats::Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.value(), 5u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, AverageMoments)
+{
+    stats::Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_NEAR(a.stddev(), 1.632993, 1e-5);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Histogram h(0.0, 10.0, 5);
+    h.sample(-1);       // underflow
+    h.sample(0);        // bucket 0
+    h.sample(1.99);     // bucket 0
+    h.sample(5);        // bucket 2
+    h.sample(9.99);     // bucket 4
+    h.sample(10);       // overflow
+    EXPECT_EQ(h.totalSamples(), 6u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Stats, GroupDumpContainsEverything)
+{
+    stats::Group group("unit");
+    stats::Scalar s;
+    stats::Average a;
+    ++s;
+    a.sample(3.5);
+    group.addScalar("events", &s, "things that happened");
+    group.addAverage("latency", &a, "how long");
+
+    std::ostringstream os;
+    group.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("unit.events"), std::string::npos);
+    EXPECT_NE(text.find("unit.latency"), std::string::npos);
+    EXPECT_NE(text.find("things that happened"), std::string::npos);
+}
+
+} // namespace
+} // namespace uldma

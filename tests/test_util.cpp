@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the util module: bitfields, integer math, RNG,
+ * string helpers, option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitfield.hh"
+#include "util/options.hh"
+#include "util/random.hh"
+#include "util/strutil.hh"
+
+namespace uldma {
+namespace {
+
+// ---------------------------------------------------------------------
+// bitfield.hh
+// ---------------------------------------------------------------------
+
+TEST(Bitfield, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xFFu);
+    EXPECT_EQ(mask(63), 0x7FFF'FFFF'FFFF'FFFFull);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+    EXPECT_EQ(mask(100), ~std::uint64_t(0));
+}
+
+TEST(Bitfield, BitsExtraction)
+{
+    const std::uint64_t v = 0xDEAD'BEEF'1234'5678ull;
+    EXPECT_EQ(bits(v, 7, 0), 0x78u);
+    EXPECT_EQ(bits(v, 15, 8), 0x56u);
+    EXPECT_EQ(bits(v, 63, 56), 0xDEu);
+    EXPECT_EQ(bits(v, 0), 0u);
+    EXPECT_EQ(bits(v, 3), 1u);
+}
+
+TEST(Bitfield, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 0, 0xAB), 0xABu);
+    EXPECT_EQ(insertBits(0xFF00, 7, 0, 0xAB), 0xFFABu);
+    EXPECT_EQ(insertBits(0xFFFF, 11, 4, 0), 0xF00Fu);
+    // Field wider than range is truncated.
+    EXPECT_EQ(insertBits(0, 3, 0, 0xFF), 0xFu);
+}
+
+TEST(Bitfield, PowerOfTwoPredicates)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bitfield, Logarithms)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(Bitfield, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+    EXPECT_EQ(roundUp(0, 8192), 0u);
+    EXPECT_EQ(roundUp(1, 8192), 8192u);
+    EXPECT_EQ(roundUp(8192, 8192), 8192u);
+    EXPECT_EQ(roundDown(8191, 8192), 0u);
+    EXPECT_EQ(roundDown(8193, 8192), 8192u);
+}
+
+// ---------------------------------------------------------------------
+// random.hh
+// ---------------------------------------------------------------------
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, BelowCoversRange)
+{
+    Random rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, InRangeInclusive)
+{
+    Random rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.inRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 9;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, DoubleInUnitInterval)
+{
+    Random rng(99);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    // Mean should be near 0.5.
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Random, ReseedReproduces)
+{
+    Random rng(5);
+    const std::uint64_t first = rng.next64();
+    rng.next64();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+// ---------------------------------------------------------------------
+// strutil.hh
+// ---------------------------------------------------------------------
+
+TEST(Strutil, Csprintf)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(csprintf("%-4s|", "ab"), "ab  |");
+    EXPECT_EQ(csprintf("%.2f", 1.005), "1.00");
+}
+
+TEST(Strutil, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(0), "0 B");
+    EXPECT_EQ(formatBytes(1023), "1023 B");
+    EXPECT_EQ(formatBytes(1024), "1.0 KiB");
+    EXPECT_EQ(formatBytes(8 * 1024), "8.0 KiB");
+    EXPECT_EQ(formatBytes(3 * 1024 * 1024 / 2), "1.5 MiB");
+}
+
+TEST(Strutil, FormatTime)
+{
+    EXPECT_EQ(formatTime(500), "500 ps");
+    EXPECT_EQ(formatTime(80'000), "80.00 ns");
+    EXPECT_EQ(formatTime(18'600'000), "18.60 us");
+    EXPECT_EQ(formatTime(2'000'000'000), "2.00 ms");
+}
+
+TEST(Strutil, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strutil, TrimAndStartsWith)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_TRUE(startsWith("shadow(vaddr)", "shadow"));
+    EXPECT_FALSE(startsWith("sh", "shadow"));
+}
+
+// ---------------------------------------------------------------------
+// options.hh
+// ---------------------------------------------------------------------
+
+TEST(Options, DefaultsAndParsing)
+{
+    Options opts("test");
+    opts.addInt("iterations", 1000, "how many");
+    opts.addString("method", "ext-shadow", "which method");
+    opts.addFlag("verbose", false, "chatty");
+
+    const char *argv[] = {"prog", "--iterations=250", "--verbose",
+                          "positional"};
+    ASSERT_TRUE(opts.parse(4, const_cast<char **>(argv)));
+    EXPECT_EQ(opts.getInt("iterations"), 250);
+    EXPECT_EQ(opts.getString("method"), "ext-shadow");
+    EXPECT_TRUE(opts.getFlag("verbose"));
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional()[0], "positional");
+}
+
+TEST(Options, SeparateValueForm)
+{
+    Options opts("test");
+    opts.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--n", "77"};
+    ASSERT_TRUE(opts.parse(3, const_cast<char **>(argv)));
+    EXPECT_EQ(opts.getInt("n"), 77);
+}
+
+TEST(Options, HelpReturnsFalse)
+{
+    Options opts("test");
+    opts.addInt("n", 1, "n");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(opts.parse(2, const_cast<char **>(argv)));
+}
+
+TEST(Options, UsageMentionsOptionsAndDefaults)
+{
+    Options opts("my tool");
+    opts.addInt("count", 42, "the count");
+    const std::string usage = opts.usage("prog");
+    EXPECT_NE(usage.find("count"), std::string::npos);
+    EXPECT_NE(usage.find("42"), std::string::npos);
+    EXPECT_NE(usage.find("my tool"), std::string::npos);
+}
+
+} // namespace
+} // namespace uldma
