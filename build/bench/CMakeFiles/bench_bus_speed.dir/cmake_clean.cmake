@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_speed.dir/bench_bus_speed.cpp.o"
+  "CMakeFiles/bench_bus_speed.dir/bench_bus_speed.cpp.o.d"
+  "bench_bus_speed"
+  "bench_bus_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instr_counts.dir/bench_instr_counts.cpp.o"
+  "CMakeFiles/bench_instr_counts.dir/bench_instr_counts.cpp.o.d"
+  "bench_instr_counts"
+  "bench_instr_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instr_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

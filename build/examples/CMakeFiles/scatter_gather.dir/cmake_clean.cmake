@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter_gather.dir/scatter_gather.cpp.o"
+  "CMakeFiles/scatter_gather.dir/scatter_gather.cpp.o.d"
+  "scatter_gather"
+  "scatter_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

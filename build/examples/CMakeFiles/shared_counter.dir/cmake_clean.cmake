@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_counter.dir/shared_counter.cpp.o"
+  "CMakeFiles/shared_counter.dir/shared_counter.cpp.o.d"
+  "shared_counter"
+  "shared_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

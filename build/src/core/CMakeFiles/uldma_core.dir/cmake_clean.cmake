@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_core.dir/attack.cc.o"
+  "CMakeFiles/uldma_core.dir/attack.cc.o.d"
+  "CMakeFiles/uldma_core.dir/experiment.cc.o"
+  "CMakeFiles/uldma_core.dir/experiment.cc.o.d"
+  "CMakeFiles/uldma_core.dir/machine.cc.o"
+  "CMakeFiles/uldma_core.dir/machine.cc.o.d"
+  "CMakeFiles/uldma_core.dir/methods.cc.o"
+  "CMakeFiles/uldma_core.dir/methods.cc.o.d"
+  "CMakeFiles/uldma_core.dir/user_atomics.cc.o"
+  "CMakeFiles/uldma_core.dir/user_atomics.cc.o.d"
+  "libuldma_core.a"
+  "libuldma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cc" "src/cpu/CMakeFiles/uldma_cpu.dir/cpu.cc.o" "gcc" "src/cpu/CMakeFiles/uldma_cpu.dir/cpu.cc.o.d"
+  "/root/repo/src/cpu/dcache.cc" "src/cpu/CMakeFiles/uldma_cpu.dir/dcache.cc.o" "gcc" "src/cpu/CMakeFiles/uldma_cpu.dir/dcache.cc.o.d"
+  "/root/repo/src/cpu/program.cc" "src/cpu/CMakeFiles/uldma_cpu.dir/program.cc.o" "gcc" "src/cpu/CMakeFiles/uldma_cpu.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/uldma_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uldma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uldma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uldma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

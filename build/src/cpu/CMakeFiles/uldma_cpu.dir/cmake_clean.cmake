@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_cpu.dir/cpu.cc.o"
+  "CMakeFiles/uldma_cpu.dir/cpu.cc.o.d"
+  "CMakeFiles/uldma_cpu.dir/dcache.cc.o"
+  "CMakeFiles/uldma_cpu.dir/dcache.cc.o.d"
+  "CMakeFiles/uldma_cpu.dir/program.cc.o"
+  "CMakeFiles/uldma_cpu.dir/program.cc.o.d"
+  "libuldma_cpu.a"
+  "libuldma_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_dma.dir/dma_engine.cc.o"
+  "CMakeFiles/uldma_dma.dir/dma_engine.cc.o.d"
+  "CMakeFiles/uldma_dma.dir/transfer_engine.cc.o"
+  "CMakeFiles/uldma_dma.dir/transfer_engine.cc.o.d"
+  "libuldma_dma.a"
+  "libuldma_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/addr_range.cc" "src/mem/CMakeFiles/uldma_mem.dir/addr_range.cc.o" "gcc" "src/mem/CMakeFiles/uldma_mem.dir/addr_range.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/mem/CMakeFiles/uldma_mem.dir/bus.cc.o" "gcc" "src/mem/CMakeFiles/uldma_mem.dir/bus.cc.o.d"
+  "/root/repo/src/mem/merge_buffer.cc" "src/mem/CMakeFiles/uldma_mem.dir/merge_buffer.cc.o" "gcc" "src/mem/CMakeFiles/uldma_mem.dir/merge_buffer.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/mem/CMakeFiles/uldma_mem.dir/physical_memory.cc.o" "gcc" "src/mem/CMakeFiles/uldma_mem.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uldma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uldma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

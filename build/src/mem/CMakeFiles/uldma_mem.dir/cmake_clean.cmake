@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_mem.dir/addr_range.cc.o"
+  "CMakeFiles/uldma_mem.dir/addr_range.cc.o.d"
+  "CMakeFiles/uldma_mem.dir/bus.cc.o"
+  "CMakeFiles/uldma_mem.dir/bus.cc.o.d"
+  "CMakeFiles/uldma_mem.dir/merge_buffer.cc.o"
+  "CMakeFiles/uldma_mem.dir/merge_buffer.cc.o.d"
+  "CMakeFiles/uldma_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/uldma_mem.dir/physical_memory.cc.o.d"
+  "libuldma_mem.a"
+  "libuldma_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

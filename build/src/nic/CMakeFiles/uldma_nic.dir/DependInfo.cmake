@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/atomic_unit.cc" "src/nic/CMakeFiles/uldma_nic.dir/atomic_unit.cc.o" "gcc" "src/nic/CMakeFiles/uldma_nic.dir/atomic_unit.cc.o.d"
+  "/root/repo/src/nic/network.cc" "src/nic/CMakeFiles/uldma_nic.dir/network.cc.o" "gcc" "src/nic/CMakeFiles/uldma_nic.dir/network.cc.o.d"
+  "/root/repo/src/nic/network_interface.cc" "src/nic/CMakeFiles/uldma_nic.dir/network_interface.cc.o" "gcc" "src/nic/CMakeFiles/uldma_nic.dir/network_interface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dma/CMakeFiles/uldma_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uldma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uldma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uldma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_nic.dir/atomic_unit.cc.o"
+  "CMakeFiles/uldma_nic.dir/atomic_unit.cc.o.d"
+  "CMakeFiles/uldma_nic.dir/network.cc.o"
+  "CMakeFiles/uldma_nic.dir/network.cc.o.d"
+  "CMakeFiles/uldma_nic.dir/network_interface.cc.o"
+  "CMakeFiles/uldma_nic.dir/network_interface.cc.o.d"
+  "libuldma_nic.a"
+  "libuldma_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuldma_nic.a"
+)

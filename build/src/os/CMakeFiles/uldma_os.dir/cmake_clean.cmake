@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_os.dir/kernel.cc.o"
+  "CMakeFiles/uldma_os.dir/kernel.cc.o.d"
+  "CMakeFiles/uldma_os.dir/process.cc.o"
+  "CMakeFiles/uldma_os.dir/process.cc.o.d"
+  "CMakeFiles/uldma_os.dir/scheduler.cc.o"
+  "CMakeFiles/uldma_os.dir/scheduler.cc.o.d"
+  "libuldma_os.a"
+  "libuldma_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_sim.dir/clocked.cc.o"
+  "CMakeFiles/uldma_sim.dir/clocked.cc.o.d"
+  "CMakeFiles/uldma_sim.dir/event.cc.o"
+  "CMakeFiles/uldma_sim.dir/event.cc.o.d"
+  "CMakeFiles/uldma_sim.dir/stats.cc.o"
+  "CMakeFiles/uldma_sim.dir/stats.cc.o.d"
+  "CMakeFiles/uldma_sim.dir/trace.cc.o"
+  "CMakeFiles/uldma_sim.dir/trace.cc.o.d"
+  "libuldma_sim.a"
+  "libuldma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_util.dir/logging.cc.o"
+  "CMakeFiles/uldma_util.dir/logging.cc.o.d"
+  "CMakeFiles/uldma_util.dir/options.cc.o"
+  "CMakeFiles/uldma_util.dir/options.cc.o.d"
+  "CMakeFiles/uldma_util.dir/random.cc.o"
+  "CMakeFiles/uldma_util.dir/random.cc.o.d"
+  "CMakeFiles/uldma_util.dir/strutil.cc.o"
+  "CMakeFiles/uldma_util.dir/strutil.cc.o.d"
+  "libuldma_util.a"
+  "libuldma_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_vm.dir/page_table.cc.o"
+  "CMakeFiles/uldma_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/uldma_vm.dir/tlb.cc.o"
+  "CMakeFiles/uldma_vm.dir/tlb.cc.o.d"
+  "libuldma_vm.a"
+  "libuldma_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/test_attacks.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/test_attacks.dir/test_attacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/uldma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/uldma_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/uldma_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/uldma_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/uldma_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/uldma_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uldma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uldma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/uldma_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

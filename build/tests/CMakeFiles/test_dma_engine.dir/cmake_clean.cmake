@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_engine.dir/test_dma_engine.cpp.o"
+  "CMakeFiles/test_dma_engine.dir/test_dma_engine.cpp.o.d"
+  "test_dma_engine"
+  "test_dma_engine.pdb"
+  "test_dma_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

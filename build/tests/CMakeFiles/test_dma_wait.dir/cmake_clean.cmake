@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_wait.dir/test_dma_wait.cpp.o"
+  "CMakeFiles/test_dma_wait.dir/test_dma_wait.cpp.o.d"
+  "test_dma_wait"
+  "test_dma_wait.pdb"
+  "test_dma_wait[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

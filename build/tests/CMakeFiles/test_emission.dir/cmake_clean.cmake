@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emission.dir/test_emission.cpp.o"
+  "CMakeFiles/test_emission.dir/test_emission.cpp.o.d"
+  "test_emission"
+  "test_emission.pdb"
+  "test_emission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

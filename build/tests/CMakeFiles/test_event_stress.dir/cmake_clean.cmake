@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_stress.dir/test_event_stress.cpp.o"
+  "CMakeFiles/test_event_stress.dir/test_event_stress.cpp.o.d"
+  "test_event_stress"
+  "test_event_stress.pdb"
+  "test_event_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

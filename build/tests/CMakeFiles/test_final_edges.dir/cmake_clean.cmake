@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_final_edges.dir/test_final_edges.cpp.o"
+  "CMakeFiles/test_final_edges.dir/test_final_edges.cpp.o.d"
+  "test_final_edges"
+  "test_final_edges.pdb"
+  "test_final_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_final_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

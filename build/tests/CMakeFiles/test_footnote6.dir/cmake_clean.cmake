@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_footnote6.dir/test_footnote6.cpp.o"
+  "CMakeFiles/test_footnote6.dir/test_footnote6.cpp.o.d"
+  "test_footnote6"
+  "test_footnote6.pdb"
+  "test_footnote6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_footnote6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_machine.dir/test_fuzz_machine.cpp.o"
+  "CMakeFiles/test_fuzz_machine.dir/test_fuzz_machine.cpp.o.d"
+  "test_fuzz_machine"
+  "test_fuzz_machine.pdb"
+  "test_fuzz_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

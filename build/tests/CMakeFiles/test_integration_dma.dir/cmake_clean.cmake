@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_dma.dir/test_integration_dma.cpp.o"
+  "CMakeFiles/test_integration_dma.dir/test_integration_dma.cpp.o.d"
+  "test_integration_dma"
+  "test_integration_dma.pdb"
+  "test_integration_dma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

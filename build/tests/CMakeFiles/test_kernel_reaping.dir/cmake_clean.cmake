@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_reaping.dir/test_kernel_reaping.cpp.o"
+  "CMakeFiles/test_kernel_reaping.dir/test_kernel_reaping.cpp.o.d"
+  "test_kernel_reaping"
+  "test_kernel_reaping.pdb"
+  "test_kernel_reaping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_reaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_model.dir/test_merge_model.cpp.o"
+  "CMakeFiles/test_merge_model.dir/test_merge_model.cpp.o.d"
+  "test_merge_model"
+  "test_merge_model.pdb"
+  "test_merge_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

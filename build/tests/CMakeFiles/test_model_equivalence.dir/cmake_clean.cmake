@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_equivalence.dir/test_model_equivalence.cpp.o"
+  "CMakeFiles/test_model_equivalence.dir/test_model_equivalence.cpp.o.d"
+  "test_model_equivalence"
+  "test_model_equivalence.pdb"
+  "test_model_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

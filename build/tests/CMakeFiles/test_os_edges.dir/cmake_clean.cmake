@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os_edges.dir/test_os_edges.cpp.o"
+  "CMakeFiles/test_os_edges.dir/test_os_edges.cpp.o.d"
+  "test_os_edges"
+  "test_os_edges.pdb"
+  "test_os_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preemption.dir/test_preemption.cpp.o"
+  "CMakeFiles/test_preemption.dir/test_preemption.cpp.o.d"
+  "test_preemption"
+  "test_preemption.pdb"
+  "test_preemption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

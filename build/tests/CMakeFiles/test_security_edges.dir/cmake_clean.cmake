@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_edges.dir/test_security_edges.cpp.o"
+  "CMakeFiles/test_security_edges.dir/test_security_edges.cpp.o.d"
+  "test_security_edges"
+  "test_security_edges.pdb"
+  "test_security_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

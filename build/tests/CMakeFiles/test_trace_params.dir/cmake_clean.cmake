@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_params.dir/test_trace_params.cpp.o"
+  "CMakeFiles/test_trace_params.dir/test_trace_params.cpp.o.d"
+  "test_trace_params"
+  "test_trace_params.pdb"
+  "test_trace_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

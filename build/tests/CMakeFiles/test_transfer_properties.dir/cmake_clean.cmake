@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transfer_properties.dir/test_transfer_properties.cpp.o"
+  "CMakeFiles/test_transfer_properties.dir/test_transfer_properties.cpp.o.d"
+  "test_transfer_properties"
+  "test_transfer_properties.pdb"
+  "test_transfer_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transfer_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uldma_run.dir/uldma_run.cpp.o"
+  "CMakeFiles/uldma_run.dir/uldma_run.cpp.o.d"
+  "uldma_run"
+  "uldma_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uldma_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
