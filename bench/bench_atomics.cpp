@@ -18,7 +18,7 @@ namespace {
 using namespace uldma;
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header(
         "E6: atomic operation initiation, user-level vs kernel (us)");
@@ -42,6 +42,15 @@ printExhibit()
         const AtomicMeasurement mk = measureAtomic(kern);
         std::printf("%-22s %12.2f %12.2f %12.2f %7.1fx\n", toString(op),
                     mu.avgUs, mkey.avgUs, mk.avgUs, mk.avgUs / mu.avgUs);
+
+        auto &r = reporter.record(std::string("atomics/") + toString(op));
+        r.config("op", toString(op));
+        r.config("iterations", std::int64_t{500});
+        r.metric("user_us", mu.avgUs);
+        r.metric("keyed_us", mkey.avgUs);
+        r.metric("kernel_us", mk.avgUs);
+        r.metric("speedup", mk.avgUs / mu.avgUs);
+        r.metric("events", static_cast<double>(mu.executed));
     }
 
     std::printf("\nUser-level atomics cost a few NI accesses (2 for "

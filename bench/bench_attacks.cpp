@@ -16,13 +16,24 @@ namespace {
 using namespace uldma;
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header("E5: protocol security scoreboard");
 
     // Deterministic reproductions of the paper's figures.
     const AttackOutcome fig5 = runFigure5Attack();
     const AttackOutcome fig6 = runFigure6Attack();
+    reporter.record("attacks/figure5")
+        .config("method", "repeated3")
+        .metric("wrong_transfer_started",
+                fig5.wrongTransferStarted ? 1.0 : 0.0)
+        .metric("dst_got_attacker_data",
+                fig5.dstGotAttackerData ? 1.0 : 0.0)
+        .metric("initiations", static_cast<double>(fig5.initiations));
+    reporter.record("attacks/figure6")
+        .config("method", "repeated4")
+        .metric("initiations", static_cast<double>(fig6.initiations))
+        .metric("legit_deceived", fig6.legitDeceived ? 1.0 : 0.0);
     std::printf("figure 5 (repeated-3): wrong transfer %s, "
                 "victim buffer corrupted %s\n",
                 fig5.wrongTransferStarted ? "STARTED" : "blocked",
@@ -61,6 +72,14 @@ printExhibit()
                     static_cast<unsigned long long>(violations),
                     static_cast<unsigned long long>(ok),
                     static_cast<unsigned long long>(10ull * seeds));
+
+        auto &r = reporter.record(std::string("attacks/storm/") +
+                                  toString(method));
+        r.config("method", toString(method));
+        r.config("seeds", static_cast<std::int64_t>(seeds));
+        r.metric("initiations", static_cast<double>(initiations));
+        r.metric("violations", static_cast<double>(violations));
+        r.metric("legit_successes", static_cast<double>(ok));
     }
 
     std::printf("\nThe 3/4-instruction variants leak (paper §3.3); the "

@@ -31,7 +31,7 @@ const BusGen busGens[] = {
 };
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header(
         "E2: DMA initiation time vs I/O bus generation (us)");
@@ -50,6 +50,19 @@ printExhibit()
             config.bus = gen.params;
             const InitiationMeasurement m = measureInitiation(config);
             std::printf(" %20.2f", m.avgUs);
+
+            auto &r = reporter.record(std::string("bus_speed/") +
+                                      toString(method) + "/" + gen.name);
+            r.config("method", toString(method));
+            r.config("bus", gen.name);
+            r.config("iterations",
+                     static_cast<std::int64_t>(m.iterations));
+            r.metric("avg_us", m.avgUs);
+            r.metric("ticks", static_cast<double>(m.simulatedTicks));
+            r.metric("instructions",
+                     static_cast<double>(m.totalInstructions));
+            r.metric("events",
+                     static_cast<double>(m.initiationsStarted));
         }
         std::printf("\n");
     }

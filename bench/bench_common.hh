@@ -1,8 +1,15 @@
 /**
  * @file
- * Shared helpers for the benchmark binaries: table printing and the
- * standard main() that first prints the paper-vs-measured exhibit and
- * then runs the registered google-benchmark timers.
+ * Shared helpers for the benchmark binaries: table printing, the
+ * machine-readable JSON reporter, and the standard main() that first
+ * prints the paper-vs-measured exhibit and then runs the registered
+ * google-benchmark timers.
+ *
+ * Every bench binary accepts:
+ *   --exhibit-only        print the exhibit and skip the timing loop
+ *   --json <path>         additionally write the exhibit's measurements
+ *                         as one JSON document (schema uldma-bench-v1;
+ *                         see docs/OBSERVABILITY.md)
  */
 
 #ifndef ULDMA_BENCH_BENCH_COMMON_HH
@@ -10,8 +17,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hh"
 
 namespace uldma::benchutil {
 
@@ -35,19 +51,154 @@ header(const std::string &title)
 }
 
 /**
+ * Collects the exhibit's measurements as named records and serialises
+ * them as {"schema", "benchmark", "wall_ns", "records": [{name,
+ * config{...}, metrics{...}}]}.  Exhibits fill it via record(); the
+ * shared benchMain() writes the file when --json is given.
+ */
+class Reporter
+{
+  public:
+    class Record
+    {
+      public:
+        explicit Record(std::string name) : name_(std::move(name)) {}
+
+        Record &
+        config(const std::string &key, const std::string &value)
+        {
+            config_.emplace_back(key, value);
+            return *this;
+        }
+
+        Record &
+        config(const std::string &key, std::int64_t value)
+        {
+            return config(key, std::to_string(value));
+        }
+
+        Record &
+        metric(const std::string &key, double value)
+        {
+            metrics_.emplace_back(key, value);
+            return *this;
+        }
+
+        void
+        writeJson(json::Writer &w) const
+        {
+            w.beginObject();
+            w.member("name", name_);
+            w.key("config");
+            w.beginObject();
+            for (const auto &[k, v] : config_)
+                w.member(k, v);
+            w.endObject();
+            w.key("metrics");
+            w.beginObject();
+            for (const auto &[k, v] : metrics_)
+                w.member(k, v);
+            w.endObject();
+            w.endObject();
+        }
+
+      private:
+        std::string name_;
+        std::vector<std::pair<std::string, std::string>> config_;
+        std::vector<std::pair<std::string, double>> metrics_;
+    };
+
+    /** Open a new record; returned reference stays valid. */
+    Record &
+    record(const std::string &name)
+    {
+        records_.push_back(std::make_unique<Record>(name));
+        return *records_.back();
+    }
+
+    std::size_t size() const { return records_.size(); }
+
+    void
+    writeJson(std::ostream &os, const std::string &benchmark,
+              std::uint64_t wall_ns) const
+    {
+        json::Writer w(os, /*pretty=*/true);
+        w.beginObject();
+        w.member("schema", "uldma-bench-v1");
+        w.member("benchmark", benchmark);
+        w.member("wall_ns", wall_ns);
+        w.key("records");
+        w.beginArray();
+        for (const auto &r : records_)
+            r->writeJson(w);
+        w.endArray();
+        w.endObject();
+    }
+
+  private:
+    std::vector<std::unique_ptr<Record>> records_;
+};
+
+inline std::string
+basenameOf(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/**
  * Standard main: print the exhibit (callback), then run benchmarks.
+ * The exhibit callback may optionally take a Reporter& to publish its
+ * measurements; --json <path> writes them as a JSON document.
  * Passing --exhibit-only skips the google-benchmark timing loop.
  */
 template <typename ExhibitFn>
 int
 benchMain(int argc, char **argv, ExhibitFn &&exhibit)
 {
-    exhibit();
+    Reporter reporter;
+    std::string json_path;
+    bool exhibit_only = false;
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--exhibit-only")
-            return 0;
+        const std::string arg = argv[i];
+        if (arg == "--exhibit-only") {
+            exhibit_only = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
     }
-    ::benchmark::Initialize(&argc, argv);
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    if constexpr (std::is_invocable_v<ExhibitFn &, Reporter &>)
+        exhibit(reporter);
+    else
+        exhibit();
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        reporter.writeJson(os, basenameOf(argv[0]), wall_ns);
+        std::printf("\nwrote %zu records to %s\n", reporter.size(),
+                    json_path.c_str());
+    }
+
+    if (exhibit_only)
+        return 0;
+    int pass_argc = static_cast<int>(passthrough.size());
+    ::benchmark::Initialize(&pass_argc, passthrough.data());
     ::benchmark::RunSpecifiedBenchmarks();
     ::benchmark::Shutdown();
     return 0;

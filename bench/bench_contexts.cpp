@@ -53,7 +53,7 @@ provision(DmaMethod method, unsigned resource, unsigned processes)
 }
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     // Baseline costs for the blended estimate.
     MeasureConfig kc;
@@ -83,6 +83,15 @@ printExhibit()
                 (p.granted * key_us + p.fallback * kernel_us) / procs;
             std::printf("%-10u %-10u %-10u %-10u %10.2f\n", contexts,
                         procs, p.granted, p.fallback, blended);
+            reporter.record("contexts/key-based/" +
+                            std::to_string(contexts) + "ctx/" +
+                            std::to_string(procs) + "procs")
+                .config("method", "key-based")
+                .config("contexts", static_cast<std::int64_t>(contexts))
+                .config("processes", static_cast<std::int64_t>(procs))
+                .metric("granted", p.granted)
+                .metric("fallback", p.fallback)
+                .metric("blended_us", blended);
         }
     }
 
@@ -99,6 +108,15 @@ printExhibit()
                 (p.granted * ext_us + p.fallback * kernel_us) / procs;
             std::printf("%-10u %-10u %-10u %-10u %10.2f\n", bits, procs,
                         p.granted, p.fallback, blended);
+            reporter.record("contexts/ext-shadow/" +
+                            std::to_string(bits) + "bits/" +
+                            std::to_string(procs) + "procs")
+                .config("method", "ext-shadow")
+                .config("ctx_bits", static_cast<std::int64_t>(bits))
+                .config("processes", static_cast<std::int64_t>(procs))
+                .metric("granted", p.granted)
+                .metric("fallback", p.fallback)
+                .metric("blended_us", blended);
         }
     }
 

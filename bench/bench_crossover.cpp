@@ -49,10 +49,15 @@ measuredUs(DmaMethod method, Cycles syscall_cycles)
 }
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     const double kernel_us = measuredUs(DmaMethod::Kernel, 2300);
     const double user_us = measuredUs(DmaMethod::ExtShadow, 2300);
+    reporter.record("crossover/measured")
+        .config("syscall_cycles", std::int64_t{2300})
+        .metric("kernel_us", kernel_us)
+        .metric("user_us", user_us)
+        .metric("ratio", kernel_us / user_us);
 
     benchutil::header(
         "E3: initiation overhead vs wire time (crossover analysis)");
@@ -108,6 +113,11 @@ printExhibit()
         std::printf("  %-14llu %-14.2f %s\n",
                     static_cast<unsigned long long>(cyc), us,
                     formatBytes(x).c_str());
+        reporter.record("crossover/syscall_sweep/" + std::to_string(cyc))
+            .config("method", "kernel")
+            .config("syscall_cycles", static_cast<std::int64_t>(cyc))
+            .metric("kernel_us", us)
+            .metric("crossover_bytes_1gbps", static_cast<double>(x));
     }
 }
 

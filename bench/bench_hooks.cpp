@@ -64,7 +64,7 @@ runWorkload(DmaMethod method, Tick quantum)
 }
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header(
         "E9 (ablation): cost of the baselines' context-switch hooks");
@@ -77,7 +77,8 @@ printExhibit()
     const HookResult shrimp2 = runWorkload(DmaMethod::Shrimp2, quantum);
     const HookResult flash = runWorkload(DmaMethod::Flash, quantum);
 
-    auto row = [&](const char *name, const HookResult &r) {
+    auto row = [&](const char *name, const char *slug,
+                   const HookResult &r) {
         const double delta_us =
             r.switches != 0
                 ? (r.totalMs - clean.totalMs) * 1000.0 / r.switches
@@ -86,10 +87,18 @@ printExhibit()
                     static_cast<unsigned long long>(r.switches),
                     static_cast<unsigned long long>(r.hookRuns),
                     r.totalMs, delta_us);
+        reporter.record(std::string("hooks/") + slug)
+            .config("kernel", name)
+            .config("quantum_us",
+                    static_cast<std::int64_t>(quantum / tickPerUs))
+            .metric("switches", static_cast<double>(r.switches))
+            .metric("hook_runs", static_cast<double>(r.hookRuns))
+            .metric("runtime_ms", r.totalMs)
+            .metric("per_switch_us", delta_us);
     };
-    row("unmodified (paper's)", clean);
-    row("SHRIMP-2 invalidation", shrimp2);
-    row("FLASH notification", flash);
+    row("unmodified (paper's)", "unmodified", clean);
+    row("SHRIMP-2 invalidation", "shrimp2", shrimp2);
+    row("FLASH notification", "flash", flash);
 
     std::printf("\nEach hook run is an uncached device write on every "
                 "context switch —\nthe per-device tax the paper refuses "
@@ -100,12 +109,18 @@ printExhibit()
                    500 * tickPerUs}) {
         const HookResult base = runWorkload(DmaMethod::KeyBased, q);
         const HookResult hooked = runWorkload(DmaMethod::Flash, q);
+        const double pct = 100.0 * (hooked.totalMs - base.totalMs) /
+                           base.totalMs;
         std::printf("  quantum %4llu us: clean %8.3f ms, hooked %8.3f "
                     "ms (+%.2f%%)\n",
                     static_cast<unsigned long long>(q / tickPerUs),
-                    base.totalMs, hooked.totalMs,
-                    100.0 * (hooked.totalMs - base.totalMs) /
-                        base.totalMs);
+                    base.totalMs, hooked.totalMs, pct);
+        reporter.record("hooks/quantum/" +
+                        std::to_string(q / tickPerUs) + "us")
+            .config("quantum_us", static_cast<std::int64_t>(q / tickPerUs))
+            .metric("clean_ms", base.totalMs)
+            .metric("hooked_ms", hooked.totalMs)
+            .metric("overhead_pct", pct);
     }
 }
 

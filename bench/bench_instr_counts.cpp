@@ -20,7 +20,7 @@ namespace {
 using namespace uldma;
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header(
         "E4: instructions and NI accesses per DMA initiation");
@@ -40,6 +40,21 @@ printExhibit()
         std::printf("%-28s %10u %12.1f %12.2f %14.0f\n",
                     toString(method), initiationAccessCount(method),
                     m.instructions, m.avgUs, cycles);
+
+        auto &r = reporter.record(std::string("instr_counts/") +
+                                  toString(method));
+        r.config("method", toString(method));
+        r.config("iterations",
+                 static_cast<std::int64_t>(m.iterations));
+        r.metric("ni_accesses",
+                 static_cast<double>(initiationAccessCount(method)));
+        r.metric("instructions_per_initiation", m.instructions);
+        r.metric("instructions",
+                 static_cast<double>(m.totalInstructions));
+        r.metric("avg_us", m.avgUs);
+        r.metric("cycle_equiv", cycles);
+        r.metric("ticks", static_cast<double>(m.simulatedTicks));
+        r.metric("events", static_cast<double>(m.initiationsStarted));
     }
 
     std::printf("\nThe kernel path costs thousands of cycle-equivalents "

@@ -123,7 +123,7 @@ remoteTransfer(Addr size)
 const Addr sizes[] = {64, 256, 1024, 4096, 8192};
 
 void
-printExhibit()
+printExhibit(benchutil::Reporter &reporter)
 {
     benchutil::header(
         "E8: end-to-end DMA transfer latency and bandwidth "
@@ -138,6 +138,19 @@ printExhibit()
                     formatBytes(size).c_str(), local.latencyUs,
                     local.bandwidthMBs, remote.latencyUs,
                     remote.bandwidthMBs);
+        auto publish = [&](const char *kind,
+                           const TransferResult &result) {
+            auto &r = reporter.record(std::string("transfer/") + kind +
+                                      "/" + formatBytes(size));
+            r.config("method", "ext-shadow");
+            r.config("kind", kind);
+            r.config("size_bytes", static_cast<std::int64_t>(size));
+            r.metric("latency_us", result.latencyUs);
+            r.metric("bandwidth_MBps", result.bandwidthMBs);
+            r.metric("ok", result.ok ? 1.0 : 0.0);
+        };
+        publish("local", local);
+        publish("remote", remote);
     }
     std::printf("\nsmall transfers are initiation/latency bound; large "
                 "ones approach the\nengine's 50 MB/s (4 B per 80 ns bus "

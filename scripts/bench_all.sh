@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run every bench binary's paper exhibit with --json and collect the
+# machine-readable reports as BENCH_<name>.json at the repo root
+# (schema uldma-bench-v1, see docs/OBSERVABILITY.md).
+#
+# Usage: scripts/bench_all.sh [build-dir]     (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+if [ ! -d "$build_dir/bench" ]; then
+    echo "bench_all.sh: no '$build_dir/bench' directory;" \
+         "build first (scripts/check.sh)" >&2
+    exit 1
+fi
+
+found=0
+for bench in "$build_dir"/bench/bench_*; do
+    [ -x "$bench" ] || continue
+    name="$(basename "$bench")"
+    suffix="${name#bench_}"
+    out="BENCH_${suffix}.json"
+    echo "== $name -> $out"
+    "$bench" --exhibit-only --json "$out"
+    found=$((found + 1))
+done
+
+if [ "$found" -eq 0 ]; then
+    echo "bench_all.sh: no bench binaries in '$build_dir/bench'" >&2
+    exit 1
+fi
+
+echo
+echo "bench_all.sh: wrote $found report(s): BENCH_*.json"

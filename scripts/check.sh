@@ -4,8 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Reuse whatever generator an existing build tree was configured with;
+# otherwise prefer Ninja when available and fall back to the CMake
+# default (usually Unix Makefiles).
+if [ -f build/CMakeCache.txt ]; then
+    cmake -B build
+elif command -v ninja >/dev/null 2>&1; then
+    cmake -B build -G Ninja
+else
+    cmake -B build
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 
 ctest --test-dir build --output-on-failure
 

@@ -103,6 +103,8 @@ measureInitiation(const MeasureConfig &config)
     m.avgUs = sum / config.iterations;
     m.minUs = lo;
     m.maxUs = hi;
+    m.simulatedTicks = machine.now();
+    m.totalInstructions = instr_marks.back() - instr_marks.front();
     m.instructions =
         static_cast<double>(instr_marks.back() - instr_marks.front()) /
         config.iterations;

@@ -48,6 +48,10 @@ struct InitiationMeasurement
     std::uint64_t initiationsStarted = 0;
     /** Statuses other than failure observed by the program. */
     std::uint64_t successes = 0;
+    /** Simulated time when the run finished (whole-run total). */
+    Tick simulatedTicks = 0;
+    /** User-mode micro-ops retired across the measured window. */
+    std::uint64_t totalInstructions = 0;
 };
 
 /**

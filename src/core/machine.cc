@@ -56,6 +56,19 @@ Node::Node(EventQueue &eq, Network &network, NodeId id,
     kernel_->setNic(nic_.get());
 }
 
+void
+Node::registerStats(stats::Registry &registry)
+{
+    // Same order as the historical text dump, so both renderings list
+    // components identically.
+    bus_->registerStats(registry);
+    cpu_->registerStats(registry);
+    kernel_->registerStats(registry);
+    engine_->registerStats(registry);
+    atomicUnit_->registerStats(registry);
+    nic_->registerStats(registry);
+}
+
 Machine::Machine(const MachineConfig &config)
     : config_(config), network_(eventq_, config.network)
 {
@@ -66,6 +79,9 @@ Machine::Machine(const MachineConfig &config)
         nodes_.push_back(std::make_unique<Node>(
             eventq_, network_, static_cast<NodeId>(i), config.node));
     }
+    network_.registerStats(statsRegistry_);
+    for (auto &node : nodes_)
+        node->registerStats(statsRegistry_);
 }
 
 void
@@ -99,20 +115,13 @@ Machine::run(Tick limit)
 void
 Machine::dumpStats(std::ostream &os)
 {
-    network_.statsGroup().dump(os);
-    for (auto &node : nodes_) {
-        node->bus().statsGroup().dump(os);
-        node->cpu().statsGroup().dump(os);
-        node->cpu().mergeBuffer().statsGroup().dump(os);
-        node->cpu().tlb().statsGroup().dump(os);
-        if (node->cpu().dcache() != nullptr)
-            node->cpu().dcache()->statsGroup().dump(os);
-        node->kernel().statsGroup().dump(os);
-        node->dmaEngine().statsGroup().dump(os);
-        node->dmaEngine().transferEngine().statsGroup().dump(os);
-        node->atomicUnit().statsGroup().dump(os);
-        node->nic().statsGroup().dump(os);
-    }
+    statsRegistry_.dump(os);
+}
+
+void
+Machine::dumpStatsJson(std::ostream &os, bool pretty)
+{
+    statsRegistry_.dumpJson(os, pretty);
 }
 
 } // namespace uldma

@@ -66,6 +66,9 @@ class Node
     NetworkInterface &nic() { return *nic_; }
     Scheduler &scheduler() { return *scheduler_; }
 
+    /** Register every component's stats groups, in dump order. */
+    void registerStats(stats::Registry &registry);
+
   private:
     NodeId id_;
     std::unique_ptr<PhysicalMemory> memory_;
@@ -107,6 +110,18 @@ class Machine
     /** Dump every component's stats to @p os. */
     void dumpStats(std::ostream &os);
 
+    /**
+     * All stats groups of every component on every node, registered
+     * at construction in deterministic order.
+     */
+    stats::Registry &statsRegistry() { return statsRegistry_; }
+
+    /**
+     * Serialise every component's stats as one JSON document
+     * (schema "uldma-stats-v1"; see docs/OBSERVABILITY.md).
+     */
+    void dumpStatsJson(std::ostream &os, bool pretty = true);
+
   private:
     bool allFinished() const;
 
@@ -114,6 +129,7 @@ class Machine
     EventQueue eventq_;
     Network network_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    stats::Registry statsRegistry_;
 };
 
 } // namespace uldma

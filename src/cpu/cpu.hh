@@ -135,6 +135,18 @@ class Cpu : public Clocked
     }
 
     stats::Group &statsGroup() { return statsGroup_; }
+
+    /** Registers the CPU's stats and its merge buffer / TLB / dcache. */
+    void
+    registerStats(stats::Registry &r)
+    {
+        r.add(&statsGroup_);
+        mergeBuffer_.registerStats(r);
+        tlb_.registerStats(r);
+        if (dcache_ != nullptr)
+            dcache_->registerStats(r);
+    }
+
     std::uint64_t instructionsRetired() const { return instrs_.value(); }
     std::uint64_t numUncachedAccesses() const
     {

@@ -93,6 +93,7 @@ class Dcache
 
     const DcacheParams &params() const { return params_; }
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t invalidations() const { return invalidations_.value(); }

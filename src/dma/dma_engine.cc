@@ -211,6 +211,8 @@ DmaEngine::kernelStart()
         !backend_.validEndpoint(kDst_, kSize_)) {
         kFailed_ = true;
         ++rejected_;
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
+                          "kernel args invalid, size ", kSize_);
         return;
     }
 
@@ -225,6 +227,8 @@ DmaEngine::kernelStart()
         },
         xfer_.now() + kStartDelay_);
     ++started_;
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_kernel_start",
+                      "size ", kSize_);
     initiations_.push_back(InitiationRecord{
         xfer_.now(), params_.mode, kSrc_, kDst_, kSize_, 0,
         /*viaKernel=*/true, {}});
@@ -362,6 +366,8 @@ DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
 
     RegisterContext &rc = contexts_[ctx];
     if (!rc.keyValid || keyfield::keyOf(pkt.data) != rc.key) {
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_key_mismatch",
+                          "ctx ", ctx);
         // "only if the provided key matches the key stored by the
         // operating system in the DMA engine" (paper §3.1).
         ++keyMismatch_;
@@ -612,6 +618,8 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
 {
     if (size == 0 || size > params_.userMaxTransfer) {
         ++rejected_;
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
+                          "bad size ", size);
         return invalidTransfer;
     }
     // The shadow mapping only proves access rights to a single page;
@@ -621,6 +629,8 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
         pageNumber(dst) != pageNumber(dst + size - 1)) {
         ++crossPageRejects_;
         ++rejected_;
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
+                          "cross-page, size ", size);
         return invalidTransfer;
     }
     if (!backend_.validEndpoint(src, size) ||
@@ -631,6 +641,8 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
 
     const TransferId id = xfer_.start(src, dst, size);
     ++started_;
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_start",
+                      "ctx ", ctx, " size ", size);
     initiations_.push_back(InitiationRecord{
         xfer_.now(), params_.mode, src, dst, size, ctx,
         /*viaKernel=*/false, contributors});

@@ -111,6 +111,15 @@ class DmaEngine : public BusDevice
     /// @name Stats.
     /// @{
     stats::Group &statsGroup() { return statsGroup_; }
+
+    /** Registers the engine's stats and its transfer engine's. */
+    void
+    registerStats(stats::Registry &r)
+    {
+        r.add(&statsGroup_);
+        transferEngine().registerStats(r);
+    }
+
     std::uint64_t numInitiations() const { return started_.value(); }
     std::uint64_t numRejects() const { return rejected_.value(); }
     std::uint64_t numKeyMismatches() const { return keyMismatch_.value(); }

@@ -47,12 +47,16 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
     ULDMA_TRACE("Dma", now(), name_, ": transfer ", id, " 0x", std::hex,
                 src, " -> 0x", dst, std::dec, " size ", size,
                 " completes at ", end);
+    ULDMA_TRACE_EVENT(name_, now(), "xfer_start",
+                      "id ", id, " size ", size);
 
     eventq().scheduleLambda(
         name_ + ".complete", end,
         [this, id, src, dst, size, cb = std::move(on_complete)]() {
             const Tick extra = backend_.moveBytes(src, dst, size);
             ++completed_;
+            ULDMA_TRACE_EVENT(name_, now(), "xfer_complete",
+                              "id ", id, " size ", size);
             for (Flight &f : flights_) {
                 if (f.id == id) {
                     f.applied = true;

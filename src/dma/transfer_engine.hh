@@ -67,6 +67,7 @@ class TransferEngine : public Clocked
     std::uint64_t transfersCompleted() const { return completed_.value(); }
     std::uint64_t bytesMoved() const { return bytes_.value(); }
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
 
   private:
     struct Flight

@@ -1,6 +1,7 @@
 #include "mem/bus.hh"
 
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace uldma {
@@ -108,6 +109,10 @@ Bus::access(Packet &pkt)
         ++reads_;
     else
         ++writes_;
+    ULDMA_TRACE_EVENT(name_, now(),
+                      pkt.isRead() ? "bus_read" : "bus_write",
+                      "paddr 0x", std::hex, pkt.paddr, std::dec,
+                      " size ", pkt.size);
 
     const Tick device_ticks = device->access(pkt);
     Cycles phases = params_.arbitrationCycles;

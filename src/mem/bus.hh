@@ -110,6 +110,7 @@ class Bus : public Clocked
     BusDevice *deviceAt(Addr addr) const;
 
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
 
     /** Total transactions routed. */
     std::uint64_t numTransactions() const { return reads_.value() +

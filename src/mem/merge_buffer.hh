@@ -85,6 +85,7 @@ class MergeBuffer
 
     const MergeBufferParams &params() const { return params_; }
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
 
     std::uint64_t numCollapsedStores() const { return collapsed_.value(); }
     std::uint64_t numMergedLoads() const { return merged_.value(); }

@@ -166,6 +166,7 @@ class AtomicUnit : public BusDevice
     std::uint64_t contextKey(unsigned ctx) const;
 
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t numExecuted() const { return executed_.value(); }
     std::uint64_t numRefused() const { return refused_.value(); }
 

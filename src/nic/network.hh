@@ -85,6 +85,7 @@ class Network
     Tick serialization(Addr size) const;
 
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t messagesSent() const { return messages_.value(); }
     std::uint64_t bytesSent() const { return bytes_.value(); }
 

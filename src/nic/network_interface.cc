@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace uldma {
@@ -79,6 +80,8 @@ NetworkInterface::access(Packet &pkt)
 
     if (pkt.isWrite()) {
         ++remoteStores_;
+        ULDMA_TRACE_EVENT(name_, network_.now(), "remote_store",
+                          "node ", dst_node);
         std::uint64_t value = pkt.data;
         if (dst_node == node_) {
             localMemory_.writeInt(remote_paddr, value, pkt.size);
@@ -91,6 +94,8 @@ NetworkInterface::access(Packet &pkt)
     }
 
     ++remoteLoads_;
+    ULDMA_TRACE_EVENT(name_, network_.now(), "remote_load",
+                      "node ", dst_node);
     if (dst_node == node_) {
         pkt.data = localMemory_.readInt(remote_paddr, pkt.size);
         return base;
@@ -143,6 +148,8 @@ NetworkInterface::moveBytes(Addr src, Addr dst, Addr size)
             localMemory_.write(remote, buffer.data(), size);
         } else {
             ++dmaForwards_;
+            ULDMA_TRACE_EVENT(name_, network_.now(), "dma_forward",
+                              "node ", dst_node, " size ", size);
             const Tick arrival = network_.send(node_, dst_node, remote,
                                                buffer.data(), size);
             extra += arrival - network_.now();

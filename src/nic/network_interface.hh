@@ -83,6 +83,7 @@ class NetworkInterface : public BusDevice, public TransferBackend
     std::uint8_t *resolve(Addr paddr, Addr size, Tick &extra_latency);
 
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t remoteStores() const { return remoteStores_.value(); }
     std::uint64_t remoteLoads() const { return remoteLoads_.value(); }
 

@@ -357,6 +357,8 @@ SyscallResult
 Kernel::syscall(ExecContext &ctx, std::uint64_t number)
 {
     ++syscalls_;
+    ULDMA_TRACE_EVENT(name_, cpu_.clockEdge(), "syscall",
+                      "number ", number, " pid ", ctx.pid());
     switch (number) {
       case sys::noop:
         return sysNoop();
@@ -617,6 +619,8 @@ Tick
 Kernel::doContextSwitch()
 {
     ++switches_;
+    ULDMA_TRACE_EVENT(name_, cpu_.clockEdge(), "context_switch", "n=",
+                      switches_.value());
     Tick cost = cyclesToTicks(params_.contextSwitchCycles);
 
     // Hardware effects of leaving a process: pending writes drain,

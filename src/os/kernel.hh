@@ -213,6 +213,7 @@ class Kernel : public OsCallbacks
     /// @name Stats.
     /// @{
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t numContextSwitches() const { return switches_.value(); }
     std::uint64_t numSyscalls() const { return syscalls_.value(); }
     std::uint64_t numFaultedProcesses() const { return faults_.value(); }

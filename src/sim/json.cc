@@ -1,0 +1,538 @@
+#include "sim/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace uldma::json {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values within the exact range of double print without
+    // an exponent or decimal point.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    for (int prec = 15; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    return "null";  // unreachable: %.17g always round-trips
+}
+
+Writer::Writer(std::ostream &os, bool pretty) : os_(os), pretty_(pretty) {}
+
+Writer::~Writer()
+{
+    // A trailing newline makes the file friendly to text tools.
+    if (rootWritten_ && stack_.empty() && pretty_)
+        os_ << '\n';
+}
+
+bool
+Writer::complete() const
+{
+    return rootWritten_ && stack_.empty();
+}
+
+void
+Writer::indent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+Writer::prepareValue()
+{
+    ULDMA_ASSERT(!(rootWritten_ && stack_.empty()),
+                 "json: only one root value per document");
+    if (stack_.empty()) {
+        rootWritten_ = true;
+        return;
+    }
+    Level &top = stack_.back();
+    if (top.scope == Scope::Object) {
+        ULDMA_ASSERT(keyPending_, "json: object member needs a key");
+        keyPending_ = false;
+    } else {
+        if (top.hasItems)
+            os_ << ',';
+        indent();
+        top.hasItems = true;
+    }
+}
+
+void
+Writer::key(const std::string &k)
+{
+    ULDMA_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object,
+                 "json: key() outside an object");
+    ULDMA_ASSERT(!keyPending_, "json: two keys in a row");
+    if (stack_.back().hasItems)
+        os_ << ',';
+    indent();
+    stack_.back().hasItems = true;
+    os_ << '"' << escape(k) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    keyPending_ = true;
+}
+
+void
+Writer::beginObject()
+{
+    prepareValue();
+    os_ << '{';
+    stack_.push_back({Scope::Object, false});
+}
+
+void
+Writer::endObject()
+{
+    ULDMA_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Object,
+                 "json: endObject() without beginObject()");
+    ULDMA_ASSERT(!keyPending_, "json: dangling key at endObject()");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << '}';
+}
+
+void
+Writer::beginArray()
+{
+    prepareValue();
+    os_ << '[';
+    stack_.push_back({Scope::Array, false});
+}
+
+void
+Writer::endArray()
+{
+    ULDMA_ASSERT(!stack_.empty() && stack_.back().scope == Scope::Array,
+                 "json: endArray() without beginArray()");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << ']';
+}
+
+void
+Writer::value(const std::string &v)
+{
+    prepareValue();
+    os_ << '"' << escape(v) << '"';
+}
+
+void
+Writer::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+Writer::value(double v)
+{
+    prepareValue();
+    os_ << formatNumber(v);
+}
+
+void
+Writer::value(std::int64_t v)
+{
+    prepareValue();
+    os_ << v;
+}
+
+void
+Writer::value(std::uint64_t v)
+{
+    prepareValue();
+    os_ << v;
+}
+
+void
+Writer::value(bool v)
+{
+    prepareValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+Writer::valueNull()
+{
+    prepareValue();
+    os_ << "null";
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+const Value &
+Value::operator[](const std::string &k) const
+{
+    static const Value null_value;
+    if (type_ != Type::Object)
+        return null_value;
+    auto it = object_.find(k);
+    return it == object_.end() ? null_value : it->second;
+}
+
+const Value &
+Value::operator[](std::size_t i) const
+{
+    static const Value null_value;
+    if (type_ != Type::Array || i >= array_.size())
+        return null_value;
+    return array_[i];
+}
+
+bool
+Value::has(const std::string &k) const
+{
+    return type_ == Type::Object && object_.count(k) != 0;
+}
+
+std::size_t
+Value::size() const
+{
+    if (type_ == Type::Array)
+        return array_.size();
+    if (type_ == Type::Object)
+        return object_.size();
+    return 0;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out.type_ = Value::Type::String;
+            return parseString(out.string_);
+          case 't':
+            out.type_ = Value::Type::Bool;
+            out.bool_ = true;
+            return literal("true");
+          case 'f':
+            out.type_ = Value::Type::Bool;
+            out.bool_ = false;
+            return literal("false");
+          case 'n':
+            out.type_ = Value::Type::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, int depth)
+    {
+        out.type_ = Value::Type::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string k;
+            if (!parseString(k))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.object_.emplace(std::move(k), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out, int depth)
+    {
+        out.type_ = Value::Type::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.array_.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_;  // opening quote
+        while (pos_ < text_.size()) {
+            const unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                const char e = text_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode (surrogate pairs are passed through
+                    // as two separate code points; the writer never
+                    // emits them).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            out += static_cast<char>(c);
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        out.type_ = Value::Type::Number;
+        out.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                  nullptr);
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+Value
+parse(const std::string &text, std::string *error)
+{
+    Parser p(text);
+    Value v;
+    if (!p.parseDocument(v)) {
+        if (error != nullptr)
+            *error = p.error();
+        return Value();
+    }
+    if (error != nullptr)
+        error->clear();
+    return v;
+}
+
+bool
+valid(const std::string &text)
+{
+    std::string error;
+    parse(text, &error);
+    return error.empty();
+}
+
+} // namespace uldma::json

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a streaming writer
+ * (used by the stats registry, the event-trace exporter and the bench
+ * reporter) and a small recursive-descent parser (used by the tests to
+ * validate and round-trip what the writer emits).  No external
+ * dependencies; output is deterministic — the same data always
+ * serialises to the same bytes.
+ */
+
+#ifndef ULDMA_SIM_JSON_HH
+#define ULDMA_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uldma::json {
+
+/** Escape a string for embedding between JSON double quotes. */
+std::string escape(const std::string &s);
+
+/**
+ * Render a double deterministically with the fewest digits that
+ * round-trip (tries %.15g, %.16g, %.17g).  Non-finite values render
+ * as null per the JSON grammar.
+ */
+std::string formatNumber(double v);
+
+/**
+ * Streaming JSON writer.  Call begin/end and key/value in document
+ * order; commas and indentation are handled automatically.  Misuse
+ * (e.g. a key outside an object) trips an assertion.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os, bool pretty = true);
+    ~Writer();
+
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(const std::string &k);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(const std::string &k, T &&v)
+    {
+        key(k);
+        value(std::forward<T>(v));
+    }
+
+    /** True once the root value has been closed. */
+    bool complete() const;
+
+  private:
+    enum class Scope { Object, Array };
+    struct Level { Scope scope; bool hasItems; };
+
+    void prepareValue();
+    void indent();
+
+    std::ostream &os_;
+    bool pretty_;
+    bool rootWritten_ = false;
+    bool keyPending_ = false;
+    std::vector<Level> stack_;
+};
+
+/** Parsed JSON value (tests and tools only; not used on hot paths). */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() : type_(Type::Null) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+    const std::vector<Value> &asArray() const { return array_; }
+    const std::map<std::string, Value> &asObject() const { return object_; }
+
+    /** Object member access; null Value if absent or not an object. */
+    const Value &operator[](const std::string &k) const;
+    /** Array element access; null Value if out of range. */
+    const Value &operator[](std::size_t i) const;
+
+    bool has(const std::string &k) const;
+    std::size_t size() const;
+
+  private:
+    friend class Parser;
+
+    Type type_;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::map<std::string, Value> object_;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @param error  If non-null, receives a description on failure.
+ * @return the parsed value; Null type with a set @p error on failure.
+ *         (A valid document whose root is null also parses to Null —
+ *         check @p error, or use valid(), to distinguish.)
+ */
+Value parse(const std::string &text, std::string *error = nullptr);
+
+/** True if @p text is one complete, well-formed JSON document. */
+bool valid(const std::string &text);
+
+} // namespace uldma::json
+
+#endif // ULDMA_SIM_JSON_HH

@@ -1,7 +1,9 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "sim/json.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -134,6 +136,97 @@ Group::dump(std::ostream &os) const
                                e.stat->bucketCount(i)));
         }
     }
+}
+
+std::uint64_t
+Group::scalarValue(const std::string &name) const
+{
+    for (const auto &e : scalars_) {
+        if (e.name == name)
+            return e.stat->value();
+    }
+    return 0;
+}
+
+void
+Registry::add(const Group *group)
+{
+    ULDMA_ASSERT(group != nullptr, "null stats group registered");
+    ULDMA_ASSERT(std::find(groups_.begin(), groups_.end(), group) ==
+                     groups_.end(),
+                 "stats group registered twice: ", group->name());
+    groups_.push_back(group);
+}
+
+const Group *
+Registry::find(const std::string &name) const
+{
+    for (const Group *g : groups_) {
+        if (g->name() == name)
+            return g;
+    }
+    return nullptr;
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const Group *g : groups_)
+        g->dump(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os, bool pretty) const
+{
+    json::Writer w(os, pretty);
+    w.beginObject();
+    w.member("schema", "uldma-stats-v1");
+    w.key("groups");
+    w.beginArray();
+    for (const Group *g : groups_) {
+        w.beginObject();
+        w.member("name", g->name());
+        w.key("scalars");
+        w.beginObject();
+        for (const auto &e : g->scalars())
+            w.member(e.name, e.stat->value());
+        w.endObject();
+        w.key("averages");
+        w.beginObject();
+        for (const auto &e : g->averages()) {
+            w.key(e.name);
+            w.beginObject();
+            w.member("count", e.stat->count());
+            w.member("sum", e.stat->sum());
+            w.member("mean", e.stat->mean());
+            w.member("min", e.stat->min());
+            w.member("max", e.stat->max());
+            w.member("stddev", e.stat->stddev());
+            w.endObject();
+        }
+        w.endObject();
+        w.key("histograms");
+        w.beginObject();
+        for (const auto &e : g->histograms()) {
+            w.key(e.name);
+            w.beginObject();
+            w.member("lo", e.stat->lo());
+            w.member("hi", e.stat->hi());
+            w.member("underflow", e.stat->underflow());
+            w.member("overflow", e.stat->overflow());
+            w.member("total", e.stat->totalSamples());
+            w.key("buckets");
+            w.beginArray();
+            for (unsigned i = 0; i < e.stat->numBuckets(); ++i)
+                w.value(e.stat->bucketCount(i));
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
 }
 
 } // namespace uldma::stats

@@ -93,6 +93,13 @@ class Histogram
 class Group
 {
   public:
+    struct ScalarEntry { std::string name; const Scalar *stat;
+                         std::string desc; };
+    struct AverageEntry { std::string name; const Average *stat;
+                          std::string desc; };
+    struct HistogramEntry { std::string name; const Histogram *stat;
+                            std::string desc; };
+
     explicit Group(std::string name) : name_(std::move(name)) {}
 
     void addScalar(const std::string &name, const Scalar *s,
@@ -105,18 +112,51 @@ class Group
     const std::string &name() const { return name_; }
     void dump(std::ostream &os) const;
 
-  private:
-    struct ScalarEntry { std::string name; const Scalar *stat;
-                         std::string desc; };
-    struct AverageEntry { std::string name; const Average *stat;
-                          std::string desc; };
-    struct HistogramEntry { std::string name; const Histogram *stat;
-                            std::string desc; };
+    /** Entry access for serialisers (json, future formats). */
+    const std::vector<ScalarEntry> &scalars() const { return scalars_; }
+    const std::vector<AverageEntry> &averages() const { return averages_; }
+    const std::vector<HistogramEntry> &histograms() const
+    { return histograms_; }
 
+    /** Scalar lookup by stat name; 0 if absent. */
+    std::uint64_t scalarValue(const std::string &name) const;
+
+  private:
     std::string name_;
     std::vector<ScalarEntry> scalars_;
     std::vector<AverageEntry> averages_;
     std::vector<HistogramEntry> histograms_;
+};
+
+/**
+ * Aggregates every Group a Machine owns so whole-run statistics can be
+ * dumped as text or exported as one JSON document.  The registry does
+ * not own the groups; components register the group they already hold
+ * via their registerStats() hook, and registration order is
+ * serialisation order (deterministic across identical runs).
+ */
+class Registry
+{
+  public:
+    void add(const Group *group);
+
+    const std::vector<const Group *> &groups() const { return groups_; }
+
+    /** Group lookup by full name; nullptr if absent. */
+    const Group *find(const std::string &name) const;
+
+    /** Render every group in registration order (text form). */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Serialise every group as one JSON document:
+     * {"schema": "uldma-stats-v1", "groups": [...]}.  Deterministic —
+     * contains no wall-clock time, hostnames or pointers.
+     */
+    void dumpJson(std::ostream &os, bool pretty = true) const;
+
+  private:
+    std::vector<const Group *> groups_;
 };
 
 } // namespace uldma::stats

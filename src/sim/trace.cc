@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <set>
 
+#include "sim/json.hh"
+#include "sim/ticks.hh"
 #include "util/strutil.hh"
 
 namespace uldma::trace {
@@ -78,6 +81,130 @@ initFromEnvironment()
         else
             enable(flag);
     }
+}
+
+// ---------------------------------------------------------------------
+// Structured event capture
+// ---------------------------------------------------------------------
+
+namespace detail { bool eventCaptureEnabled = false; }
+
+void
+EventRing::enable(std::size_t capacity)
+{
+    ULDMA_ASSERT(capacity > 0, "event ring needs at least one slot");
+    ring_.assign(capacity, TraceEvent{});
+    next_ = 0;
+    count_ = 0;
+    recorded_ = 0;
+    enabled_ = true;
+    detail::eventCaptureEnabled = true;
+}
+
+void
+EventRing::disable()
+{
+    enabled_ = false;
+    detail::eventCaptureEnabled = false;
+    ring_.clear();
+    ring_.shrink_to_fit();
+    next_ = 0;
+    count_ = 0;
+    recorded_ = 0;
+}
+
+void
+EventRing::clear()
+{
+    for (auto &e : ring_)
+        e = TraceEvent{};
+    next_ = 0;
+    count_ = 0;
+    recorded_ = 0;
+}
+
+void
+EventRing::record(const std::string &component, Tick tick,
+                  const std::string &kind, std::string payload)
+{
+    if (!enabled_)
+        return;
+    TraceEvent &slot = ring_[next_];
+    slot.tick = tick;
+    slot.component = component;
+    slot.kind = kind;
+    slot.payload = std::move(payload);
+    next_ = (next_ + 1) % ring_.size();
+    if (count_ < ring_.size())
+        ++count_;
+    ++recorded_;
+}
+
+const TraceEvent &
+EventRing::at(std::size_t i) const
+{
+    ULDMA_ASSERT(i < count_, "event ring index out of range");
+    const std::size_t oldest = (next_ + ring_.size() - count_) %
+                               ring_.size();
+    return ring_[(oldest + i) % ring_.size()];
+}
+
+void
+EventRing::exportChromeTracing(std::ostream &os) const
+{
+    // One tracing "thread" per component, numbered by first appearance
+    // (deterministic: depends only on the captured events).
+    std::map<std::string, std::uint64_t> tids;
+    for (std::size_t i = 0; i < count_; ++i)
+        tids.emplace(at(i).component, tids.size());
+
+    json::Writer w(os, /*pretty=*/false);
+    w.beginObject();
+    w.member("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &[component, tid] : tids) {
+        w.beginObject();
+        w.member("name", "thread_name");
+        w.member("ph", "M");
+        w.member("pid", std::uint64_t{0});
+        w.member("tid", tid);
+        w.key("args");
+        w.beginObject();
+        w.member("name", component);
+        w.endObject();
+        w.endObject();
+    }
+    for (std::size_t i = 0; i < count_; ++i) {
+        const TraceEvent &e = at(i);
+        w.beginObject();
+        w.member("name", e.kind);
+        w.member("cat", e.component);
+        w.member("ph", "i");
+        w.member("s", "t");
+        w.member("ts", ticksToUs(e.tick));
+        w.member("pid", std::uint64_t{0});
+        w.member("tid", tids.at(e.component));
+        if (!e.payload.empty()) {
+            w.key("args");
+            w.beginObject();
+            w.member("detail", e.payload);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.member("meta_recorded", recorded());
+    w.member("meta_dropped", dropped());
+    w.endObject();
+    os << '\n';
+}
+
+EventRing &
+eventRing()
+{
+    static EventRing instance;
+    return instance;
 }
 
 } // namespace uldma::trace

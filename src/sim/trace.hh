@@ -11,7 +11,11 @@
 #ifndef ULDMA_SIM_TRACE_HH
 #define ULDMA_SIM_TRACE_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/types.hh"
@@ -37,7 +41,106 @@ void emit(const std::string &flag, Tick when, const std::string &msg);
 /** Re-read the ULDMA_DEBUG environment variable. */
 void initFromEnvironment();
 
+// ---------------------------------------------------------------------
+// Structured event capture
+// ---------------------------------------------------------------------
+
+/**
+ * One structured event captured by the ring buffer: which component
+ * emitted it, when, what kind of event, and a free-form payload.
+ * Deliberately free of pointers and wall-clock time so captured traces
+ * are byte-reproducible across identical runs.
+ */
+struct TraceEvent
+{
+    Tick tick = 0;
+    std::string component;
+    std::string kind;
+    std::string payload;
+};
+
+/**
+ * Bounded ring buffer of TraceEvents.  Storage is allocated once at
+ * enable() time; when full, the oldest events are overwritten so a
+ * capture always holds the *tail* of the run.  While disabled (the
+ * default) the buffer holds no storage and ULDMA_TRACE_EVENT costs one
+ * branch on a plain bool — no allocation, no argument formatting.
+ */
+class EventRing
+{
+  public:
+    /** Allocate @p capacity slots and start capturing. */
+    void enable(std::size_t capacity = 1 << 16);
+
+    /** Stop capturing and release all storage. */
+    void disable();
+
+    bool enabled() const { return enabled_; }
+
+    /** Drop captured events but keep capturing with the same storage. */
+    void clear();
+
+    /** Allocated slots (0 while disabled). */
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return count_; }
+
+    /** Total events ever recorded, including overwritten ones. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to overwrite. */
+    std::uint64_t dropped() const { return recorded_ - count_; }
+
+    /** Append one event (no-op while disabled). */
+    void record(const std::string &component, Tick tick,
+                const std::string &kind, std::string payload);
+
+    /** The i-th held event in chronological order (0 = oldest). */
+    const TraceEvent &at(std::size_t i) const;
+
+    /**
+     * Export the held events as a chrome://tracing / Perfetto JSON
+     * document ("ts" in simulated microseconds, one thread per
+     * component category).  Deterministic across identical runs.
+     */
+    void exportChromeTracing(std::ostream &os) const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;       // next write slot
+    std::size_t count_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+/** The process-wide event ring used by ULDMA_TRACE_EVENT. */
+EventRing &eventRing();
+
+namespace detail { extern bool eventCaptureEnabled; }
+
+/** Cheap global gate checked before any event-argument formatting. */
+inline bool
+eventCaptureOn()
+{
+    return detail::eventCaptureEnabled;
+}
+
 } // namespace uldma::trace
+
+/**
+ * Record a structured event into the global ring buffer.  The payload
+ * arguments are streamed like ULDMA_TRACE's and are only evaluated when
+ * capture is enabled, so instrumented hot paths pay a single predictable
+ * branch when tracing is off.
+ */
+#define ULDMA_TRACE_EVENT(component, when, kind, ...)                       \
+    do {                                                                    \
+        if (::uldma::trace::eventCaptureOn()) {                             \
+            ::uldma::trace::eventRing().record(component, when, kind,       \
+                ::uldma::detail::concatToString(__VA_ARGS__));              \
+        }                                                                   \
+    } while (0)
 
 /**
  * Trace a message under a flag at a given simulated time.

@@ -25,7 +25,7 @@ std::string
 concatToString(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
+    ((os << std::forward<Args>(args)), ...);
     return os.str();
 }
 

@@ -47,6 +47,7 @@ class Tlb
 
     const TlbParams &params() const { return params_; }
     stats::Group &statsGroup() { return statsGroup_; }
+    void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 

@@ -12,6 +12,8 @@
 
 #include "core/attack.hh"
 #include "core/experiment.hh"
+#include "sim/json.hh"
+#include "sim/trace.hh"
 
 namespace uldma {
 namespace {
@@ -100,6 +102,64 @@ TEST(Determinism, StatsDumpIsIdenticalAcrossRuns)
     };
 
     EXPECT_EQ(run_once(), run_once());
+}
+
+namespace {
+
+/** One KeyBased burst; returns {stats JSON, chrome trace JSON}. */
+std::pair<std::string, std::string>
+runObservedOnce()
+{
+    trace::eventRing().enable(1024);
+
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::KeyBased);
+    Machine machine(config);
+    prepareMachine(machine, DmaMethod::KeyBased);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    prepareProcess(kernel, p, DmaMethod::KeyBased);
+    const Addr src = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(p, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(p, src, pageSize);
+    kernel.createShadowMappings(p, dst, pageSize);
+    Program prog;
+    for (int i = 0; i < 4; ++i)
+        emitInitiation(prog, kernel, p, DmaMethod::KeyBased, src, dst,
+                       256);
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    machine.run(tickPerSec);
+
+    std::ostringstream stats_os;
+    machine.dumpStatsJson(stats_os);
+    std::ostringstream trace_os;
+    trace::eventRing().exportChromeTracing(trace_os);
+    trace::eventRing().disable();
+    return {stats_os.str(), trace_os.str()};
+}
+
+} // namespace
+
+TEST(Determinism, StatsJsonIsByteIdenticalAcrossRuns)
+{
+    const auto a = runObservedOnce();
+    const auto b = runObservedOnce();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_TRUE(json::valid(a.first));
+}
+
+TEST(Determinism, ChromeTraceIsByteIdenticalAcrossRuns)
+{
+    const auto a = runObservedOnce();
+    const auto b = runObservedOnce();
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_TRUE(json::valid(a.second));
+
+    // The trace actually recorded events (initiations hit the engine).
+    json::Value root = json::parse(a.second);
+    EXPECT_GT(root["traceEvents"].size(), 0u);
 }
 
 TEST(Determinism, DisassemblyIsStable)

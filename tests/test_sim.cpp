@@ -11,8 +11,10 @@
 
 #include "sim/clocked.hh"
 #include "sim/event.hh"
+#include "sim/json.hh"
 #include "sim/stats.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace uldma {
 namespace {
@@ -257,6 +259,87 @@ TEST(Stats, GroupDumpContainsEverything)
     EXPECT_NE(text.find("unit.events"), std::string::npos);
     EXPECT_NE(text.find("unit.latency"), std::string::npos);
     EXPECT_NE(text.find("things that happened"), std::string::npos);
+}
+
+TEST(EventRing, DisabledPathRecordsNothingAndHoldsNoStorage)
+{
+    trace::EventRing &ring = trace::eventRing();
+    ring.disable();
+
+    EXPECT_FALSE(trace::eventCaptureOn());
+    // While disabled the ring holds zero storage — no per-event (or
+    // even per-run) allocation on the disabled path.
+    EXPECT_EQ(ring.capacity(), 0u);
+
+    bool payload_evaluated = false;
+    auto expensive = [&]() {
+        payload_evaluated = true;
+        return std::string("payload");
+    };
+    ULDMA_TRACE_EVENT("unit", Tick{0}, "kind", expensive());
+    // The macro must not evaluate its payload arguments when capture
+    // is off.
+    EXPECT_FALSE(payload_evaluated);
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(EventRing, WraparoundKeepsNewestInChronologicalOrder)
+{
+    trace::EventRing &ring = trace::eventRing();
+    ring.enable(4);
+    EXPECT_TRUE(trace::eventCaptureOn());
+
+    for (int i = 0; i < 6; ++i) {
+        ULDMA_TRACE_EVENT("unit", static_cast<Tick>(i * 10), "tick",
+                          "n=", i);
+    }
+
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.recorded(), 6u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    // Oldest two (ticks 0, 10) fell off; order stays chronological.
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+        const trace::TraceEvent &e = ring.at(i);
+        EXPECT_EQ(e.tick, static_cast<Tick>((i + 2) * 10));
+        EXPECT_EQ(e.component, "unit");
+        EXPECT_EQ(e.kind, "tick");
+        EXPECT_EQ(e.payload, "n=" + std::to_string(i + 2));
+    }
+    ring.disable();
+    EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(EventRing, ChromeTracingExportIsValidJson)
+{
+    trace::EventRing &ring = trace::eventRing();
+    ring.enable(16);
+    ULDMA_TRACE_EVENT("cpu0", tickPerUs, "fetch", "pc=0x40");
+    ULDMA_TRACE_EVENT("dma0", 2 * tickPerUs, "start", "sz=64");
+    ULDMA_TRACE_EVENT("cpu0", 3 * tickPerUs, "retire", "pc=0x44");
+
+    std::ostringstream os;
+    ring.exportChromeTracing(os);
+    ring.disable();
+
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+    const json::Value root = json::parse(os.str());
+    ASSERT_TRUE(root["traceEvents"].isArray());
+
+    // Two thread_name metadata records (one per component) plus the
+    // three instants plus the recorded/dropped summary.
+    unsigned meta = 0, instants = 0;
+    for (const json::Value &e : root["traceEvents"].asArray()) {
+        if (e["ph"].asString() == "M")
+            ++meta;
+        else if (e["ph"].asString() == "i")
+            ++instants;
+        // pid/tid must be numbers for chrome://tracing.
+        EXPECT_TRUE(e["pid"].isNumber());
+        EXPECT_TRUE(e["tid"].isNumber());
+    }
+    EXPECT_EQ(meta, 2u);
+    EXPECT_EQ(instants, 3u);
 }
 
 } // namespace

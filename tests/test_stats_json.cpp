@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the machine-readable statistics export: the JSON
+ * writer/parser pair, the stats registry serialisation (schema
+ * uldma-stats-v1), and a golden check that the DMA-initiation counters
+ * the registry reports for the Table-1 methods agree with the
+ * per-method access counts the paper (and initiationAccessCount())
+ * declare.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace uldma {
+namespace {
+
+// --------------------------------------------------------------------
+// json::escape / writer / parser
+// --------------------------------------------------------------------
+
+TEST(JsonEscape, SpecialCharacters)
+{
+    EXPECT_EQ(json::escape("plain"), "plain");
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json::escape("line\nfeed"), "line\\nfeed");
+    EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(json::escape("cr\rlf"), "cr\\rlf");
+    EXPECT_EQ(json::escape(std::string("nul\0byte", 8)),
+              "nul\\u0000byte");
+    EXPECT_EQ(json::escape("\x01\x1f"), "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, RoundTripsThroughParser)
+{
+    const std::string nasty =
+        std::string("quote\" slash\\ newline\n tab\t ctrl\x02 nul") +
+        std::string(1, '\0') + "end";
+    std::ostringstream os;
+    {
+        json::Writer w(os, false);
+        w.beginObject();
+        w.member("s", nasty);
+        w.endObject();
+    }
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+    const json::Value v = json::parse(os.str());
+    EXPECT_EQ(v["s"].asString(), nasty);
+}
+
+TEST(JsonNumber, FormattingIsRoundTripSafe)
+{
+    for (double d : {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-300, 1e300,
+                     123456789.123456789, 2.5e-8}) {
+        const std::string s = json::formatNumber(d);
+        EXPECT_EQ(std::stod(s), d) << s;
+    }
+    // Integral values render without an exponent or decimal point.
+    EXPECT_EQ(json::formatNumber(42.0), "42");
+    EXPECT_EQ(json::formatNumber(-7.0), "-7");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(json::valid(""));
+    EXPECT_FALSE(json::valid("{"));
+    EXPECT_FALSE(json::valid("{\"a\":}"));
+    EXPECT_FALSE(json::valid("[1,]"));
+    EXPECT_FALSE(json::valid("{\"a\":1} trailing"));
+    EXPECT_FALSE(json::valid("'single'"));
+    EXPECT_TRUE(json::valid("{\"a\": [1, 2.5, null, true, \"x\"]}"));
+}
+
+// --------------------------------------------------------------------
+// Registry serialisation
+// --------------------------------------------------------------------
+
+TEST(StatsJson, EmptyRegistry)
+{
+    stats::Registry registry;
+    std::ostringstream os;
+    registry.dumpJson(os);
+
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+    const json::Value root = json::parse(os.str());
+    EXPECT_EQ(root["schema"].asString(), "uldma-stats-v1");
+    ASSERT_TRUE(root["groups"].isArray());
+    EXPECT_EQ(root["groups"].size(), 0u);
+}
+
+TEST(StatsJson, HistogramUnderflowOverflowRoundTrip)
+{
+    stats::Histogram hist(10.0, 20.0, 4);
+    hist.sample(5.0);    // underflow
+    hist.sample(9.999);  // underflow
+    hist.sample(10.0);   // bucket 0
+    hist.sample(12.5);   // bucket 1
+    hist.sample(19.9);   // bucket 3
+    hist.sample(20.0);   // overflow (range is [lo, hi))
+    hist.sample(1e9);    // overflow
+
+    stats::Scalar counter;
+    ++counter;
+    counter += 41;
+
+    stats::Average avg;
+    avg.sample(1.0);
+    avg.sample(3.0);
+
+    stats::Group group("unit.test");
+    group.addScalar("counter", &counter, "test counter");
+    group.addAverage("avg", &avg, "test average");
+    group.addHistogram("latency", &hist, "test histogram");
+
+    stats::Registry registry;
+    registry.add(&group);
+    std::ostringstream os;
+    registry.dumpJson(os);
+
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+    const json::Value root = json::parse(os.str());
+    ASSERT_EQ(root["groups"].size(), 1u);
+    const json::Value &g = root["groups"][0];
+    EXPECT_EQ(g["name"].asString(), "unit.test");
+    EXPECT_EQ(g["scalars"]["counter"].asNumber(), 42.0);
+    EXPECT_EQ(g["averages"]["avg"]["count"].asNumber(), 2.0);
+    EXPECT_EQ(g["averages"]["avg"]["mean"].asNumber(), 2.0);
+
+    const json::Value &h = g["histograms"]["latency"];
+    EXPECT_EQ(h["lo"].asNumber(), 10.0);
+    EXPECT_EQ(h["hi"].asNumber(), 20.0);
+    EXPECT_EQ(h["underflow"].asNumber(), 2.0);
+    EXPECT_EQ(h["overflow"].asNumber(), 2.0);
+    EXPECT_EQ(h["total"].asNumber(), 7.0);
+    ASSERT_EQ(h["buckets"].size(), 4u);
+    EXPECT_EQ(h["buckets"][0].asNumber(), 1.0);
+    EXPECT_EQ(h["buckets"][1].asNumber(), 1.0);
+    EXPECT_EQ(h["buckets"][2].asNumber(), 0.0);
+    EXPECT_EQ(h["buckets"][3].asNumber(), 1.0);
+}
+
+TEST(StatsJson, MachineExportContainsEveryComponent)
+{
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    Machine machine(config);
+
+    std::ostringstream os;
+    machine.dumpStatsJson(os);
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+
+    const json::Value root = json::parse(os.str());
+    std::vector<std::string> names;
+    for (const json::Value &g : root["groups"].asArray())
+        names.push_back(g["name"].asString());
+
+    for (const char *expect :
+         {"node0.bus", "node0.cpu", "node0.kernel", "node0.dma",
+          "node0.nic", "node0.cpu.tlb"}) {
+        bool found = false;
+        for (const std::string &n : names)
+            found = found || n == expect;
+        EXPECT_TRUE(found) << "missing group " << expect;
+    }
+}
+
+// --------------------------------------------------------------------
+// Golden check: Table-1 initiation counters vs the declared access
+// counts.
+// --------------------------------------------------------------------
+
+namespace {
+
+/** Run @p n initiations of @p method and return the stats JSON. */
+json::Value
+statsAfterInitiations(DmaMethod method, unsigned n)
+{
+    MachineConfig config;
+    configureNode(config.node, method);
+    Machine machine(config);
+    prepareMachine(machine, method);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    EXPECT_TRUE(prepareProcess(kernel, p, method));
+    // One page pair per initiation — distinct addresses, so the merge
+    // buffer cannot collapse consecutive initiations into one.
+    const Addr src = kernel.allocate(p, n * pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(p, n * pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(p, src, n * pageSize);
+    kernel.createShadowMappings(p, dst, n * pageSize);
+
+    Program prog;
+    for (unsigned i = 0; i < n; ++i)
+        emitInitiation(prog, kernel, p, method, src + i * pageSize,
+                       dst + i * pageSize, 64);
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    EXPECT_TRUE(machine.run(60 * tickPerSec));
+
+    std::ostringstream os;
+    machine.dumpStatsJson(os);
+    EXPECT_TRUE(json::valid(os.str()));
+    return json::parse(os.str());
+}
+
+const json::Value &
+groupNamed(const json::Value &root, const std::string &name)
+{
+    static const json::Value null_value;
+    for (const json::Value &g : root["groups"].asArray()) {
+        if (g["name"].asString() == name)
+            return g;
+    }
+    return null_value;
+}
+
+} // namespace
+
+TEST(StatsJson, GoldenTable1InitiationCounters)
+{
+    constexpr unsigned kInitiations = 8;
+    for (DmaMethod method : table1Methods) {
+        SCOPED_TRACE(toString(method));
+        const json::Value root =
+            statsAfterInitiations(method, kInitiations);
+
+        // Every initiation reached the engine.
+        const json::Value &dma = groupNamed(root, "node0.dma");
+        ASSERT_TRUE(dma.isObject());
+        EXPECT_EQ(dma["scalars"]["initiations"].asNumber(),
+                  static_cast<double>(kInitiations));
+        EXPECT_EQ(dma["scalars"]["rejections"].asNumber(), 0.0);
+
+        // For the user-level methods the uncached device/shadow
+        // accesses per initiation equal the per-method count the
+        // paper's Table 1 declares (initiationAccessCount()).
+        if (isUserLevel(method)) {
+            const json::Value &cpu = groupNamed(root, "node0.cpu");
+            ASSERT_TRUE(cpu.isObject());
+            const double uncached =
+                cpu["scalars"]["uncached_loads"].asNumber() +
+                cpu["scalars"]["uncached_stores"].asNumber();
+            EXPECT_EQ(uncached,
+                      static_cast<double>(kInitiations *
+                                          initiationAccessCount(method)));
+        }
+    }
+}
+
+} // namespace
+} // namespace uldma

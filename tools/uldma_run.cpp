@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -80,6 +81,14 @@ main(int argc, char **argv)
     opts.addFlag("show-program", false,
                  "disassemble one emitted initiation");
     opts.addString("trace", "", "comma-separated debug flags (or All)");
+    opts.addString("stats-json", "",
+                   "write all component statistics as JSON to this file "
+                   "('-' for stdout)");
+    opts.addString("trace-out", "",
+                   "capture structured events and write a "
+                   "chrome://tracing JSON file ('-' for stdout)");
+    opts.addInt("trace-capacity", 1 << 16,
+                "event ring capacity for --trace-out");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -89,6 +98,13 @@ main(int argc, char **argv)
             trace::enableAll();
         else if (!f.empty())
             trace::enable(f);
+    }
+
+    const std::string stats_json_path = opts.getString("stats-json");
+    const std::string trace_out_path = opts.getString("trace-out");
+    if (!trace_out_path.empty()) {
+        trace::eventRing().enable(static_cast<std::size_t>(
+            std::max<std::int64_t>(1, opts.getInt("trace-capacity"))));
     }
 
     const DmaMethod method = parseMethod(opts.getString("method"));
@@ -232,5 +248,35 @@ main(int argc, char **argv)
         std::printf("\n--- statistics ---\n");
         machine.dumpStats(std::cout);
     }
-    return failures == 0 ? 0 : 1;
+
+    // Machine-readable exports (see docs/OBSERVABILITY.md).
+    auto writeTo = [](const std::string &path, auto &&emit) -> bool {
+        if (path == "-") {
+            emit(std::cout);
+            return true;
+        }
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         path.c_str());
+            return false;
+        }
+        emit(out);
+        return out.good();
+    };
+
+    bool io_ok = true;
+    if (!stats_json_path.empty()) {
+        io_ok &= writeTo(stats_json_path, [&](std::ostream &os) {
+            machine.dumpStatsJson(os);
+        });
+    }
+    if (!trace_out_path.empty()) {
+        io_ok &= writeTo(trace_out_path, [&](std::ostream &os) {
+            trace::eventRing().exportChromeTracing(os);
+        });
+        trace::eventRing().disable();
+    }
+
+    return (failures == 0 && io_ok) ? 0 : 1;
 }
