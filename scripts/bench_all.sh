@@ -3,6 +3,9 @@
 # machine-readable reports as BENCH_<name>.json at the repo root
 # (schema uldma-bench-v1, see docs/OBSERVABILITY.md).
 #
+# Fails fast: the first failing bench stops the run and is named, so CI
+# logs point at the culprit instead of a generic nonzero exit.
+#
 # Usage: scripts/bench_all.sh [build-dir]     (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,21 +17,28 @@ if [ ! -d "$build_dir/bench" ]; then
     exit 1
 fi
 
-found=0
+written=()
 for bench in "$build_dir"/bench/bench_*; do
     [ -x "$bench" ] || continue
     name="$(basename "$bench")"
     suffix="${name#bench_}"
     out="BENCH_${suffix}.json"
     echo "== $name -> $out"
-    "$bench" --exhibit-only --json "$out"
-    found=$((found + 1))
+    if ! "$bench" --exhibit-only --json "$out"; then
+        echo "bench_all.sh: FAILED: $name;" \
+             "stopping before remaining benches" >&2
+        exit 1
+    fi
+    written+=("$out")
 done
 
-if [ "$found" -eq 0 ]; then
+if [ "${#written[@]}" -eq 0 ]; then
     echo "bench_all.sh: no bench binaries in '$build_dir/bench'" >&2
     exit 1
 fi
 
 echo
-echo "bench_all.sh: wrote $found report(s): BENCH_*.json"
+echo "bench_all.sh: wrote ${#written[@]} report(s):"
+for out in "${written[@]}"; do
+    echo "  $out"
+done

@@ -106,10 +106,35 @@ Machine::run(Tick limit)
 {
     while (eventq_.nextEventTick() <= limit) {
         eventq_.step();
+        // Sampling is driven from the run loop (not scheduled events,
+        // which would keep the queue nonempty forever): the snapshot
+        // for boundary k*interval is taken at the first event boundary
+        // at or after it and stamped with the boundary tick.
+        if (sampler_) {
+            while (now() >= nextSampleAt_) {
+                sampler_->sample(nextSampleAt_);
+                nextSampleAt_ += sampler_->interval();
+            }
+        }
         if (allFinished() && eventq_.empty())
             return true;
     }
     return allFinished();
+}
+
+void
+Machine::enableSampling(Tick interval, std::vector<std::string> prefixes)
+{
+    sampler_ = std::make_unique<stats::Sampler>(statsRegistry_, interval,
+                                                std::move(prefixes));
+    nextSampleAt_ = now() + interval;
+}
+
+void
+Machine::dumpTimeseriesJson(std::ostream &os, bool pretty)
+{
+    if (sampler_)
+        sampler_->exportJson(os, pretty);
 }
 
 void

@@ -122,6 +122,27 @@ class Machine
      */
     void dumpStatsJson(std::ostream &os, bool pretty = true);
 
+    /**
+     * Snapshot every scalar counter (optionally restricted by
+     * full-name @p prefixes) once per @p interval simulated ticks
+     * while run() executes.  The snapshot for boundary k*interval is
+     * taken at the first event boundary at or after it and stamped
+     * with the boundary tick, so identical runs serialise identically.
+     * Call before run(); calling again restarts with a fresh sampler.
+     */
+    void enableSampling(Tick interval,
+                        std::vector<std::string> prefixes = {});
+
+    /** The active sampler, or nullptr when sampling is off. */
+    stats::Sampler *sampler() { return sampler_.get(); }
+
+    /**
+     * Serialise the sampled time series as one JSON document
+     * (schema "uldma-timeseries-v1"; see docs/OBSERVABILITY.md).
+     * No-op without enableSampling().
+     */
+    void dumpTimeseriesJson(std::ostream &os, bool pretty = true);
+
   private:
     bool allFinished() const;
 
@@ -130,6 +151,8 @@ class Machine
     Network network_;
     std::vector<std::unique_ptr<Node>> nodes_;
     stats::Registry statsRegistry_;
+    std::unique_ptr<stats::Sampler> sampler_;
+    Tick nextSampleAt_ = 0;
 };
 
 } // namespace uldma

@@ -138,8 +138,12 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
           case kregs::invalidate:
             // SHRIMP-2 hook: abort half-initiated user DMAs on context
             // switch (paper §2.5).
-            for (PairLatch &latch : pairLatch_)
+            for (PairLatch &latch : pairLatch_) {
+                if (latch.valid && span::captureOn())
+                    span::tracker().abort(latch.span, xfer_.now());
                 latch.valid = false;
+                latch.span = span::invalidSpan;
+            }
             fsmReset();
             break;
           case kregs::keyCtxSelect:
@@ -153,9 +157,13 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
             break;
           case kregs::ctxReset:
             if (pkt.data < contexts_.size()) {
-                contexts_[pkt.data].resetArgs();
-                contexts_[pkt.data].transfer = invalidTransfer;
-                contexts_[pkt.data].keyValid = false;
+                RegisterContext &rc = contexts_[pkt.data];
+                if (rc.span != span::invalidSpan && span::captureOn())
+                    span::tracker().abort(rc.span, xfer_.now());
+                rc.resetArgs();
+                rc.transfer = invalidTransfer;
+                rc.keyValid = false;
+                rc.span = span::invalidSpan;
             }
             break;
           case kregs::startDelay:
@@ -206,15 +214,31 @@ DmaEngine::kernelStart()
     ++kernelStarts_;
     kFailed_ = false;
 
+    // Adopt the span sysDma staged at trap entry (so the recorded
+    // end-to-end time includes syscall overhead); open one here if the
+    // registers were programmed directly (tests, bare-metal use).
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn()) {
+        sid = span::tracker().takeStagedKernel();
+        if (sid == span::invalidSpan)
+            sid = span::tracker().open(name_, "kernel", xfer_.now());
+    }
+
     if (kSize_ == 0 || kSize_ > params_.kernelMaxTransfer ||
         !backend_.validEndpoint(kSrc_, kSize_) ||
         !backend_.validEndpoint(kDst_, kSize_)) {
         kFailed_ = true;
         ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(sid, xfer_.now());
         ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
                           "kernel args invalid, size ", kSize_);
         return;
     }
+
+    if (span::captureOn())
+        span::tracker().recognize(sid, xfer_.now(), 0, /*via_kernel=*/true,
+                                  kSize_);
 
     // Kernel transfers may span pages: the kernel checked the whole
     // range in software (figure 1's check_size()).  The transfer's
@@ -225,7 +249,7 @@ DmaEngine::kernelStart()
             if (kernelCompletionHandler_)
                 kernelCompletionHandler_();
         },
-        xfer_.now() + kStartDelay_);
+        xfer_.now() + kStartDelay_, sid);
     ++started_;
     ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_kernel_start",
                       "size ", kSize_);
@@ -245,6 +269,10 @@ DmaEngine::accessContextPage(Packet &pkt, unsigned ctx, Addr offset)
     RegisterContext &rc = contexts_[ctx];
 
     if (pkt.isWrite()) {
+        if (span::captureOn() && rc.span == span::invalidSpan) {
+            rc.span = span::tracker().open(name_, toString(params_.mode),
+                                           xfer_.now());
+        }
         rc.size = pkt.data;
         rc.sizeValid = true;
         rc.contributors.push_back(pkt.srcPid);
@@ -255,7 +283,8 @@ DmaEngine::accessContextPage(Packet &pkt, unsigned ctx, Addr offset)
     if (rc.srcValid && rc.dstValid && rc.sizeValid) {
         rc.contributors.push_back(pkt.srcPid);
         const TransferId id = tryStartUser(rc.src, rc.dst, rc.size, ctx,
-                                           rc.contributors);
+                                           rc.contributors, rc.span);
+        rc.span = span::invalidSpan;
         rc.resetArgs();
         if (id == invalidTransfer) {
             pkt.data = dmastatus::failure;
@@ -273,6 +302,14 @@ DmaEngine::accessContextPage(Packet &pkt, unsigned ctx, Addr offset)
 
     // Incomplete argument set: report failure and discard the stale
     // arguments so the process restarts its sequence cleanly.
+    if (span::captureOn()) {
+        span::SpanId sid = rc.span != span::invalidSpan
+            ? rc.span
+            : span::tracker().open(name_, toString(params_.mode),
+                                   xfer_.now());
+        span::tracker().reject(sid, xfer_.now());
+        rc.span = span::invalidSpan;
+    }
     rc.resetArgs();
     pkt.data = dmastatus::failure;
 }
@@ -318,6 +355,12 @@ DmaEngine::shadowPair(Packet &pkt, Addr target, unsigned ctx)
 
     if (pkt.isWrite()) {
         // STORE size TO shadow(vdestination): latch the destination.
+        if (span::captureOn()) {
+            if (latch.valid)
+                span::tracker().abort(latch.span, xfer_.now());
+            latch.span = span::tracker().open(name_, toString(params_.mode),
+                                              xfer_.now());
+        }
         latch.valid = true;
         latch.dst = target;
         latch.size = pkt.data;
@@ -327,6 +370,14 @@ DmaEngine::shadowPair(Packet &pkt, Addr target, unsigned ctx)
     }
 
     // LOAD status FROM shadow(vsource): complete the pair.
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn()) {
+        sid = latch.valid ? latch.span
+                          : span::tracker().open(name_,
+                                                 toString(params_.mode),
+                                                 xfer_.now());
+    }
+
     bool ok = latch.valid;
     if (ok && params_.flashTagCheck && latch.osTag != osTag_) {
         // FLASH: the latch came from a process that has since been
@@ -336,14 +387,18 @@ DmaEngine::shadowPair(Packet &pkt, Addr target, unsigned ctx)
 
     if (!ok) {
         latch.valid = false;
+        latch.span = span::invalidSpan;
         ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(sid, xfer_.now());
         pkt.data = dmastatus::failure;
         return;
     }
 
     const TransferId id = tryStartUser(target, latch.dst, latch.size, ctx,
-                                       {latch.contributor, pkt.srcPid});
+                                       {latch.contributor, pkt.srcPid}, sid);
     latch.valid = false;
+    latch.span = span::invalidSpan;
     pkt.data = id == invalidTransfer ? dmastatus::failure : dmastatus::ok;
 }
 
@@ -354,6 +409,11 @@ DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
         // The key-based protocol passes both addresses with stores
         // (paper §3.1); a shadow load is undefined and rejected.
         ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, toString(params_.mode), xfer_.now()),
+                     xfer_.now());
+        }
         pkt.data = dmastatus::failure;
         return;
     }
@@ -361,6 +421,11 @@ DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
     const unsigned ctx = keyfield::ctxOf(pkt.data);
     if (ctx >= contexts_.size()) {
         ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, toString(params_.mode), xfer_.now()),
+                     xfer_.now());
+        }
         return;
     }
 
@@ -371,13 +436,27 @@ DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
         // "only if the provided key matches the key stored by the
         // operating system in the DMA engine" (paper §3.1).
         ++keyMismatch_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, toString(params_.mode), xfer_.now()),
+                     xfer_.now(), span::Outcome::KeyMismatch);
+        }
         return;
     }
 
     // The paper's order: destination first, then source.  A store when
     // both are already valid begins a fresh argument pair.
-    if (rc.srcValid && rc.dstValid)
+    if (rc.srcValid && rc.dstValid) {
+        if (span::captureOn() && rc.span != span::invalidSpan) {
+            span::tracker().abort(rc.span, xfer_.now());
+            rc.span = span::invalidSpan;
+        }
         rc.resetArgs();
+    }
+    if (span::captureOn() && rc.span == span::invalidSpan) {
+        rc.span = span::tracker().open(name_, toString(params_.mode),
+                                       xfer_.now());
+    }
     if (!rc.dstValid) {
         rc.dst = target;
         rc.dstValid = true;
@@ -395,10 +474,14 @@ DmaEngine::shadowKeyBased(Packet &pkt, Addr target)
 void
 DmaEngine::fsmReset()
 {
-    if (fsmStep_ != 0)
+    if (fsmStep_ != 0) {
         ++fsmResets_;
+        if (span::captureOn())
+            span::tracker().abort(fsmSpan_, xfer_.now());
+    }
     fsmStep_ = 0;
     fsmContributors_.clear();
+    fsmSpan_ = span::invalidSpan;
 }
 
 void
@@ -426,6 +509,10 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 if (!is_store) {
                     fsmLoadAddr_ = target;
                     fsmContributors_.assign({pkt.srcPid});
+                    if (span::captureOn()) {
+                        fsmSpan_ = span::tracker().open(
+                            name_, toString(params_.mode), xfer_.now());
+                    }
                     fsmStep_ = 1;
                     pkt.data = dmastatus::pending;
                     matched = true;
@@ -445,11 +532,12 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
-                                     0, fsmContributors_);
+                                     0, fsmContributors_, fsmSpan_);
                     pkt.data = id == invalidTransfer ? dmastatus::failure
                                                      : dmastatus::ok;
                     fsmStep_ = 0;
                     fsmContributors_.clear();
+                    fsmSpan_ = span::invalidSpan;
                     matched = true;
                 }
                 break;
@@ -464,6 +552,10 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                     fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
                     fsmContributors_.assign({pkt.srcPid});
+                    if (span::captureOn()) {
+                        fsmSpan_ = span::tracker().open(
+                            name_, toString(params_.mode), xfer_.now());
+                    }
                     fsmStep_ = 1;
                     matched = true;
                 }
@@ -490,11 +582,12 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
-                                     0, fsmContributors_);
+                                     0, fsmContributors_, fsmSpan_);
                     pkt.data = id == invalidTransfer ? dmastatus::failure
                                                      : dmastatus::ok;
                     fsmStep_ = 0;
                     fsmContributors_.clear();
+                    fsmSpan_ = span::invalidSpan;
                     matched = true;
                 }
                 break;
@@ -510,6 +603,10 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                     fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
                     fsmContributors_.assign({pkt.srcPid});
+                    if (span::captureOn()) {
+                        fsmSpan_ = span::tracker().open(
+                            name_, toString(params_.mode), xfer_.now());
+                    }
                     fsmStep_ = 1;
                     matched = true;
                 }
@@ -544,11 +641,12 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
-                                     0, fsmContributors_);
+                                     0, fsmContributors_, fsmSpan_);
                     pkt.data = id == invalidTransfer ? dmastatus::failure
                                                      : dmastatus::ok;
                     fsmStep_ = 0;
                     fsmContributors_.clear();
+                    fsmSpan_ = span::invalidSpan;
                     matched = true;
                 }
                 break;
@@ -566,8 +664,15 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
         // a fresh sequence; if it cannot, report failure to loads.
         fsmReset();
         if (attempt == 1) {
-            if (!is_store)
+            if (!is_store) {
+                if (span::captureOn()) {
+                    auto &t = span::tracker();
+                    t.reject(t.open(name_, toString(params_.mode),
+                                    xfer_.now()),
+                             xfer_.now());
+                }
                 pkt.data = dmastatus::failure;
+            }
             return;
         }
         if (!is_store)
@@ -585,6 +690,11 @@ DmaEngine::shadowMappedOut(Packet &pkt, Addr target)
     if (!pkt.isWrite()) {
         pkt.data = dmastatus::failure;
         ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, toString(params_.mode), xfer_.now()),
+                     xfer_.now());
+        }
         return;
     }
 
@@ -593,14 +703,24 @@ DmaEngine::shadowMappedOut(Packet &pkt, Addr target)
         // No mapped-out counterpart: the single-access initiation has
         // nowhere to send the data (paper §2.4's restriction).
         ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, toString(params_.mode), xfer_.now()),
+                     xfer_.now());
+        }
         if (pkt.rmw)
             pkt.data = dmastatus::failure;
         return;
     }
 
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn()) {
+        sid = span::tracker().open(name_, toString(params_.mode),
+                                   xfer_.now());
+    }
     const Addr dst = it->second + pageOffset(target);
     const TransferId id =
-        tryStartUser(target, dst, pkt.data, 0, {pkt.srcPid});
+        tryStartUser(target, dst, pkt.data, 0, {pkt.srcPid}, sid);
     mapOutTransfer_ = id;
     if (pkt.rmw) {
         pkt.data = id == invalidTransfer ? dmastatus::failure
@@ -614,10 +734,13 @@ DmaEngine::shadowMappedOut(Packet &pkt, Addr target)
 
 TransferId
 DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
-                        const std::vector<Pid> &contributors)
+                        const std::vector<Pid> &contributors,
+                        span::SpanId span)
 {
     if (size == 0 || size > params_.userMaxTransfer) {
         ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(span, xfer_.now());
         ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
                           "bad size ", size);
         return invalidTransfer;
@@ -629,6 +752,8 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
         pageNumber(dst) != pageNumber(dst + size - 1)) {
         ++crossPageRejects_;
         ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(span, xfer_.now());
         ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_reject",
                           "cross-page, size ", size);
         return invalidTransfer;
@@ -636,10 +761,16 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
     if (!backend_.validEndpoint(src, size) ||
         !backend_.validEndpoint(dst, size)) {
         ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(span, xfer_.now());
         return invalidTransfer;
     }
 
-    const TransferId id = xfer_.start(src, dst, size);
+    if (span::captureOn())
+        span::tracker().recognize(span, xfer_.now(), ctx,
+                                  /*via_kernel=*/false, size);
+
+    const TransferId id = xfer_.start(src, dst, size, nullptr, 0, span);
     ++started_;
     ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_start",
                       "ctx ", ctx, " size ", size);

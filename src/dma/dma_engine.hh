@@ -32,6 +32,7 @@
 #include "dma/dma_params.hh"
 #include "dma/transfer_engine.hh"
 #include "mem/bus.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 #include "vm/layout.hh"
 
@@ -140,6 +141,7 @@ class DmaEngine : public BusDevice
         bool sizeValid = false;
         TransferId transfer = invalidTransfer;
         std::vector<Pid> contributors;
+        span::SpanId span = span::invalidSpan;
 
         void
         resetArgs()
@@ -157,6 +159,7 @@ class DmaEngine : public BusDevice
         Addr size = 0;
         std::uint64_t osTag = 0;   ///< FLASH: tag at latch time
         Pid contributor = invalidPid;
+        span::SpanId span = span::invalidSpan;
     };
 
     /// @name Window handlers.
@@ -175,11 +178,14 @@ class DmaEngine : public BusDevice
     /// @}
 
     /**
-     * Validate and start a user-initiated transfer.
+     * Validate and start a user-initiated transfer.  @p span (if any)
+     * is rejected on refusal, or recognized and threaded through the
+     * transfer engine on success.
      * @return the transfer id, or invalidTransfer on rejection.
      */
     TransferId tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
-                            const std::vector<Pid> &contributors);
+                            const std::vector<Pid> &contributors,
+                            span::SpanId span = span::invalidSpan);
 
     /** Start (or reject) a kernel-channel transfer. */
     void kernelStart();
@@ -233,6 +239,7 @@ class DmaEngine : public BusDevice
     Addr fsmLoadAddr_ = 0;     ///< source (address of the LOADs)
     Addr fsmSize_ = 0;
     std::vector<Pid> fsmContributors_;
+    span::SpanId fsmSpan_ = span::invalidSpan;
 
     std::vector<InitiationRecord> initiations_;
 

@@ -32,6 +32,10 @@ class TransferBackend
      *         transfer time (e.g. network link latency).
      */
     virtual Tick moveBytes(Addr src, Addr dst, Addr size) = 0;
+
+    /** True if @p paddr names a remote-memory window (span metadata). */
+    virtual bool remoteEndpoint(Addr paddr) const { (void)paddr;
+                                                    return false; }
 };
 
 /** Backend for a single workstation: endpoints are local DRAM. */

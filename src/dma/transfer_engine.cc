@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/ticks.hh"
 #include "sim/trace.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
@@ -13,7 +14,8 @@ TransferEngine::TransferEngine(EventQueue &eq, std::string name,
                                const TransferTiming &timing,
                                TransferBackend &backend)
     : Clocked(eq, bus_clock), name_(std::move(name)), timing_(timing),
-      backend_(backend), statsGroup_(name_)
+      backend_(backend), statsGroup_(name_),
+      latencyUs_(0.0, 100.0, 100)
 {
     ULDMA_ASSERT(timing_.bytesPerBusCycle > 0, "zero DMA bandwidth");
     statsGroup_.addScalar("transfers_started", &started_,
@@ -21,11 +23,14 @@ TransferEngine::TransferEngine(EventQueue &eq, std::string name,
     statsGroup_.addScalar("transfers_completed", &completed_,
                           "DMA transfers finished");
     statsGroup_.addScalar("bytes_moved", &bytes_, "payload bytes moved");
+    statsGroup_.addHistogram("latency_us", &latencyUs_,
+                             "transfer latency, queue to delivery (us)");
 }
 
 TransferId
 TransferEngine::start(Addr src, Addr dst, Addr size,
-                      std::function<void()> on_complete, Tick not_before)
+                      std::function<void()> on_complete, Tick not_before,
+                      span::SpanId span)
 {
     ULDMA_ASSERT(backend_.validEndpoint(src, size),
                  name_, ": invalid transfer source 0x", std::hex, src);
@@ -50,11 +55,23 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
     ULDMA_TRACE_EVENT(name_, now(), "xfer_start",
                       "id ", id, " size ", size);
 
+    if (span::captureOn()) {
+        auto &tracker = span::tracker();
+        tracker.queue(span, now());
+        tracker.busWindow(span, begin, end);
+        tracker.setRemote(span, backend_.remoteEndpoint(src) ||
+                                backend_.remoteEndpoint(dst));
+    }
+
     eventq().scheduleLambda(
         name_ + ".complete", end,
-        [this, id, src, dst, size, cb = std::move(on_complete)]() {
+        [this, id, src, dst, size, span, queued_at = now(),
+         cb = std::move(on_complete)]() {
             const Tick extra = backend_.moveBytes(src, dst, size);
             ++completed_;
+            latencyUs_.sample(ticksToUs(now() + extra - queued_at));
+            if (span::captureOn())
+                span::tracker().complete(span, now() + extra);
             ULDMA_TRACE_EVENT(name_, now(), "xfer_complete",
                               "id ", id, " size ", size);
             for (Flight &f : flights_) {

@@ -18,6 +18,7 @@
 
 #include "dma/transfer_backend.hh"
 #include "sim/clocked.hh"
+#include "sim/span.hh"
 #include "sim/stats.hh"
 
 namespace uldma {
@@ -48,11 +49,15 @@ class TransferEngine : public Clocked
      * transfer completes; @p on_complete (may be null) runs then.
      * @param not_before earliest tick the transfer may begin (used by
      *        the kernel channel's start-delay model).
+     * @param span span of the initiation this transfer serves; queue /
+     *        bus-active / completed phases are recorded against it when
+     *        span capture is enabled.
      * @return a handle usable with remaining().
      */
     TransferId start(Addr src, Addr dst, Addr size,
                      std::function<void()> on_complete = nullptr,
-                     Tick not_before = 0);
+                     Tick not_before = 0,
+                     span::SpanId span = span::invalidSpan);
 
     /** Bytes not yet transferred (0 once complete / unknown handle). */
     Addr remaining(TransferId id) const;
@@ -93,6 +98,7 @@ class TransferEngine : public Clocked
     stats::Scalar started_;
     stats::Scalar completed_;
     stats::Scalar bytes_;
+    stats::Histogram latencyUs_;
 };
 
 } // namespace uldma

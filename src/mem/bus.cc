@@ -58,7 +58,8 @@ busClock(const std::string &name, const BusParams &params)
 
 Bus::Bus(EventQueue &eq, std::string name, const BusParams &params)
     : Clocked(eq, busClock(name, params)), name_(std::move(name)),
-      params_(params), statsGroup_(name_)
+      params_(params), statsGroup_(name_),
+      latencyHistNs_(0.0, 4000.0, 80)
 {
     statsGroup_.addScalar("reads", &reads_, "read transactions routed");
     statsGroup_.addScalar("writes", &writes_, "write transactions routed");
@@ -66,6 +67,8 @@ Bus::Bus(EventQueue &eq, std::string name, const BusParams &params)
                           "transactions delayed by DMA cycle stealing");
     statsGroup_.addAverage("latency_ns", &latencyNs_,
                            "per-transaction latency");
+    statsGroup_.addHistogram("latency_hist_ns", &latencyHistNs_,
+                             "per-transaction latency distribution (ns)");
 }
 
 void
@@ -137,6 +140,7 @@ Bus::access(Packet &pkt)
         start + clockDomain().cyclesToTicks(phases) + device_ticks;
     const Tick latency = finish - now();
     latencyNs_.sample(ticksToNs(latency));
+    latencyHistNs_.sample(ticksToNs(latency));
     return latency;
 }
 

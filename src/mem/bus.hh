@@ -135,6 +135,7 @@ class Bus : public Clocked
     stats::Scalar writes_;
     stats::Scalar contended_;
     stats::Average latencyNs_;
+    stats::Histogram latencyHistNs_;
 };
 
 } // namespace uldma

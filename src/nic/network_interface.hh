@@ -65,6 +65,8 @@ class NetworkInterface : public BusDevice, public TransferBackend
     /// @{
     bool validEndpoint(Addr paddr, Addr size) const override;
     Tick moveBytes(Addr src, Addr dst, Addr size) override;
+    bool remoteEndpoint(Addr paddr) const override
+    { return isRemote(paddr); }
     /// @}
 
     /** True if @p paddr falls in the remote-window region. */

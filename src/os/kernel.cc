@@ -1,5 +1,6 @@
 #include "os/kernel.hh"
 
+#include "sim/span.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -407,11 +408,26 @@ Kernel::sysDma(ExecContext &ctx)
     const Addr vdst = ctx.reg(reg::a1);
     const Addr size = ctx.reg(reg::a2);
 
+    // Span bookkeeping: the kernel method's initiation begins at trap
+    // entry, so open here and hand the span to the engine just before
+    // programming its registers (kernelStart() adopts it).
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn()) {
+        sid = span::tracker().open(engine_->deviceName(), "kernel",
+                                   cpu_.now());
+    }
+    const auto spanReject = [&]() {
+        if (span::captureOn())
+            span::tracker().reject(sid, cpu_.now());
+    };
+
     r.cost += cyclesToTicks(2 * params_.translateCycles);
     r.retval = ~std::uint64_t(0);
 
-    if (size == 0)
+    if (size == 0) {
+        spanReject();
         return r;
+    }
 
     // check_size(): verify rights and physical contiguity over the
     // whole transfer range, page by page.
@@ -422,23 +438,31 @@ Kernel::sysDma(ExecContext &ctx)
 
     const Translation src0 = translateFor(proc, vsrc, Rights::Read);
     const Translation dst0 = translateFor(proc, vdst, Rights::Write);
-    if (!src0.ok() || !dst0.ok())
+    if (!src0.ok() || !dst0.ok()) {
+        spanReject();
         return r;
+    }
 
     for (Addr off = pageSize - pageOffset(vsrc); off < size;
          off += pageSize) {
         const Translation t = translateFor(proc, vsrc + off, Rights::Read);
-        if (!t.ok() || t.paddr != src0.paddr + off)
+        if (!t.ok() || t.paddr != src0.paddr + off) {
+            spanReject();
             return r;
+        }
     }
     for (Addr off = pageSize - pageOffset(vdst); off < size;
          off += pageSize) {
         const Translation t = translateFor(proc, vdst + off, Rights::Write);
-        if (!t.ok() || t.paddr != dst0.paddr + off)
+        if (!t.ok() || t.paddr != dst0.paddr + off) {
+            spanReject();
             return r;
+        }
     }
 
     // Program the engine: three stores and a status load, uncached.
+    if (span::captureOn())
+        span::tracker().stageKernel(sid);
     const Addr base = engine_->params().kernelRegsBase;
     Packet w1 = Packet::makeWrite(base + kregs::source, src0.paddr);
     r.cost += cpu_.kernelBusAccess(w1);

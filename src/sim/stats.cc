@@ -9,6 +9,23 @@
 
 namespace uldma::stats {
 
+double
+percentileOfSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (p <= 0.0)
+        return sorted.front();
+    if (p >= 100.0)
+        return sorted.back();
+    const double rank = p / 100.0 * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const double frac = rank - lo;
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 void
 Average::sample(double v)
 {
@@ -70,6 +87,25 @@ Histogram::sample(double v)
     }
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    double need = clamped / 100.0 * static_cast<double>(total_);
+    if (underflow_ > 0 && need <= static_cast<double>(underflow_))
+        return lo_;
+    need -= static_cast<double>(underflow_);
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        const double count = static_cast<double>(buckets_[b]);
+        if (count > 0.0 && need <= count)
+            return lo_ + bucketWidth_ * (b + need / count);
+        need -= count;
+    }
+    return hi_;   // the target rank falls in the overflow bin
+}
+
 void
 Histogram::reset()
 {
@@ -111,20 +147,26 @@ Group::dump(std::ostream &os) const
                        e.desc.c_str());
     }
     for (const auto &e : averages_) {
-        os << csprintf("%-40s mean=%.4g min=%.4g max=%.4g n=%llu  # %s\n",
+        os << csprintf("%-40s mean=%.4g min=%.4g max=%.4g stddev=%.4g "
+                       "n=%llu  # %s\n",
                        (name_ + "." + e.name).c_str(), e.stat->mean(),
-                       e.stat->min(), e.stat->max(),
+                       e.stat->min(), e.stat->max(), e.stat->stddev(),
                        static_cast<unsigned long long>(e.stat->count()),
                        e.desc.c_str());
     }
     for (const auto &e : histograms_) {
-        os << csprintf("%-40s n=%llu under=%llu over=%llu  # %s\n",
+        // The percentile values here are the same
+        // Histogram::percentile() numbers the JSON export carries, so
+        // the human and machine views stay in parity.
+        os << csprintf("%-40s n=%llu under=%llu over=%llu "
+                       "p50=%.4g p90=%.4g p99=%.4g  # %s\n",
                        (name_ + "." + e.name).c_str(),
                        static_cast<unsigned long long>(
                            e.stat->totalSamples()),
                        static_cast<unsigned long long>(e.stat->underflow()),
                        static_cast<unsigned long long>(e.stat->overflow()),
-                       e.desc.c_str());
+                       e.stat->percentile(50.0), e.stat->percentile(90.0),
+                       e.stat->percentile(99.0), e.desc.c_str());
         for (unsigned i = 0; i < e.stat->numBuckets(); ++i) {
             if (e.stat->bucketCount(i) == 0)
                 continue;
@@ -215,6 +257,9 @@ Registry::dumpJson(std::ostream &os, bool pretty) const
             w.member("underflow", e.stat->underflow());
             w.member("overflow", e.stat->overflow());
             w.member("total", e.stat->totalSamples());
+            w.member("p50", e.stat->percentile(50.0));
+            w.member("p90", e.stat->percentile(90.0));
+            w.member("p99", e.stat->percentile(99.0));
             w.key("buckets");
             w.beginArray();
             for (unsigned i = 0; i < e.stat->numBuckets(); ++i)
@@ -227,6 +272,71 @@ Registry::dumpJson(std::ostream &os, bool pretty) const
     }
     w.endArray();
     w.endObject();
+}
+
+Sampler::Sampler(const Registry &registry, Tick interval,
+                 std::vector<std::string> prefixes)
+    : interval_(interval)
+{
+    ULDMA_ASSERT(interval_ > 0, "sampler interval must be nonzero");
+    auto selected = [&prefixes](const std::string &full) {
+        if (prefixes.empty())
+            return true;
+        for (const std::string &prefix : prefixes) {
+            if (full.compare(0, prefix.size(), prefix) == 0)
+                return true;
+        }
+        return false;
+    };
+    for (const Group *g : registry.groups()) {
+        for (const auto &e : g->scalars()) {
+            const std::string full = g->name() + "." + e.name;
+            if (selected(full)) {
+                names_.push_back(full);
+                counters_.push_back(e.stat);
+            }
+        }
+    }
+}
+
+void
+Sampler::sample(Tick at)
+{
+    Snapshot snap;
+    snap.tick = at;
+    snap.values.reserve(counters_.size());
+    for (const Scalar *s : counters_)
+        snap.values.push_back(s->value());
+    samples_.push_back(std::move(snap));
+}
+
+void
+Sampler::exportJson(std::ostream &os, bool pretty) const
+{
+    json::Writer w(os, pretty);
+    w.beginObject();
+    w.member("schema", "uldma-timeseries-v1");
+    w.member("interval_ticks", interval_);
+    w.key("counters");
+    w.beginArray();
+    for (const std::string &name : names_)
+        w.value(name);
+    w.endArray();
+    w.key("samples");
+    w.beginArray();
+    for (const Snapshot &snap : samples_) {
+        w.beginObject();
+        w.member("tick", snap.tick);
+        w.key("values");
+        w.beginArray();
+        for (std::uint64_t v : snap.values)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
 }
 
 } // namespace uldma::stats

@@ -15,7 +15,18 @@
 #include <string>
 #include <vector>
 
+#include "util/types.hh"
+
 namespace uldma::stats {
+
+/**
+ * Linear-interpolated percentile of an already-sorted sample vector
+ * (the "linear" / numpy-default method): for p in [0, 100] the rank is
+ * r = p/100 * (n-1) and the result interpolates between the
+ * order statistics at floor(r) and ceil(r).  Returns 0 on an empty
+ * vector.
+ */
+double percentileOfSorted(const std::vector<double> &sorted, double p);
 
 /** A monotonically increasing event counter. */
 class Scalar
@@ -75,6 +86,17 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t totalSamples() const { return total_; }
     void reset();
+
+    /**
+     * Cumulative-mass percentile with linear interpolation inside
+     * buckets: percentile(p) is the value v such that p% of the
+     * recorded mass lies at or below v, assuming samples are uniformly
+     * distributed within their bucket.  Mass in the underflow bin
+     * collapses to lo(), mass in the overflow bin to hi() (the
+     * histogram does not know where those samples actually fell).
+     * Returns 0 when no samples have been recorded.
+     */
+    double percentile(double p) const;
 
   private:
     double lo_;
@@ -157,6 +179,60 @@ class Registry
 
   private:
     std::vector<const Group *> groups_;
+};
+
+/**
+ * Periodic counter snapshots: selects scalar stats from a Registry at
+ * construction time (by full "group.stat" name prefix; an empty
+ * selection takes every scalar) and records their values each time
+ * sample() is called, producing a uldma-timeseries-v1 JSON document.
+ *
+ * The Machine drives sampling from its run loop at a fixed simulated
+ * interval: the snapshot for boundary k*interval is taken at the first
+ * event boundary at or after it and stamped with the boundary tick, so
+ * identical runs serialise to identical bytes.
+ */
+class Sampler
+{
+  public:
+    /**
+     * @param registry    Source of counters; must outlive the sampler.
+     *                    The counter set is fixed here — groups added
+     *                    to the registry later are not sampled.
+     * @param interval    Simulated ticks between snapshots (metadata;
+     *                    the caller owns the actual cadence).
+     * @param prefixes    Full-name prefixes to select ("node0.dma"
+     *                    selects node0.dma.* and node0.dma.xfer.*);
+     *                    empty selects every scalar.
+     */
+    Sampler(const Registry &registry, Tick interval,
+            std::vector<std::string> prefixes = {});
+
+    Tick interval() const { return interval_; }
+    std::size_t numCounters() const { return names_.size(); }
+    std::size_t numSamples() const { return samples_.size(); }
+
+    /** Record one snapshot of every selected counter, stamped @p at. */
+    void sample(Tick at);
+
+    /**
+     * Serialise as {"schema": "uldma-timeseries-v1",
+     * "interval_ticks": ..., "counters": [names...],
+     * "samples": [{"tick": ..., "values": [...]}, ...]}.
+     */
+    void exportJson(std::ostream &os, bool pretty = true) const;
+
+  private:
+    struct Snapshot
+    {
+        Tick tick;
+        std::vector<std::uint64_t> values;
+    };
+
+    Tick interval_;
+    std::vector<std::string> names_;
+    std::vector<const Scalar *> counters_;
+    std::vector<Snapshot> samples_;
 };
 
 } // namespace uldma::stats

@@ -111,6 +111,27 @@ EventRing::disable()
     next_ = 0;
     count_ = 0;
     recorded_ = 0;
+    filterActive_ = false;
+    filterComponentPrefix_.clear();
+    filterKind_.clear();
+    filteredOut_ = 0;
+}
+
+void
+EventRing::setFilter(std::string component_prefix, std::string kind)
+{
+    filterComponentPrefix_ = std::move(component_prefix);
+    filterKind_ = std::move(kind);
+    filterActive_ = true;
+    filteredOut_ = 0;
+}
+
+void
+EventRing::clearFilter()
+{
+    filterActive_ = false;
+    filterComponentPrefix_.clear();
+    filterKind_.clear();
 }
 
 void
@@ -129,6 +150,15 @@ EventRing::record(const std::string &component, Tick tick,
 {
     if (!enabled_)
         return;
+    if (filterActive_) {
+        const bool componentOk =
+            component.compare(0, filterComponentPrefix_.size(),
+                              filterComponentPrefix_) == 0;
+        if (!componentOk || (!filterKind_.empty() && kind != filterKind_)) {
+            ++filteredOut_;
+            return;
+        }
+    }
     TraceEvent &slot = ring_[next_];
     slot.tick = tick;
     slot.component = component;
@@ -196,6 +226,7 @@ EventRing::exportChromeTracing(std::ostream &os) const
     w.endArray();
     w.member("meta_recorded", recorded());
     w.member("meta_dropped", dropped());
+    w.member("meta_filtered", filteredOut());
     w.endObject();
     os << '\n';
 }

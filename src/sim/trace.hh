@@ -92,6 +92,24 @@ class EventRing
     /** Events lost to overwrite. */
     std::uint64_t dropped() const { return recorded_ - count_; }
 
+    /**
+     * Record-time filter: once set, only events whose component starts
+     * with @p component_prefix (and, when @p kind is nonempty, whose
+     * kind equals it) are stored — everything else is dropped before
+     * touching the ring, so long runs can capture only one component's
+     * events without overflowing.  Filtered events are counted by
+     * filteredOut() and never appear in recorded()/dropped().
+     */
+    void setFilter(std::string component_prefix, std::string kind = "");
+
+    /** Remove the record-time filter. */
+    void clearFilter();
+
+    bool hasFilter() const { return filterActive_; }
+
+    /** Events dropped by the record-time filter. */
+    std::uint64_t filteredOut() const { return filteredOut_; }
+
     /** Append one event (no-op while disabled). */
     void record(const std::string &component, Tick tick,
                 const std::string &kind, std::string payload);
@@ -112,6 +130,10 @@ class EventRing
     std::size_t next_ = 0;       // next write slot
     std::size_t count_ = 0;
     std::uint64_t recorded_ = 0;
+    bool filterActive_ = false;
+    std::string filterComponentPrefix_;
+    std::string filterKind_;
+    std::uint64_t filteredOut_ = 0;
 };
 
 /** The process-wide event ring used by ULDMA_TRACE_EVENT. */

@@ -13,6 +13,7 @@
 #include "core/attack.hh"
 #include "core/experiment.hh"
 #include "sim/json.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 
 namespace uldma {
@@ -160,6 +161,69 @@ TEST(Determinism, ChromeTraceIsByteIdenticalAcrossRuns)
     // The trace actually recorded events (initiations hit the engine).
     json::Value root = json::parse(a.second);
     EXPECT_GT(root["traceEvents"].size(), 0u);
+}
+
+namespace {
+
+/** One ExtShadow burst with spans + sampling on; {spans, timeseries}. */
+std::pair<std::string, std::string>
+runSpannedOnce()
+{
+    span::tracker().enable();
+
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::ExtShadow);
+    Machine machine(config);
+    prepareMachine(machine, DmaMethod::ExtShadow);
+    machine.enableSampling(2 * tickPerUs);
+    Kernel &kernel = machine.node(0).kernel();
+    Process &p = kernel.createProcess("p");
+    prepareProcess(kernel, p, DmaMethod::ExtShadow);
+    const Addr src = kernel.allocate(p, 4 * pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(p, 4 * pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(p, src, 4 * pageSize);
+    kernel.createShadowMappings(p, dst, 4 * pageSize);
+    Program prog;
+    for (int i = 0; i < 4; ++i)
+        emitInitiation(prog, kernel, p, DmaMethod::ExtShadow,
+                       src + i * pageSize, dst + i * pageSize, 256);
+    prog.exit();
+    kernel.launch(p, std::move(prog));
+    machine.start();
+    machine.run(tickPerSec);
+
+    std::ostringstream spans_os;
+    span::tracker().exportJson(spans_os);
+    span::tracker().disable();
+    std::ostringstream ts_os;
+    machine.dumpTimeseriesJson(ts_os);
+    return {spans_os.str(), ts_os.str()};
+}
+
+} // namespace
+
+TEST(Determinism, SpansJsonIsByteIdenticalAcrossRuns)
+{
+    const auto a = runSpannedOnce();
+    const auto b = runSpannedOnce();
+    EXPECT_EQ(a.first, b.first);
+    ASSERT_TRUE(json::valid(a.first));
+
+    // And the capture is not vacuous: four completed spans.
+    const json::Value root = json::parse(a.first);
+    EXPECT_EQ(root["spans"].size(), 4u);
+}
+
+TEST(Determinism, TimeseriesJsonIsByteIdenticalAcrossRuns)
+{
+    const auto a = runSpannedOnce();
+    const auto b = runSpannedOnce();
+    EXPECT_EQ(a.second, b.second);
+    ASSERT_TRUE(json::valid(a.second));
+
+    const json::Value root = json::parse(a.second);
+    EXPECT_EQ(root["schema"].asString(), "uldma-timeseries-v1");
+    EXPECT_GT(root["samples"].size(), 0u);
 }
 
 TEST(Determinism, DisassemblyIsStable)

@@ -310,6 +310,51 @@ TEST(EventRing, WraparoundKeepsNewestInChronologicalOrder)
     EXPECT_EQ(ring.capacity(), 0u);
 }
 
+TEST(EventRing, RecordTimeFilterDropsBeforeTheRing)
+{
+    trace::EventRing &ring = trace::eventRing();
+    ring.enable(16);
+
+    // Component-prefix filter: only dma* events reach the ring.
+    ring.setFilter("dma");
+    EXPECT_TRUE(ring.hasFilter());
+    ULDMA_TRACE_EVENT("dma0", Tick{10}, "start", "sz=64");
+    ULDMA_TRACE_EVENT("cpu0", Tick{20}, "fetch", "pc=0x40");
+    ULDMA_TRACE_EVENT("dma1", Tick{30}, "done", "sz=64");
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.recorded(), 2u);
+    EXPECT_EQ(ring.filteredOut(), 1u);
+    // Filtered events never count as recorded or dropped.
+    EXPECT_EQ(ring.dropped(), 0u);
+
+    // Adding a kind narrows further: prefix AND exact kind.  Changing
+    // the filter restarts its counter.
+    ring.setFilter("dma", "start");
+    ULDMA_TRACE_EVENT("dma0", Tick{40}, "done", "sz=8");
+    ULDMA_TRACE_EVENT("dma0", Tick{50}, "start", "sz=8");
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.filteredOut(), 1u);
+    EXPECT_EQ(ring.at(2).kind, "start");
+
+    // The export reports what the filter discarded.
+    std::ostringstream os;
+    ring.exportChromeTracing(os);
+    ASSERT_TRUE(json::valid(os.str())) << os.str();
+    EXPECT_EQ(json::parse(os.str())["meta_filtered"].asNumber(), 1.0);
+
+    // clearFilter() lets everything through again.
+    ring.clearFilter();
+    EXPECT_FALSE(ring.hasFilter());
+    ULDMA_TRACE_EVENT("cpu0", Tick{60}, "retire", "pc=0x44");
+    EXPECT_EQ(ring.size(), 4u);
+
+    // disable() resets the filter and its counter with the storage.
+    ring.setFilter("nic");
+    ring.disable();
+    EXPECT_FALSE(ring.hasFilter());
+    EXPECT_EQ(ring.filteredOut(), 0u);
+}
+
 TEST(EventRing, ChromeTracingExportIsValidJson)
 {
     trace::EventRing &ring = trace::eventRing();

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/experiment.hh"
@@ -142,6 +143,99 @@ TEST(StatsJson, HistogramUnderflowOverflowRoundTrip)
     EXPECT_EQ(h["buckets"][1].asNumber(), 1.0);
     EXPECT_EQ(h["buckets"][2].asNumber(), 0.0);
     EXPECT_EQ(h["buckets"][3].asNumber(), 1.0);
+}
+
+// --------------------------------------------------------------------
+// Percentiles: sorted-sample interpolation, histogram cumulative mass,
+// and human/machine parity.
+// --------------------------------------------------------------------
+
+TEST(StatsPercentile, SortedSamplesUseLinearInterpolation)
+{
+    EXPECT_EQ(stats::percentileOfSorted({}, 50.0), 0.0);
+    EXPECT_EQ(stats::percentileOfSorted({7.0}, 0.0), 7.0);
+    EXPECT_EQ(stats::percentileOfSorted({7.0}, 99.0), 7.0);
+
+    // numpy-default "linear" method: rank = p/100 * (n-1).
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(stats::percentileOfSorted(v, 0.0), 1.0);
+    EXPECT_EQ(stats::percentileOfSorted(v, 25.0), 1.75);
+    EXPECT_EQ(stats::percentileOfSorted(v, 50.0), 2.5);
+    EXPECT_EQ(stats::percentileOfSorted(v, 100.0), 4.0);
+}
+
+TEST(StatsPercentile, HistogramInterpolatesInsideBuckets)
+{
+    // All mass in bucket [0, 10): assuming uniform spread inside the
+    // bucket, percentile(p) walks linearly across it.
+    stats::Histogram uniform(0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        uniform.sample(5.0);
+    EXPECT_DOUBLE_EQ(uniform.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(uniform.percentile(10.0), 1.0);
+
+    // Mass split across buckets: p50's target rank (2 of 4) lands at
+    // the end of the second occupied bucket.
+    stats::Histogram split(0.0, 10.0, 10);
+    split.sample(1.5);
+    split.sample(2.5);
+    split.sample(9.5);
+    split.sample(9.5);
+    EXPECT_DOUBLE_EQ(split.percentile(50.0), 3.0);
+
+    // Out-of-range mass collapses to the histogram edges: the export
+    // does not know where under/overflow samples actually fell.
+    stats::Histogram low(10.0, 20.0, 4);
+    low.sample(5.0);
+    EXPECT_EQ(low.percentile(50.0), 10.0);
+    stats::Histogram high(10.0, 20.0, 4);
+    high.sample(25.0);
+    EXPECT_EQ(high.percentile(50.0), 20.0);
+
+    stats::Histogram empty(0.0, 1.0, 2);
+    EXPECT_EQ(empty.percentile(50.0), 0.0);
+}
+
+TEST(StatsPercentile, TextDumpAndJsonExportAgree)
+{
+    stats::Histogram hist(0.0, 50.0, 25);
+    for (double v : {1.0, 3.0, 3.5, 7.0, 12.0, 12.5, 31.0, 49.0})
+        hist.sample(v);
+    stats::Average avg;
+    avg.sample(2.0);
+    avg.sample(4.0);
+    avg.sample(9.0);
+
+    stats::Group group("unit.parity");
+    group.addAverage("avg", &avg, "parity average");
+    group.addHistogram("lat", &hist, "parity histogram");
+    stats::Registry registry;
+    registry.add(&group);
+
+    std::ostringstream text_os;
+    registry.dump(text_os);
+    const std::string text = text_os.str();
+    std::ostringstream json_os;
+    registry.dumpJson(json_os);
+    const json::Value root = json::parse(json_os.str());
+    const json::Value &h = root["groups"][0]["histograms"]["lat"];
+    const json::Value &a = root["groups"][0]["averages"]["avg"];
+
+    // The text dump renders the *same* percentile/stddev values the
+    // JSON export carries, %.4g-formatted.
+    const auto rendered = [&](const char *tag, double value) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s%.4g", tag, value);
+        return text.find(buf) != std::string::npos;
+    };
+    EXPECT_TRUE(rendered("p50=", h["p50"].asNumber())) << text;
+    EXPECT_TRUE(rendered("p90=", h["p90"].asNumber())) << text;
+    EXPECT_TRUE(rendered("p99=", h["p99"].asNumber())) << text;
+    EXPECT_TRUE(rendered("stddev=", a["stddev"].asNumber())) << text;
+
+    // And the JSON percentiles are Histogram::percentile() itself.
+    EXPECT_EQ(h["p50"].asNumber(), hist.percentile(50.0));
+    EXPECT_EQ(h["p99"].asNumber(), hist.percentile(99.0));
 }
 
 TEST(StatsJson, MachineExportContainsEveryComponent)

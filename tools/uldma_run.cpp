@@ -19,8 +19,11 @@
 #include <iostream>
 #include <string>
 
+#include <algorithm>
+
 #include "core/machine.hh"
 #include "core/methods.hh"
+#include "sim/span.hh"
 #include "sim/trace.hh"
 #include "util/options.hh"
 #include "util/strutil.hh"
@@ -89,6 +92,18 @@ main(int argc, char **argv)
                    "chrome://tracing JSON file ('-' for stdout)");
     opts.addInt("trace-capacity", 1 << 16,
                 "event ring capacity for --trace-out");
+    opts.addString("trace-filter", "",
+                   "record-time event filter for --trace-out: "
+                   "<component-prefix>[,<kind>]");
+    opts.addString("spans-json", "",
+                   "track per-initiation transfer spans and write a "
+                   "uldma-spans-v1 JSON file ('-' for stdout)");
+    opts.addString("timeseries-json", "",
+                   "write periodic counter snapshots as a "
+                   "uldma-timeseries-v1 JSON file ('-' for stdout)");
+    opts.addInt("sample-interval", 0,
+                "counter-snapshot interval in simulated microseconds "
+                "(0 = 100 us when --timeseries-json is given)");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -102,10 +117,22 @@ main(int argc, char **argv)
 
     const std::string stats_json_path = opts.getString("stats-json");
     const std::string trace_out_path = opts.getString("trace-out");
+    const std::string spans_json_path = opts.getString("spans-json");
+    const std::string timeseries_json_path =
+        opts.getString("timeseries-json");
     if (!trace_out_path.empty()) {
         trace::eventRing().enable(static_cast<std::size_t>(
             std::max<std::int64_t>(1, opts.getInt("trace-capacity"))));
+        const std::string filter_spec = opts.getString("trace-filter");
+        if (!filter_spec.empty()) {
+            const auto parts = split(filter_spec, ',');
+            trace::eventRing().setFilter(
+                trim(parts.at(0)),
+                parts.size() > 1 ? trim(parts.at(1)) : "");
+        }
     }
+    if (!spans_json_path.empty())
+        span::tracker().enable();
 
     const DmaMethod method = parseMethod(opts.getString("method"));
     const unsigned iterations =
@@ -132,6 +159,12 @@ main(int argc, char **argv)
 
     Machine machine(config);
     prepareMachine(machine, method);
+    if (!timeseries_json_path.empty() ||
+        opts.getInt("sample-interval") > 0) {
+        const std::int64_t interval_us = opts.getInt("sample-interval") > 0
+            ? opts.getInt("sample-interval") : 100;
+        machine.enableSampling(static_cast<Tick>(interval_us) * tickPerUs);
+    }
     Node &node = machine.node(0);
     Kernel &kernel = node.kernel();
 
@@ -194,12 +227,16 @@ main(int argc, char **argv)
     }
 
     double sum = 0, lo = 1e300, hi = 0;
+    std::vector<double> sorted_us;
+    sorted_us.reserve(iterations);
     for (unsigned i = 0; i < iterations; ++i) {
         const double us = ticksToUs(marks[i + 1] - marks[i]);
         sum += us;
         lo = std::min(lo, us);
         hi = std::max(hi, us);
+        sorted_us.push_back(us);
     }
+    std::sort(sorted_us.begin(), sorted_us.end());
 
     std::printf("method          : %s%s\n", toString(method),
                 requiresKernelModification(method)
@@ -213,6 +250,10 @@ main(int argc, char **argv)
                 formatBytes(size).c_str(), slots);
     std::printf("initiation time : avg %.3f us  min %.3f  max %.3f\n",
                 sum / iterations, lo, hi);
+    std::printf("percentiles     : p50 %.3f us  p90 %.3f  p99 %.3f\n",
+                stats::percentileOfSorted(sorted_us, 50.0),
+                stats::percentileOfSorted(sorted_us, 90.0),
+                stats::percentileOfSorted(sorted_us, 99.0));
     std::printf("failures        : %llu\n",
                 static_cast<unsigned long long>(failures));
     std::printf("engine starts   : %llu\n",
@@ -276,6 +317,17 @@ main(int argc, char **argv)
             trace::eventRing().exportChromeTracing(os);
         });
         trace::eventRing().disable();
+    }
+    if (!spans_json_path.empty()) {
+        io_ok &= writeTo(spans_json_path, [&](std::ostream &os) {
+            span::tracker().exportJson(os);
+        });
+        span::tracker().disable();
+    }
+    if (!timeseries_json_path.empty()) {
+        io_ok &= writeTo(timeseries_json_path, [&](std::ostream &os) {
+            machine.dumpTimeseriesJson(os);
+        });
     }
 
     return (failures == 0 && io_ok) ? 0 : 1;

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * uldma_trace_tool — offline analysis of the simulator's JSON exports.
+ *
+ * Subcommands:
+ *
+ *   summarize <spans.json>
+ *       Per-protocol table over a uldma-spans-v1 document: outcome
+ *       counts and end-to-end / per-phase latency quantiles — the
+ *       offline reproduction of the paper's Table 1 view.
+ *
+ *   diff <before.json> <after.json> [--threshold=<pct>]
+ *       Compare per-protocol end-to-end p50 between two uldma-spans-v1
+ *       documents and flag protocols whose latency regressed by more
+ *       than the threshold (default 10%).
+ *
+ *   validate <file.json> [...]
+ *       Schema-check any of the simulator's JSON artifacts
+ *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
+ *       uldma-bench-v1, chrome://tracing).
+ *
+ * Exit status: 0 = clean, 1 = finding (regression / invalid document),
+ * 2 = usage or I/O error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hh"
+
+using uldma::json::Value;
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+parseFile(const std::string &path, Value &doc)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    doc = uldma::json::parse(text, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------
+
+/** Collect human-readable problems for one document. */
+struct Problems
+{
+    std::vector<std::string> list;
+
+    void
+    add(const std::string &what)
+    {
+        list.push_back(what);
+    }
+
+    void
+    require(bool ok, const std::string &what)
+    {
+        if (!ok)
+            add(what);
+    }
+};
+
+void
+checkQuantileBlock(Problems &p, const Value &q, const std::string &where)
+{
+    p.require(q.isObject(), where + " is not an object");
+    for (const char *f : {"count", "mean", "min", "max", "p50", "p90",
+                          "p99"}) {
+        p.require(q[f].isNumber(), where + "." + f + " missing");
+    }
+}
+
+void
+validateSpans(Problems &p, const Value &doc)
+{
+    p.require(doc["opened"].isNumber(), "opened missing");
+    p.require(doc["spans"].isArray(), "spans missing");
+    const auto &spans = doc["spans"].asArray();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Value &s = spans[i];
+        const std::string where = "spans[" + std::to_string(i) + "]";
+        p.require(s["id"].isNumber(), where + ".id missing");
+        p.require(s["engine"].isString(), where + ".engine missing");
+        p.require(s["protocol"].isString(), where + ".protocol missing");
+        p.require(s["outcome"].isString(), where + ".outcome missing");
+        p.require(s["ticks"].isObject(), where + ".ticks missing");
+        for (const char *f : {"first_access", "recognized", "queued",
+                              "bus_start", "bus_end", "completed"}) {
+            p.require(s["ticks"][f].isNumber(),
+                      where + ".ticks." + f + " missing");
+        }
+        if (s["outcome"].asString() == "completed") {
+            p.require(s["phases_us"].isObject(),
+                      where + ".phases_us missing on completed span");
+            for (const char *f : {"initiation", "queue", "bus",
+                                  "delivery", "total"}) {
+                p.require(s["phases_us"][f].isNumber(),
+                          where + ".phases_us." + f + " missing");
+            }
+        }
+    }
+    p.require(doc["summary"]["protocols"].isArray(),
+              "summary.protocols missing");
+    const auto &protos = doc["summary"]["protocols"].asArray();
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+        const Value &ps = protos[i];
+        const std::string where =
+            "summary.protocols[" + std::to_string(i) + "]";
+        p.require(ps["protocol"].isString(), where + ".protocol missing");
+        for (const char *f : {"completed", "rejected", "key_mismatch",
+                              "aborted", "in_flight"}) {
+            p.require(ps[f].isNumber(), where + "." + f + " missing");
+        }
+        checkQuantileBlock(p, ps["end_to_end_us"],
+                           where + ".end_to_end_us");
+        for (const char *f : {"initiation", "queue", "bus", "delivery"}) {
+            checkQuantileBlock(p, ps["phases_us"][f],
+                               where + ".phases_us." + f);
+        }
+    }
+}
+
+void
+validateTimeseries(Problems &p, const Value &doc)
+{
+    p.require(doc["interval_ticks"].isNumber(), "interval_ticks missing");
+    p.require(doc["counters"].isArray(), "counters missing");
+    const std::size_t ncounters = doc["counters"].size();
+    for (std::size_t i = 0; i < ncounters; ++i) {
+        p.require(doc["counters"][i].isString(),
+                  "counters[" + std::to_string(i) + "] is not a string");
+    }
+    p.require(doc["samples"].isArray(), "samples missing");
+    const auto &samples = doc["samples"].asArray();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const std::string where = "samples[" + std::to_string(i) + "]";
+        p.require(samples[i]["tick"].isNumber(), where + ".tick missing");
+        p.require(samples[i]["values"].isArray() &&
+                      samples[i]["values"].size() == ncounters,
+                  where + ".values length != counters length");
+    }
+}
+
+void
+validateStats(Problems &p, const Value &doc)
+{
+    p.require(doc["groups"].isArray(), "groups missing");
+    const auto &groups = doc["groups"].asArray();
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        const Value &g = groups[i];
+        const std::string where = "groups[" + std::to_string(i) + "]";
+        p.require(g["name"].isString(), where + ".name missing");
+        p.require(g["scalars"].isObject(), where + ".scalars missing");
+        p.require(g["averages"].isObject(), where + ".averages missing");
+        p.require(g["histograms"].isObject(),
+                  where + ".histograms missing");
+        for (const auto &[hname, h] : g["histograms"].asObject()) {
+            for (const char *f : {"lo", "hi", "underflow", "overflow",
+                                  "total", "p50", "p90", "p99"}) {
+                p.require(h[f].isNumber(), where + ".histograms." + hname +
+                                               "." + f + " missing");
+            }
+            p.require(h["buckets"].isArray(),
+                      where + ".histograms." + hname + ".buckets missing");
+        }
+    }
+}
+
+void
+validateBench(Problems &p, const Value &doc)
+{
+    p.require(doc["benchmark"].isString(), "benchmark missing");
+    p.require(doc["records"].isArray(), "records missing");
+    if (!doc["records"].isArray())
+        return;
+    const auto &records = doc["records"].asArray();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const std::string where = "records[" + std::to_string(i) + "]";
+        p.require(records[i]["name"].isString(), where + ".name missing");
+        p.require(records[i]["metrics"].isObject(),
+                  where + ".metrics missing");
+    }
+}
+
+void
+validateChromeTracing(Problems &p, const Value &doc)
+{
+    p.require(doc["traceEvents"].isArray(), "traceEvents missing");
+    const auto &events = doc["traceEvents"].asArray();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        p.require(events[i]["ph"].isString(),
+                  "traceEvents[" + std::to_string(i) + "].ph missing");
+    }
+}
+
+/** @return true if the document validates. */
+bool
+validateOne(const std::string &path)
+{
+    Value doc;
+    if (!parseFile(path, doc))
+        return false;
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "%s: root is not an object\n", path.c_str());
+        return false;
+    }
+
+    Problems p;
+    std::string schema;
+    if (doc["schema"].isString()) {
+        schema = doc["schema"].asString();
+        if (schema == "uldma-spans-v1")
+            validateSpans(p, doc);
+        else if (schema == "uldma-timeseries-v1")
+            validateTimeseries(p, doc);
+        else if (schema == "uldma-stats-v1")
+            validateStats(p, doc);
+        else if (schema == "uldma-bench-v1")
+            validateBench(p, doc);
+        else
+            p.add("unknown schema '" + schema + "'");
+    } else if (doc.has("traceEvents")) {
+        schema = "chrome-tracing";
+        validateChromeTracing(p, doc);
+    } else {
+        p.add("no schema member and not a chrome://tracing document");
+    }
+
+    if (!p.list.empty()) {
+        for (const std::string &what : p.list)
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), what.c_str());
+        std::printf("%-16s %s: INVALID (%zu problem%s)\n", schema.c_str(),
+                    path.c_str(), p.list.size(),
+                    p.list.size() == 1 ? "" : "s");
+        return false;
+    }
+    std::printf("%-16s %s: ok\n", schema.c_str(), path.c_str());
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// summarize
+// ---------------------------------------------------------------------
+
+int
+cmdSummarize(const std::string &path)
+{
+    Value doc;
+    if (!parseFile(path, doc))
+        return 2;
+    if (doc["schema"].asString() != "uldma-spans-v1") {
+        std::fprintf(stderr, "%s: not a uldma-spans-v1 document\n",
+                     path.c_str());
+        return 2;
+    }
+
+    std::printf("%s: %.0f span(s) opened\n\n", path.c_str(),
+                doc["opened"].asNumber());
+    std::printf("%-14s %9s %9s %9s %9s %9s\n", "protocol", "completed",
+                "rejected", "key-mism", "aborted", "in-flight");
+    const auto &protos = doc["summary"]["protocols"].asArray();
+    for (const Value &ps : protos) {
+        std::printf("%-14s %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+                    ps["protocol"].asString().c_str(),
+                    ps["completed"].asNumber(), ps["rejected"].asNumber(),
+                    ps["key_mismatch"].asNumber(),
+                    ps["aborted"].asNumber(), ps["in_flight"].asNumber());
+    }
+
+    std::printf("\nend-to-end latency (us):\n");
+    std::printf("%-14s %9s %9s %9s %9s %9s\n", "protocol", "mean", "min",
+                "max", "p50", "p99");
+    for (const Value &ps : protos) {
+        const Value &q = ps["end_to_end_us"];
+        if (q["count"].asNumber() == 0)
+            continue;
+        std::printf("%-14s %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                    ps["protocol"].asString().c_str(),
+                    q["mean"].asNumber(), q["min"].asNumber(),
+                    q["max"].asNumber(), q["p50"].asNumber(),
+                    q["p99"].asNumber());
+    }
+
+    std::printf("\nphase p50 (us):\n");
+    std::printf("%-14s %10s %9s %9s %9s\n", "protocol", "initiation",
+                "queue", "bus", "delivery");
+    for (const Value &ps : protos) {
+        if (ps["end_to_end_us"]["count"].asNumber() == 0)
+            continue;
+        const Value &ph = ps["phases_us"];
+        std::printf("%-14s %10.3f %9.3f %9.3f %9.3f\n",
+                    ps["protocol"].asString().c_str(),
+                    ph["initiation"]["p50"].asNumber(),
+                    ph["queue"]["p50"].asNumber(),
+                    ph["bus"]["p50"].asNumber(),
+                    ph["delivery"]["p50"].asNumber());
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------
+
+int
+cmdDiff(const std::string &before_path, const std::string &after_path,
+        double threshold_pct)
+{
+    Value before, after;
+    if (!parseFile(before_path, before) || !parseFile(after_path, after))
+        return 2;
+    for (const auto *docpath :
+         {&before_path, &after_path}) {
+        const Value &d = docpath == &before_path ? before : after;
+        if (d["schema"].asString() != "uldma-spans-v1") {
+            std::fprintf(stderr, "%s: not a uldma-spans-v1 document\n",
+                         docpath->c_str());
+            return 2;
+        }
+    }
+
+    bool regressed = false;
+    std::printf("%-14s %12s %12s %9s\n", "protocol", "before-p50",
+                "after-p50", "delta");
+    for (const Value &b : before["summary"]["protocols"].asArray()) {
+        const std::string protocol = b["protocol"].asString();
+        const Value *a = nullptr;
+        for (const Value &cand : after["summary"]["protocols"].asArray()) {
+            if (cand["protocol"].asString() == protocol) {
+                a = &cand;
+                break;
+            }
+        }
+        if (a == nullptr) {
+            std::printf("%-14s %12.3f %12s %9s\n", protocol.c_str(),
+                        b["end_to_end_us"]["p50"].asNumber(), "-",
+                        "gone");
+            continue;
+        }
+        const double bp50 = b["end_to_end_us"]["p50"].asNumber();
+        const double ap50 = (*a)["end_to_end_us"]["p50"].asNumber();
+        if (b["end_to_end_us"]["count"].asNumber() == 0 ||
+            (*a)["end_to_end_us"]["count"].asNumber() == 0) {
+            std::printf("%-14s %12.3f %12.3f %9s\n", protocol.c_str(),
+                        bp50, ap50, "n/a");
+            continue;
+        }
+        const double delta_pct =
+            bp50 == 0.0 ? 0.0 : (ap50 - bp50) / bp50 * 100.0;
+        const bool bad = delta_pct > threshold_pct;
+        regressed = regressed || bad;
+        std::printf("%-14s %12.3f %12.3f %+8.2f%%%s\n", protocol.c_str(),
+                    bp50, ap50, delta_pct,
+                    bad ? "  REGRESSION" : "");
+    }
+    if (regressed) {
+        std::printf("\nregressions above %.2f%% threshold found\n",
+                    threshold_pct);
+        return 1;
+    }
+    std::printf("\nno regression above %.2f%% threshold\n", threshold_pct);
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: uldma_trace_tool summarize <spans.json>\n"
+                 "       uldma_trace_tool diff <before.json> <after.json>"
+                 " [--threshold=<pct>]\n"
+                 "       uldma_trace_tool validate <file.json> [...]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    if (cmd == "summarize") {
+        if (argc != 3)
+            return usage();
+        return cmdSummarize(argv[2]);
+    }
+
+    if (cmd == "diff") {
+        double threshold = 10.0;
+        std::vector<std::string> paths;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--threshold=", 0) == 0)
+                threshold = std::atof(arg.c_str() + std::strlen(
+                                          "--threshold="));
+            else
+                paths.push_back(arg);
+        }
+        if (paths.size() != 2)
+            return usage();
+        return cmdDiff(paths[0], paths[1], threshold);
+    }
+
+    if (cmd == "validate") {
+        if (argc < 3)
+            return usage();
+        bool all_ok = true;
+        for (int i = 2; i < argc; ++i)
+            all_ok = validateOne(argv[i]) && all_ok;
+        return all_ok ? 0 : 1;
+    }
+
+    return usage();
+}
