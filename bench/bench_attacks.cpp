@@ -57,7 +57,7 @@ printExhibit(benchutil::Reporter &reporter)
         for (unsigned seed = 1; seed <= seeds; ++seed) {
             RandomAttackConfig config;
             config.method = method;
-            config.seed = seed;
+            config.seed = benchutil::seedBase() + seed;
             config.legitIterations = 10;
             config.malOps = 50;
             config.malProcesses = 2;
@@ -97,7 +97,7 @@ registerBenchmarks()
             for (auto _ : state) {
                 RandomAttackConfig config;
                 config.method = DmaMethod::Repeated5;
-                config.seed = 7;
+                config.seed = benchutil::seedBase() + 7;
                 const RandomAttackResult r = runRandomizedAttack(config);
                 violations += r.violations;
             }

@@ -10,6 +10,12 @@
  *   --json <path>         additionally write the exhibit's measurements
  *                         as one JSON document (schema uldma-bench-v1;
  *                         see docs/OBSERVABILITY.md)
+ *   --seed <N>            base seed added to every seeded measurement
+ *                         (randomized storms etc.); default 0 keeps
+ *                         each bench's historical seed sequence.  The
+ *                         value is recorded in the JSON report so two
+ *                         reports are comparable only when their seeds
+ *                         match.
  */
 
 #ifndef ULDMA_BENCH_BENCH_COMMON_HH
@@ -20,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -30,6 +37,26 @@
 #include "sim/json.hh"
 
 namespace uldma::benchutil {
+
+/**
+ * Base seed shared by every seeded measurement in a bench binary
+ * (set from --seed by benchMain before the exhibit runs).  Exhibits
+ * add it to their per-measurement seeds, so --seed=0 (the default)
+ * reproduces the historical numbers and any other value shifts every
+ * stream at once.
+ */
+inline std::uint64_t &
+seedBaseStorage()
+{
+    static std::uint64_t base = 0;
+    return base;
+}
+
+inline std::uint64_t
+seedBase()
+{
+    return seedBaseStorage();
+}
 
 /** Print a rule line of the given width. */
 inline void
@@ -127,6 +154,7 @@ class Reporter
         w.member("schema", "uldma-bench-v1");
         w.member("benchmark", benchmark);
         w.member("wall_ns", wall_ns);
+        w.member("seed", seedBase());
         w.key("records");
         w.beginArray();
         for (const auto &r : records_)
@@ -169,6 +197,11 @@ benchMain(int argc, char **argv, ExhibitFn &&exhibit)
             json_path = argv[++i];
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path = arg.substr(7);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seedBaseStorage() = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            seedBaseStorage() = std::strtoull(arg.c_str() + 7, nullptr,
+                                              10);
         } else {
             passthrough.push_back(argv[i]);
         }

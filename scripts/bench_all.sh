@@ -6,11 +6,23 @@
 # Fails fast: the first failing bench stops the run and is named, so CI
 # logs point at the culprit instead of a generic nonzero exit.
 #
-# Usage: scripts/bench_all.sh [build-dir]     (default: build)
+# Usage: scripts/bench_all.sh [build-dir] [--seed=N]
+#   build-dir   defaults to 'build'
+#   --seed=N    base seed forwarded to every bench (bench_common.hh's
+#               shared --seed flag); default 0 reproduces the
+#               historical numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-build_dir="${1:-build}"
+build_dir="build"
+seed=0
+for arg in "$@"; do
+    case "$arg" in
+        --seed=*) seed="${arg#--seed=}" ;;
+        --*) echo "bench_all.sh: unknown option '$arg'" >&2; exit 2 ;;
+        *) build_dir="$arg" ;;
+    esac
+done
 if [ ! -d "$build_dir/bench" ]; then
     echo "bench_all.sh: no '$build_dir/bench' directory;" \
          "build first (scripts/check.sh)" >&2
@@ -24,7 +36,7 @@ for bench in "$build_dir"/bench/bench_*; do
     suffix="${name#bench_}"
     out="BENCH_${suffix}.json"
     echo "== $name -> $out"
-    if ! "$bench" --exhibit-only --json "$out"; then
+    if ! "$bench" --exhibit-only --json "$out" --seed "$seed"; then
         echo "bench_all.sh: FAILED: $name;" \
              "stopping before remaining benches" >&2
         exit 1

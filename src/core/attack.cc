@@ -164,6 +164,49 @@ struct FigureSetup
 
 } // namespace
 
+void
+appendAdversarialOps(Program &program, Kernel &kernel, Process &process,
+                     Addr own_page1, Addr own_page2,
+                     Addr shared_readonly_vaddr, Random &rng, unsigned ops,
+                     bool hijacker)
+{
+    if (hijacker) {
+        // A dedicated hijacker: spam loads of its own page's shadow
+        // address (with barriers so every load reaches the engine),
+        // hoping to slot into a victim's half-finished sequence — the
+        // figure-5 strategy, automated.
+        const Addr spam = kernel.shadowVaddrFor(process, own_page1);
+        for (unsigned op = 0; op < ops; ++op) {
+            program.load(reg::t0, spam);
+            program.membar();
+        }
+        return;
+    }
+
+    // Random access mix over everything the attacker can name.
+    struct Target { Addr shadow; bool writable; };
+    std::vector<Target> targets = {
+        {kernel.shadowVaddrFor(process, own_page1), true},
+        {kernel.shadowVaddrFor(process, own_page1) + 64, true},
+        {kernel.shadowVaddrFor(process, own_page2), true},
+    };
+    if (shared_readonly_vaddr != 0) {
+        targets.push_back(
+            {kernel.shadowVaddrFor(process, shared_readonly_vaddr),
+             false});
+    }
+    for (unsigned op = 0; op < ops; ++op) {
+        const Target &t = targets[rng.below(targets.size())];
+        if (t.writable && rng.chance(0.5)) {
+            program.store(t.shadow, rng.inRange(1, 128));
+        } else {
+            program.load(reg::t0, t.shadow);
+        }
+        if (rng.chance(0.3))
+            program.membar();
+    }
+}
+
 AttackOutcome
 runFigure5Attack()
 {
@@ -319,37 +362,8 @@ runRandomizedAttack(const RandomAttackConfig &config)
         pids.push_back(mal.pid());
 
         Program mal_prog;
-        if (m == 0) {
-            // A dedicated hijacker: spam loads of its own page's shadow
-            // address (with barriers so every load reaches the engine),
-            // hoping to slot into a victim's half-finished sequence —
-            // the figure-5 strategy, automated.
-            const Addr spam = kernel.shadowVaddrFor(mal, c1);
-            for (unsigned op = 0; op < config.malOps; ++op) {
-                mal_prog.load(reg::t0, spam);
-                mal_prog.membar();
-            }
-        } else {
-            // Random access mix over everything the attacker can name.
-            struct Target { Addr shadow; bool writable; };
-            const Target targets[] = {
-                {kernel.shadowVaddrFor(mal, c1), true},
-                {kernel.shadowVaddrFor(mal, c1) + 64, true},
-                {kernel.shadowVaddrFor(mal, c2), true},
-                {kernel.shadowVaddrFor(mal, mal_a), false},
-            };
-            for (unsigned op = 0; op < config.malOps; ++op) {
-                const Target &t =
-                    targets[rng.below(std::size(targets))];
-                if (t.writable && rng.chance(0.5)) {
-                    mal_prog.store(t.shadow, rng.inRange(1, size));
-                } else {
-                    mal_prog.load(reg::t0, t.shadow);
-                }
-                if (rng.chance(0.3))
-                    mal_prog.membar();
-            }
-        }
+        appendAdversarialOps(mal_prog, kernel, mal, c1, c2, mal_a, rng,
+                             config.malOps, /*hijacker=*/m == 0);
         mal_prog.exit();
         kernel.launch(mal, std::move(mal_prog));
     }

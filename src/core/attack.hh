@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/methods.hh"
+#include "util/random.hh"
 
 namespace uldma {
 
@@ -101,6 +102,26 @@ struct RandomAttackResult
  * audit every initiation the engine performed.
  */
 RandomAttackResult runRandomizedAttack(const RandomAttackConfig &config);
+
+/**
+ * Append @p ops adversarial shadow accesses to @p program — the access
+ * mix of the randomized-attack harness, reusable by other load
+ * generators (e.g. the workload engine's adversarial streams).
+ *
+ * Two strategies:
+ *  - @p hijacker: spam shadow loads of @p own_page1 with barriers,
+ *    hoping to slot into another process's half-finished sequence (the
+ *    figure-5 strategy, automated);
+ *  - otherwise a seeded random load/store mix over the process's own
+ *    two pages (and, if nonzero, @p shared_readonly_vaddr — a
+ *    read-only view of a victim page, figure-6 style).
+ *
+ * All three vaddrs must already be shadow-mapped for @p process.
+ */
+void appendAdversarialOps(Program &program, Kernel &kernel,
+                          Process &process, Addr own_page1, Addr own_page2,
+                          Addr shared_readonly_vaddr, Random &rng,
+                          unsigned ops, bool hijacker);
 
 } // namespace uldma
 

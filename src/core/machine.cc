@@ -73,11 +73,15 @@ Machine::Machine(const MachineConfig &config)
     : config_(config), network_(eventq_, config.network)
 {
     ULDMA_ASSERT(config.numNodes >= 1, "need at least one node");
-    ULDMA_ASSERT(config.numNodes <= config.node.nic.maxNodes,
-                 "more nodes than the NIC window region supports");
+    ULDMA_ASSERT(config.perNode.empty() ||
+                     config.perNode.size() == config.numNodes,
+                 "perNode configuration list must match numNodes");
     for (unsigned i = 0; i < config.numNodes; ++i) {
+        const NodeConfig &node_config = config.nodeConfig(i);
+        ULDMA_ASSERT(config.numNodes <= node_config.nic.maxNodes,
+                     "more nodes than the NIC window region supports");
         nodes_.push_back(std::make_unique<Node>(
-            eventq_, network_, static_cast<NodeId>(i), config.node));
+            eventq_, network_, static_cast<NodeId>(i), node_config));
     }
     network_.registerStats(statsRegistry_);
     for (auto &node : nodes_)
@@ -118,6 +122,8 @@ Machine::run(Tick limit)
         }
         if (allFinished() && eventq_.empty())
             return true;
+        if (runHook_ && !runHook_(now()))
+            return allFinished();
     }
     return allFinished();
 }

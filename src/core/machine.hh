@@ -45,6 +45,22 @@ struct MachineConfig
     unsigned numNodes = 1;
     NodeConfig node;
     NetworkParams network;
+
+    /**
+     * Heterogeneous machines (e.g. a workload mixing DMA protocols
+     * whose engine modes differ): when non-empty, node i is built from
+     * perNode[i] instead of @ref node, and the vector's size must equal
+     * numNodes.  Empty (the default) keeps the historical behaviour of
+     * every node sharing @ref node.
+     */
+    std::vector<NodeConfig> perNode;
+
+    /** Configuration node @p i will be built from. */
+    const NodeConfig &
+    nodeConfig(unsigned i) const
+    {
+        return perNode.empty() ? node : perNode.at(i);
+    }
 };
 
 /**
@@ -107,6 +123,19 @@ class Machine
      */
     bool run(Tick limit = maxTick);
 
+    /**
+     * Install a run-loop hook, invoked after every event-queue step
+     * while run() executes with the current simulated tick.  Returning
+     * false stops the run at that boundary (run() then reports whether
+     * everything had already finished).  Used by the workload driver
+     * for scenario duration caps and progress reporting; pass nullptr
+     * to remove.
+     */
+    void setRunHook(std::function<bool(Tick)> hook)
+    {
+        runHook_ = std::move(hook);
+    }
+
     /** Dump every component's stats to @p os. */
     void dumpStats(std::ostream &os);
 
@@ -153,6 +182,7 @@ class Machine
     stats::Registry statsRegistry_;
     std::unique_ptr<stats::Sampler> sampler_;
     Tick nextSampleAt_ = 0;
+    std::function<bool(Tick)> runHook_;
 };
 
 } // namespace uldma

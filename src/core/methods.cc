@@ -86,26 +86,39 @@ configureNode(NodeConfig &config, DmaMethod method)
 }
 
 void
+prepareNode(Machine &machine, NodeId node, DmaMethod method)
+{
+    Kernel &kernel = machine.node(node).kernel();
+    if (method == DmaMethod::Shrimp2)
+        kernel.installShrimp2Hook();
+    if (method == DmaMethod::Flash)
+        kernel.installFlashHook();
+
+    if (method == DmaMethod::PalCode &&
+        !machine.node(node).cpu().hasPal(palDmaIndex)) {
+        // The PAL body of §2.7:
+        //   STORE size TO shadow(vdestination)
+        //   LOAD return_status FROM shadow(vsource)
+        // with shadow(vdst) in a0, shadow(vsrc) in a1, size in a2.
+        Program pal;
+        pal.storeIndirectReg(reg::a0, 0, reg::a2);
+        pal.loadIndirect(reg::v0, reg::a1, 0);
+        machine.node(node).cpu().registerPal(palDmaIndex, std::move(pal));
+    }
+}
+
+void
 prepareMachine(Machine &machine, DmaMethod method)
 {
-    for (unsigned n = 0; n < machine.numNodes(); ++n) {
-        Kernel &kernel = machine.node(n).kernel();
-        if (method == DmaMethod::Shrimp2)
-            kernel.installShrimp2Hook();
-        if (method == DmaMethod::Flash)
-            kernel.installFlashHook();
+    for (unsigned n = 0; n < machine.numNodes(); ++n)
+        prepareNode(machine, static_cast<NodeId>(n), method);
+}
 
-        if (method == DmaMethod::PalCode) {
-            // The PAL body of §2.7:
-            //   STORE size TO shadow(vdestination)
-            //   LOAD return_status FROM shadow(vsource)
-            // with shadow(vdst) in a0, shadow(vsrc) in a1, size in a2.
-            Program pal;
-            pal.storeIndirectReg(reg::a0, 0, reg::a2);
-            pal.loadIndirect(reg::v0, reg::a1, 0);
-            machine.node(n).cpu().registerPal(palDmaIndex, std::move(pal));
-        }
-    }
+const char *
+spanProtocolFor(DmaMethod method)
+{
+    return method == DmaMethod::Kernel ? "kernel"
+                                       : toString(engineModeFor(method));
 }
 
 bool

@@ -94,6 +94,22 @@ void configureNode(NodeConfig &config, DmaMethod method);
 void prepareMachine(Machine &machine, DmaMethod method);
 
 /**
+ * Per-node variant of prepareMachine for heterogeneous machines (e.g.
+ * workload scenarios whose nodes run different protocols): installs
+ * @p method's hooks / PAL function on node @p node only.  Idempotent —
+ * calling it twice for the same (node, method) is safe.
+ */
+void prepareNode(Machine &machine, NodeId node, DmaMethod method);
+
+/**
+ * Span/report protocol name for @p method: "kernel" for the kernel
+ * path, otherwise the engine-mode name the span tracker records
+ * (several methods share an engine mode — e.g. PAL and extended shadow
+ * both run against "shadow-pair").
+ */
+const char *spanProtocolFor(DmaMethod method);
+
+/**
  * Per-process setup: grant the register context / CONTEXT_ID the
  * method needs.
  * @return false if the engine's contexts are exhausted and this

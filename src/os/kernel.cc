@@ -76,6 +76,15 @@ Kernel::launch(Process &process, Program program)
     scheduler_.enqueue(process);
 }
 
+Process &
+Kernel::spawn(const std::string &process_name,
+              const std::function<Program(Process &)> &setup)
+{
+    Process &process = createProcess(process_name);
+    launch(process, setup(process));
+    return process;
+}
+
 void
 Kernel::scheduleFirst()
 {

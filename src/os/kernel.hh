@@ -24,6 +24,7 @@
 #ifndef ULDMA_OS_KERNEL_HH
 #define ULDMA_OS_KERNEL_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -106,6 +107,15 @@ class Kernel : public OsCallbacks
 
     /** Install @p program and make the process runnable. */
     void launch(Process &process, Program program);
+
+    /**
+     * One-stop process spawn: create a process named @p process_name,
+     * run @p setup against it (setup-time allocations, grants, program
+     * construction — all uncosted), and launch the program it returns.
+     * Used by the workload driver to stamp out stream workers.
+     */
+    Process &spawn(const std::string &process_name,
+                   const std::function<Program(Process &)> &setup);
 
     /** Dispatch the first process and start the CPU. */
     void scheduleFirst();

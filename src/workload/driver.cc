@@ -1,0 +1,170 @@
+#include "workload/driver.hh"
+
+#include <algorithm>
+
+#include "sim/span.hh"
+#include "util/logging.hh"
+#include "workload/prng.hh"
+
+namespace uldma::workload {
+
+namespace {
+
+BusParams
+busFor(const std::string &name)
+{
+    if (name == "pci33")
+        return BusParams::pci33();
+    if (name == "pci66")
+        return BusParams::pci66();
+    ULDMA_ASSERT(name == "tc", "unknown bus '", name, "'");
+    return BusParams::turboChannel();
+}
+
+/** The protocol row for @p protocol, appending one if new (row order
+ *  is therefore first-appearance order — deterministic). */
+ProtocolStats &
+protocolRow(std::vector<ProtocolStats> &rows, const std::string &protocol)
+{
+    for (ProtocolStats &row : rows) {
+        if (row.protocol == protocol)
+            return row;
+    }
+    rows.emplace_back();
+    rows.back().protocol = protocol;
+    return rows.back();
+}
+
+} // namespace
+
+WorkloadResult
+runWorkload(const Scenario &scenario, std::uint64_t seed,
+            const WorkloadOptions &options)
+{
+    std::vector<std::vector<DmaMethod>> node_methods;
+    std::string error;
+    const bool derivable = deriveNodeMethods(scenario, node_methods,
+                                             &error);
+    ULDMA_ASSERT(derivable, "invalid scenario: ", error);
+
+    MachineConfig config;
+    config.numNodes = scenario.nodes;
+    for (unsigned n = 0; n < scenario.nodes; ++n) {
+        NodeConfig nc;
+        nc.bus = busFor(scenario.bus);
+        nc.cpu.clockMHz = scenario.cpuMhz;
+        nc.kernel.syscallOverheadCycles = scenario.syscallCycles;
+        const auto &methods = node_methods[n];
+        if (!methods.empty()) {
+            configureNode(nc, methods.front());
+            // configureNode keys the extras off one method; a node can
+            // legally mix several methods of one engine mode, so OR in
+            // what any of them needs.
+            for (DmaMethod m : methods) {
+                if (m == DmaMethod::ExtShadow)
+                    nc.dma.ctxIdBits = 2;
+                if (m == DmaMethod::Flash)
+                    nc.dma.flashTagCheck = true;
+            }
+        }
+        if (scenario.scheduler.kind == SchedulerSpec::Kind::Random) {
+            const std::uint64_t sched_seed =
+                streamSeed(seed, n, SeedPurpose::Scheduler);
+            const std::uint64_t max_slice = scenario.scheduler.maxSlice;
+            nc.makeScheduler = [sched_seed, max_slice]() {
+                return std::make_unique<RandomScheduler>(sched_seed,
+                                                         max_slice);
+            };
+        } else {
+            const Tick quantum =
+                Tick(scenario.scheduler.quantumUs) * tickPerUs;
+            nc.makeScheduler = [quantum]() {
+                return std::make_unique<RoundRobinScheduler>(quantum);
+            };
+        }
+        config.perNode.push_back(std::move(nc));
+    }
+
+    Machine machine(config);
+    for (unsigned n = 0; n < scenario.nodes; ++n) {
+        for (DmaMethod m : node_methods[n])
+            prepareNode(machine, static_cast<NodeId>(n), m);
+    }
+
+    span::tracker().enable();
+
+    WorkloadResult result;
+    result.seed = seed;
+    result.streams.resize(scenario.streams.size());
+    for (std::size_t i = 0; i < scenario.streams.size(); ++i) {
+        spawnStream(machine, scenario, scenario.streams[i], i, seed,
+                    result.streams[i]);
+    }
+
+    machine.start();
+    result.finished =
+        machine.run(Tick(scenario.limitUs) * tickPerUs);
+    result.durationUs = ticksToUs(machine.now());
+
+    // Protocol rows: worker streams first (fixing first-appearance
+    // order and the offered side), then whatever the tracker saw.
+    for (const StreamRuntime &stream : result.streams) {
+        if (stream.spec->adversarial)
+            continue;
+        ProtocolStats &row = protocolRow(
+            result.protocols, spanProtocolFor(stream.spec->method));
+        row.offeredInitiations += stream.issued;
+        row.offeredBytes += stream.offeredBytes;
+        const std::string method = methodName(stream.spec->method);
+        if (std::find(row.methods.begin(), row.methods.end(), method) ==
+            row.methods.end())
+            row.methods.push_back(method);
+    }
+
+    const span::Tracker &tracker = span::tracker();
+    for (std::size_t i = 0; i < tracker.size(); ++i) {
+        const span::Span &span = tracker.at(i);
+        ProtocolStats &row = protocolRow(result.protocols,
+                                         span.protocol);
+        ++row.opened;
+        switch (span.outcome) {
+          case span::Outcome::Completed:
+            ++row.completed;
+            row.completedBytes += span.size;
+            row.e2eUs.push_back(
+                ticksToUs(span.completed - span.firstAccess));
+            break;
+          case span::Outcome::Rejected:
+            ++row.rejected;
+            break;
+          case span::Outcome::KeyMismatch:
+            ++row.keyMismatch;
+            break;
+          case span::Outcome::Aborted:
+            ++row.aborted;
+            break;
+          case span::Outcome::InFlight:
+            ++row.inFlight;
+            break;
+        }
+    }
+    for (ProtocolStats &row : result.protocols)
+        std::sort(row.e2eUs.begin(), row.e2eUs.end());
+
+    for (unsigned n = 0; n < machine.numNodes(); ++n) {
+        NodeStats stats;
+        stats.node = n;
+        stats.engineInitiations =
+            machine.node(n).dmaEngine().numInitiations();
+        stats.contextSwitches =
+            machine.node(n).kernel().numContextSwitches();
+        stats.syscalls = machine.node(n).kernel().numSyscalls();
+        result.perNode.push_back(stats);
+    }
+
+    if (!options.keepSpans)
+        span::tracker().disable();
+    return result;
+}
+
+} // namespace uldma::workload

@@ -1,0 +1,143 @@
+#include "workload/generator.hh"
+
+#include "core/attack.hh"
+#include "workload/prng.hh"
+
+namespace uldma::workload {
+
+namespace {
+
+/**
+ * Build one worker replica's program: slots × pageSize source and
+ * destination regions (destination possibly a remote window), then
+ * the paced initiation loop.
+ */
+Program
+buildWorker(Machine &machine, const Scenario &scenario,
+            const StreamSpec &spec, Kernel &kernel, Process &proc,
+            Random &size_rng, Random &pace_rng, StreamRuntime &runtime)
+{
+    DmaMethod method = spec.method;
+    if (!prepareProcess(kernel, proc, method)) {
+        // Contexts exhausted: this replica degrades to the kernel
+        // channel, exactly the fallback §3.2 prescribes.
+        method = DmaMethod::Kernel;
+        ++runtime.kernelFallbacks;
+    }
+
+    const Addr region = Addr(spec.slots) * pageSize;
+    const Addr src = kernel.allocate(proc, region, Rights::ReadWrite);
+    kernel.createShadowMappings(proc, src, region);
+
+    Addr dst;
+    if (spec.remoteNode >= 0) {
+        Kernel &remote =
+            machine.node(static_cast<NodeId>(spec.remoteNode)).kernel();
+        const Addr frames = remote.allocFrames(spec.slots);
+        dst = kernel.mapRemoteWindow(proc,
+                                     static_cast<NodeId>(spec.remoteNode),
+                                     frames, region, Rights::ReadWrite);
+    } else {
+        dst = kernel.allocate(proc, region, Rights::ReadWrite);
+    }
+    kernel.createShadowMappings(proc, dst, region);
+
+    if (method == DmaMethod::Shrimp1) {
+        for (unsigned s = 0; s < spec.slots; ++s) {
+            kernel.setupMapOut(
+                proc, src + Addr(s) * pageSize,
+                kernel.translateFor(proc, dst + Addr(s) * pageSize,
+                                    Rights::Write)
+                    .paddr);
+        }
+    }
+
+    StreamRuntime *rt = &runtime;
+    Program prog;
+    for (unsigned i = 0; i < spec.initiations; ++i) {
+        const unsigned s = i % spec.slots;
+        const Addr size = sampleSize(spec.size, size_rng);
+
+        if (spec.pacing.kind == Pacing::Kind::Open) {
+            const std::uint64_t gap_us =
+                sampleIntervalUs(spec.pacing.interval, pace_rng);
+            if (gap_us > 0)
+                prog.compute(gap_us * scenario.cpuMhz);
+        }
+
+        emitInitiation(prog, kernel, proc, method,
+                       src + Addr(s) * pageSize, dst + Addr(s) * pageSize,
+                       size);
+        prog.callback([rt](ExecContext &ctx) {
+            if (ctx.reg(reg::v0) == dmastatus::failure)
+                ++rt->failures;
+        });
+        prog.membar();
+
+        if (spec.pacing.kind == Pacing::Kind::Closed &&
+            spec.pacing.thinkUs > 0)
+            prog.compute(spec.pacing.thinkUs * scenario.cpuMhz);
+
+        ++runtime.issued;
+        runtime.offeredBytes += size;
+    }
+    prog.exit();
+    return prog;
+}
+
+/**
+ * Build one adversarial replica: two owned, shadow-mapped pages and
+ * the attack harness's access mix over them.  Replica 0 plays the
+ * hijacker (figure-5 strategy); the rest issue the random mix.
+ */
+Program
+buildAdversary(const StreamSpec &spec, Kernel &kernel, Process &proc,
+               Random &adv_rng, StreamRuntime &runtime, bool hijacker)
+{
+    const Addr page1 = kernel.allocate(proc, pageSize, Rights::ReadWrite);
+    const Addr page2 = kernel.allocate(proc, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(proc, page1, pageSize);
+    kernel.createShadowMappings(proc, page2, pageSize);
+
+    Program prog;
+    appendAdversarialOps(prog, kernel, proc, page1, page2,
+                         /*shared_readonly_vaddr=*/0, adv_rng, spec.ops,
+                         hijacker);
+    prog.exit();
+    runtime.adversarialOps += spec.ops;
+    return prog;
+}
+
+} // namespace
+
+void
+spawnStream(Machine &machine, const Scenario &scenario,
+            const StreamSpec &spec, std::uint64_t stream_index,
+            std::uint64_t seed, StreamRuntime &runtime)
+{
+    runtime.spec = &spec;
+    Kernel &kernel = machine.node(spec.node).kernel();
+
+    // All replicas of a stream share its RNGs; draws happen in replica
+    // order at build time, so the sequence is seed-deterministic.
+    Random size_rng(streamSeed(seed, stream_index, SeedPurpose::Sizes));
+    Random pace_rng(streamSeed(seed, stream_index, SeedPurpose::Pacing));
+    Random adv_rng(
+        streamSeed(seed, stream_index, SeedPurpose::Adversarial));
+
+    for (unsigned r = 0; r < spec.count; ++r) {
+        const std::string name =
+            spec.count == 1 ? spec.name
+                            : spec.name + "." + std::to_string(r);
+        kernel.spawn(name, [&](Process &proc) {
+            if (spec.adversarial) {
+                return buildAdversary(spec, kernel, proc, adv_rng,
+                                      runtime, /*hijacker=*/r == 0);
+            }
+            return buildWorker(machine, scenario, spec, kernel, proc,
+                               size_rng, pace_rng, runtime);
+        });
+    }
+}
+
+} // namespace uldma::workload

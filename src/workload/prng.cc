@@ -1,0 +1,91 @@
+#include "workload/prng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace uldma::workload {
+
+namespace {
+
+/** The splitmix64 finalizer: a strong 64-bit mixer. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+streamSeed(std::uint64_t seed, std::uint64_t stream, SeedPurpose purpose)
+{
+    return mix64(mix64(mix64(seed) ^ stream) ^
+                 static_cast<std::uint64_t>(purpose));
+}
+
+Addr
+sampleSize(const SizeDist &dist, Random &rng)
+{
+    switch (dist.kind) {
+      case SizeDist::Kind::Fixed:
+        return dist.fixedBytes;
+      case SizeDist::Kind::Uniform:
+        return rng.inRange(dist.minBytes, dist.maxBytes);
+      case SizeDist::Kind::Zipf: {
+        ULDMA_ASSERT(!dist.zipfSizes.empty(),
+                     "zipf size distribution with no buckets");
+        // Bucket k has weight 1/(k+1)^s; walk the cumulative weights.
+        double total = 0.0;
+        for (std::size_t k = 0; k < dist.zipfSizes.size(); ++k)
+            total += 1.0 / std::pow(double(k + 1), dist.zipfExponent);
+        double u = rng.nextDouble() * total;
+        for (std::size_t k = 0; k < dist.zipfSizes.size(); ++k) {
+            u -= 1.0 / std::pow(double(k + 1), dist.zipfExponent);
+            if (u < 0.0)
+                return dist.zipfSizes[k];
+        }
+        return dist.zipfSizes.back();
+      }
+    }
+    return dist.fixedBytes;
+}
+
+std::uint64_t
+sampleIntervalUs(const IntervalDist &dist, Random &rng)
+{
+    switch (dist.kind) {
+      case IntervalDist::Kind::Fixed:
+        return dist.fixedUs;
+      case IntervalDist::Kind::Uniform:
+        return rng.inRange(dist.minUs, dist.maxUs);
+    }
+    return dist.fixedUs;
+}
+
+double
+meanSize(const SizeDist &dist)
+{
+    switch (dist.kind) {
+      case SizeDist::Kind::Fixed:
+        return double(dist.fixedBytes);
+      case SizeDist::Kind::Uniform:
+        return (double(dist.minBytes) + double(dist.maxBytes)) / 2.0;
+      case SizeDist::Kind::Zipf: {
+        double total = 0.0, weighted = 0.0;
+        for (std::size_t k = 0; k < dist.zipfSizes.size(); ++k) {
+            const double w =
+                1.0 / std::pow(double(k + 1), dist.zipfExponent);
+            total += w;
+            weighted += w * double(dist.zipfSizes[k]);
+        }
+        return total > 0.0 ? weighted / total : 0.0;
+      }
+    }
+    return 0.0;
+}
+
+} // namespace uldma::workload

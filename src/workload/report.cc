@@ -1,0 +1,140 @@
+#include "workload/report.hh"
+
+#include "sim/json.hh"
+#include "sim/stats.hh"
+
+namespace uldma::workload {
+
+namespace {
+
+/** {count, mean, min, max, p50, p90, p99} of an ascending sample. */
+void
+writeQuantiles(json::Writer &w, const std::vector<double> &sorted)
+{
+    w.beginObject();
+    w.member("count", std::uint64_t(sorted.size()));
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    w.member("mean", sorted.empty() ? 0.0 : sum / double(sorted.size()));
+    w.member("min", sorted.empty() ? 0.0 : sorted.front());
+    w.member("max", sorted.empty() ? 0.0 : sorted.back());
+    w.member("p50", stats::percentileOfSorted(sorted, 50.0));
+    w.member("p90", stats::percentileOfSorted(sorted, 90.0));
+    w.member("p99", stats::percentileOfSorted(sorted, 99.0));
+    w.endObject();
+}
+
+double
+ratePerSec(std::uint64_t count, double duration_us)
+{
+    return duration_us > 0.0 ? double(count) / (duration_us / 1e6) : 0.0;
+}
+
+} // namespace
+
+void
+writeWorkloadReport(std::ostream &os, const Scenario &scenario,
+                    const WorkloadResult &result, bool pretty)
+{
+    std::uint64_t offered_initiations = 0, offered_bytes = 0;
+    std::uint64_t failures = 0;
+    for (const StreamRuntime &stream : result.streams) {
+        offered_initiations += stream.issued;
+        offered_bytes += stream.offeredBytes;
+        failures += stream.failures;
+    }
+    std::uint64_t opened = 0, completed = 0, completed_bytes = 0;
+    for (const ProtocolStats &row : result.protocols) {
+        opened += row.opened;
+        completed += row.completed;
+        completed_bytes += row.completedBytes;
+    }
+
+    json::Writer w(os, pretty);
+    w.beginObject();
+    w.member("schema", "uldma-workload-v1");
+    w.member("scenario", scenario.name);
+    w.member("seed", result.seed);
+    w.member("nodes", std::uint64_t(scenario.nodes));
+    w.member("finished", result.finished);
+    w.member("duration_us", result.durationUs);
+
+    w.key("offered");
+    w.beginObject();
+    w.member("initiations", offered_initiations);
+    w.member("bytes", offered_bytes);
+    w.member("rate_per_sec",
+             ratePerSec(offered_initiations, result.durationUs));
+    w.endObject();
+
+    w.key("achieved");
+    w.beginObject();
+    w.member("initiations", opened);
+    w.member("completed", completed);
+    w.member("bytes", completed_bytes);
+    w.member("rate_per_sec", ratePerSec(completed, result.durationUs));
+    w.member("failures", failures);
+    w.endObject();
+
+    w.key("per_protocol");
+    w.beginArray();
+    for (const ProtocolStats &row : result.protocols) {
+        w.beginObject();
+        w.member("protocol", row.protocol);
+        w.key("methods");
+        w.beginArray();
+        for (const std::string &method : row.methods)
+            w.value(method);
+        w.endArray();
+        w.member("offered_initiations", row.offeredInitiations);
+        w.member("offered_bytes", row.offeredBytes);
+        w.member("initiations", row.opened);
+        w.member("completed", row.completed);
+        w.member("rejected", row.rejected);
+        w.member("key_mismatch", row.keyMismatch);
+        w.member("aborted", row.aborted);
+        w.member("in_flight", row.inFlight);
+        w.member("completed_bytes", row.completedBytes);
+        w.key("end_to_end_us");
+        writeQuantiles(w, row.e2eUs);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("streams");
+    w.beginArray();
+    for (const StreamRuntime &stream : result.streams) {
+        const StreamSpec &spec = *stream.spec;
+        w.beginObject();
+        w.member("name", spec.name);
+        w.member("node", std::uint64_t(spec.node));
+        w.member("protocol", methodName(spec.method));
+        w.member("count", std::uint64_t(spec.count));
+        w.member("adversarial", spec.adversarial);
+        w.member("initiations", stream.issued);
+        w.member("offered_bytes", stream.offeredBytes);
+        w.member("failures", stream.failures);
+        w.member("kernel_fallbacks", stream.kernelFallbacks);
+        w.member("adversarial_ops", stream.adversarialOps);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("per_node");
+    w.beginArray();
+    for (const NodeStats &node : result.perNode) {
+        w.beginObject();
+        w.member("node", std::uint64_t(node.node));
+        w.member("engine_initiations", node.engineInitiations);
+        w.member("context_switches", node.contextSwitches);
+        w.member("syscalls", node.syscalls);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace uldma::workload

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Serialisation of a WorkloadResult as one uldma-workload-v1 JSON
+ * document (see docs/WORKLOADS.md and docs/OBSERVABILITY.md).  Built
+ * on json::Writer, so identical results serialise to identical bytes
+ * — the foundation of the engine's determinism tests.
+ */
+
+#ifndef ULDMA_WORKLOAD_REPORT_HH
+#define ULDMA_WORKLOAD_REPORT_HH
+
+#include <ostream>
+
+#include "workload/driver.hh"
+
+namespace uldma::workload {
+
+/** Write @p result (of running @p scenario) as uldma-workload-v1. */
+void writeWorkloadReport(std::ostream &os, const Scenario &scenario,
+                         const WorkloadResult &result, bool pretty = true);
+
+} // namespace uldma::workload
+
+#endif // ULDMA_WORKLOAD_REPORT_HH

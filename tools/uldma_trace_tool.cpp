@@ -4,10 +4,12 @@
  *
  * Subcommands:
  *
- *   summarize <spans.json>
- *       Per-protocol table over a uldma-spans-v1 document: outcome
- *       counts and end-to-end / per-phase latency quantiles — the
- *       offline reproduction of the paper's Table 1 view.
+ *   summarize <spans.json | workload-report.json>
+ *       uldma-spans-v1: per-protocol table of outcome counts and
+ *       end-to-end / per-phase latency quantiles — the offline
+ *       reproduction of the paper's Table 1 view.
+ *       uldma-workload-v1: offered-vs-achieved table of a workload
+ *       engine run.
  *
  *   diff <before.json> <after.json> [--threshold=<pct>]
  *       Compare per-protocol end-to-end p50 between two uldma-spans-v1
@@ -17,7 +19,9 @@
  *   validate <file.json> [...]
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
- *       uldma-bench-v1, chrome://tracing).
+ *       uldma-bench-v1, uldma-workload-v1, chrome://tracing).
+ *       uldma-workload-v1 validation is strict: unknown members
+ *       anywhere in the document are problems.
  *
  * Exit status: 0 = clean, 1 = finding (regression / invalid document),
  * 2 = usage or I/O error.
@@ -212,6 +216,140 @@ validateBench(Problems &p, const Value &doc)
     }
 }
 
+/** Flag members of @p obj outside @p allowed (strict schemas). */
+void
+checkNoExtra(Problems &p, const Value &obj,
+             std::initializer_list<const char *> allowed,
+             const std::string &where)
+{
+    if (!obj.isObject())
+        return;
+    for (const auto &[key, unused] : obj.asObject()) {
+        (void)unused;
+        bool known = false;
+        for (const char *a : allowed) {
+            if (key == a) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            p.add(where + ": unknown member '" + key + "'");
+    }
+}
+
+void
+validateWorkload(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "scenario", "seed", "nodes", "finished",
+                  "duration_us", "offered", "achieved", "per_protocol",
+                  "streams", "per_node"},
+                 "root");
+    p.require(doc["scenario"].isString(), "scenario missing");
+    p.require(doc["seed"].isNumber(), "seed missing");
+    p.require(doc["nodes"].isNumber(), "nodes missing");
+    p.require(doc["finished"].isBool(), "finished missing");
+    p.require(doc["duration_us"].isNumber(), "duration_us missing");
+
+    p.require(doc["offered"].isObject(), "offered missing");
+    checkNoExtra(p, doc["offered"],
+                 {"initiations", "bytes", "rate_per_sec"}, "offered");
+    for (const char *f : {"initiations", "bytes", "rate_per_sec"})
+        p.require(doc["offered"][f].isNumber(),
+                  std::string("offered.") + f + " missing");
+
+    p.require(doc["achieved"].isObject(), "achieved missing");
+    checkNoExtra(p, doc["achieved"],
+                 {"initiations", "completed", "bytes", "rate_per_sec",
+                  "failures"},
+                 "achieved");
+    for (const char *f : {"initiations", "completed", "bytes",
+                          "rate_per_sec", "failures"})
+        p.require(doc["achieved"][f].isNumber(),
+                  std::string("achieved.") + f + " missing");
+
+    p.require(doc["per_protocol"].isArray(), "per_protocol missing");
+    if (doc["per_protocol"].isArray()) {
+        const auto &rows = doc["per_protocol"].asArray();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "per_protocol[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"protocol", "methods", "offered_initiations",
+                          "offered_bytes", "initiations", "completed",
+                          "rejected", "key_mismatch", "aborted",
+                          "in_flight", "completed_bytes",
+                          "end_to_end_us"},
+                         where);
+            p.require(r["protocol"].isString(),
+                      where + ".protocol missing");
+            p.require(r["methods"].isArray(), where + ".methods missing");
+            if (r["methods"].isArray()) {
+                for (std::size_t m = 0; m < r["methods"].size(); ++m)
+                    p.require(r["methods"][m].isString(),
+                              where + ".methods[" + std::to_string(m) +
+                                  "] is not a string");
+            }
+            for (const char *f :
+                 {"offered_initiations", "offered_bytes", "initiations",
+                  "completed", "rejected", "key_mismatch", "aborted",
+                  "in_flight", "completed_bytes"})
+                p.require(r[f].isNumber(),
+                          where + "." + f + " missing");
+            checkQuantileBlock(p, r["end_to_end_us"],
+                               where + ".end_to_end_us");
+            checkNoExtra(p, r["end_to_end_us"],
+                         {"count", "mean", "min", "max", "p50", "p90",
+                          "p99"},
+                         where + ".end_to_end_us");
+        }
+    }
+
+    p.require(doc["streams"].isArray(), "streams missing");
+    if (doc["streams"].isArray()) {
+        const auto &rows = doc["streams"].asArray();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "streams[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"name", "node", "protocol", "count",
+                          "adversarial", "initiations", "offered_bytes",
+                          "failures", "kernel_fallbacks",
+                          "adversarial_ops"},
+                         where);
+            p.require(r["name"].isString(), where + ".name missing");
+            p.require(r["protocol"].isString(),
+                      where + ".protocol missing");
+            p.require(r["adversarial"].isBool(),
+                      where + ".adversarial missing");
+            for (const char *f :
+                 {"node", "count", "initiations", "offered_bytes",
+                  "failures", "kernel_fallbacks", "adversarial_ops"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+        }
+    }
+
+    p.require(doc["per_node"].isArray(), "per_node missing");
+    if (doc["per_node"].isArray()) {
+        const auto &rows = doc["per_node"].asArray();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const std::string where =
+                "per_node[" + std::to_string(i) + "]";
+            checkNoExtra(p, rows[i],
+                         {"node", "engine_initiations",
+                          "context_switches", "syscalls"},
+                         where);
+            for (const char *f : {"node", "engine_initiations",
+                                  "context_switches", "syscalls"})
+                p.require(rows[i][f].isNumber(),
+                          where + "." + f + " missing");
+        }
+    }
+}
+
 void
 validateChromeTracing(Problems &p, const Value &doc)
 {
@@ -247,6 +385,8 @@ validateOne(const std::string &path)
             validateStats(p, doc);
         else if (schema == "uldma-bench-v1")
             validateBench(p, doc);
+        else if (schema == "uldma-workload-v1")
+            validateWorkload(p, doc);
         else
             p.add("unknown schema '" + schema + "'");
     } else if (doc.has("traceEvents")) {
@@ -272,14 +412,75 @@ validateOne(const std::string &path)
 // summarize
 // ---------------------------------------------------------------------
 
+/** Offered-vs-achieved table of one uldma-workload-v1 report. */
+int
+summarizeWorkload(const std::string &path, const Value &doc)
+{
+    std::printf("%s: scenario '%s', seed %.0f, %.0f node(s), %s "
+                "(%.1f us simulated)\n\n",
+                path.c_str(), doc["scenario"].asString().c_str(),
+                doc["seed"].asNumber(), doc["nodes"].asNumber(),
+                doc["finished"].asBool() ? "finished" : "HIT LIMIT",
+                doc["duration_us"].asNumber());
+
+    std::printf("%-14s %8s %8s %8s %8s %8s %8s %10s\n", "protocol",
+                "offered", "seen", "complete", "rejected", "key-mism",
+                "aborted", "e2e-p50us");
+    for (const Value &r : doc["per_protocol"].asArray()) {
+        std::printf("%-14s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f %10.3f\n",
+                    r["protocol"].asString().c_str(),
+                    r["offered_initiations"].asNumber(),
+                    r["initiations"].asNumber(),
+                    r["completed"].asNumber(), r["rejected"].asNumber(),
+                    r["key_mismatch"].asNumber(),
+                    r["aborted"].asNumber(),
+                    r["end_to_end_us"]["p50"].asNumber());
+    }
+
+    const Value &offered = doc["offered"];
+    const Value &achieved = doc["achieved"];
+    std::printf("\ntotals: offered %.0f initiation(s) (%.0f bytes, "
+                "%.1f/s), achieved %.0f completed (%.0f bytes, %.1f/s), "
+                "%.0f failure status(es)\n",
+                offered["initiations"].asNumber(),
+                offered["bytes"].asNumber(),
+                offered["rate_per_sec"].asNumber(),
+                achieved["completed"].asNumber(),
+                achieved["bytes"].asNumber(),
+                achieved["rate_per_sec"].asNumber(),
+                achieved["failures"].asNumber());
+
+    std::printf("\n%-20s %5s %-12s %8s %8s %8s\n", "stream", "node",
+                "protocol", "issued", "failures", "fallback");
+    for (const Value &s : doc["streams"].asArray()) {
+        std::printf("%-20s %5.0f %-12s %8.0f %8.0f %8.0f\n",
+                    s["name"].asString().c_str(), s["node"].asNumber(),
+                    (s["protocol"].asString() +
+                     (s["adversarial"].asBool() ? "*" : ""))
+                        .c_str(),
+                    s["adversarial"].asBool()
+                        ? s["adversarial_ops"].asNumber()
+                        : s["initiations"].asNumber(),
+                    s["failures"].asNumber(),
+                    s["kernel_fallbacks"].asNumber());
+    }
+    std::printf("(* = adversarial stream; issued counts shadow "
+                "accesses)\n");
+    return 0;
+}
+
 int
 cmdSummarize(const std::string &path)
 {
     Value doc;
     if (!parseFile(path, doc))
         return 2;
+    if (doc["schema"].asString() == "uldma-workload-v1")
+        return summarizeWorkload(path, doc);
     if (doc["schema"].asString() != "uldma-spans-v1") {
-        std::fprintf(stderr, "%s: not a uldma-spans-v1 document\n",
+        std::fprintf(stderr,
+                     "%s: not a uldma-spans-v1 or uldma-workload-v1 "
+                     "document\n",
                      path.c_str());
         return 2;
     }
@@ -396,7 +597,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: uldma_trace_tool summarize <spans.json>\n"
+                 "usage: uldma_trace_tool summarize "
+                 "<spans.json | workload-report.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
                  "       uldma_trace_tool validate <file.json> [...]\n");

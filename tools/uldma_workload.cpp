@@ -1,0 +1,152 @@
+/**
+ * @file
+ * uldma_workload — scenario-driven traffic generation.
+ *
+ * Loads a declarative uldma-scenario-v1 JSON file (see
+ * docs/WORKLOADS.md), runs it through the workload engine, prints an
+ * offered-vs-achieved summary, and optionally writes the full
+ * uldma-workload-v1 report.  Byte-deterministic: the same scenario and
+ * --seed always produce the same report bytes.
+ *
+ *   $ uldma_workload --scenario scenarios/table1_mix.json --seed 7 \
+ *                    --report report.json
+ *   $ uldma_workload --scenario scenarios/adversarial_mix.json --check
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sim/span.hh"
+#include "sim/stats.hh"
+#include "util/options.hh"
+#include "workload/driver.hh"
+#include "workload/report.hh"
+#include "workload/scenario.hh"
+
+using namespace uldma;
+using namespace uldma::workload;
+
+int
+main(int argc, char **argv)
+{
+    Options opts("uldma_workload: scenario-driven traffic generation");
+    opts.addString("scenario", "", "uldma-scenario-v1 JSON file (required)");
+    opts.addInt("seed", 1, "run seed; all stream randomness derives "
+                           "from it");
+    opts.addString("report", "",
+                   "write the uldma-workload-v1 report to this file "
+                   "('-' for stdout)");
+    opts.addString("spans-json", "",
+                   "also write the raw per-initiation spans as a "
+                   "uldma-spans-v1 file ('-' for stdout)");
+    opts.addFlag("check", false,
+                 "parse and validate the scenario, then exit without "
+                 "running");
+    opts.addFlag("quiet", false, "suppress the human-readable summary");
+    if (!opts.parse(argc, argv))
+        return 0;
+
+    const std::string scenario_path = opts.getString("scenario");
+    if (scenario_path.empty()) {
+        std::fprintf(stderr, "uldma_workload: --scenario is required\n");
+        return 2;
+    }
+
+    Scenario scenario;
+    std::string error;
+    if (!loadScenarioFile(scenario_path, scenario, &error)) {
+        std::fprintf(stderr, "%s: %s\n", scenario_path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    if (opts.getFlag("check")) {
+        std::printf("%s: ok (scenario '%s', %u node(s), %zu stream(s))\n",
+                    scenario_path.c_str(), scenario.name.c_str(),
+                    scenario.nodes, scenario.streams.size());
+        return 0;
+    }
+
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(opts.getInt("seed"));
+    const std::string spans_path = opts.getString("spans-json");
+    WorkloadOptions wl_opts;
+    wl_opts.keepSpans = !spans_path.empty();
+
+    const WorkloadResult result = runWorkload(scenario, seed, wl_opts);
+
+    if (!opts.getFlag("quiet")) {
+        std::uint64_t offered = 0, failures = 0;
+        for (const StreamRuntime &s : result.streams) {
+            offered += s.issued;
+            failures += s.failures;
+        }
+        std::uint64_t achieved = 0, completed = 0;
+        for (const ProtocolStats &row : result.protocols) {
+            achieved += row.opened;
+            completed += row.completed;
+        }
+        std::printf("scenario  : %s (seed %llu, %u node(s))\n",
+                    scenario.name.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    scenario.nodes);
+        std::printf("duration  : %.1f us simulated%s\n", result.durationUs,
+                    result.finished ? "" : "  [hit limit_us]");
+        std::printf("offered   : %llu initiation(s)\n",
+                    static_cast<unsigned long long>(offered));
+        std::printf("achieved  : %llu seen by engines, %llu completed, "
+                    "%llu failure status(es)\n",
+                    static_cast<unsigned long long>(achieved),
+                    static_cast<unsigned long long>(completed),
+                    static_cast<unsigned long long>(failures));
+        std::printf("\n%-14s %8s %8s %8s %8s %8s %10s\n", "protocol",
+                    "offered", "seen", "complete", "rejected", "aborted",
+                    "e2e-p50us");
+        for (const ProtocolStats &row : result.protocols) {
+            const double p50 = stats::percentileOfSorted(row.e2eUs, 50.0);
+            std::printf("%-14s %8llu %8llu %8llu %8llu %8llu %10.3f\n",
+                        row.protocol.c_str(),
+                        static_cast<unsigned long long>(
+                            row.offeredInitiations),
+                        static_cast<unsigned long long>(row.opened),
+                        static_cast<unsigned long long>(row.completed),
+                        static_cast<unsigned long long>(row.rejected),
+                        static_cast<unsigned long long>(row.aborted),
+                        p50);
+        }
+    }
+
+    auto writeTo = [](const std::string &path, auto &&emit) -> bool {
+        if (path == "-") {
+            emit(std::cout);
+            return true;
+        }
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         path.c_str());
+            return false;
+        }
+        emit(out);
+        return out.good();
+    };
+
+    bool io_ok = true;
+    const std::string report_path = opts.getString("report");
+    if (!report_path.empty()) {
+        io_ok &= writeTo(report_path, [&](std::ostream &os) {
+            writeWorkloadReport(os, scenario, result);
+        });
+    }
+    if (!spans_path.empty()) {
+        io_ok &= writeTo(spans_path, [&](std::ostream &os) {
+            span::tracker().exportJson(os);
+        });
+        span::tracker().disable();
+    }
+
+    if (!io_ok)
+        return 2;
+    return result.finished ? 0 : 1;
+}
