@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Run every bench binary's paper exhibit with --json and collect the
 # machine-readable reports as BENCH_<name>.json at the repo root
-# (schema uldma-bench-v1, see docs/OBSERVABILITY.md).
+# (schema uldma-bench-v1, see docs/OBSERVABILITY.md), then smoke-run
+# the workload engine over the shipped scenarios.
 #
-# Fails fast: the first failing bench stops the run and is named, so CI
-# logs point at the culprit instead of a generic nonzero exit.
+# Fails fast: the first failing bench or workload run stops the run
+# and is named, so CI logs point at the culprit instead of a generic
+# nonzero exit.
 #
 # Usage: scripts/bench_all.sh [build-dir] [--seed=N]
 #   build-dir   defaults to 'build'
@@ -47,6 +49,29 @@ done
 if [ "${#written[@]}" -eq 0 ]; then
     echo "bench_all.sh: no bench binaries in '$build_dir/bench'" >&2
     exit 1
+fi
+
+# Workload smoke runs.  `if ! ...` (not bare invocation under -e with
+# command substitution or pipelines) so a non-zero exit from
+# uldma_workload reliably stops the script with the culprit named.
+workload="$build_dir/tools/uldma_workload"
+if [ -x "$workload" ]; then
+    for scenario in scenarios/*.json; do
+        echo "== uldma_workload --check $scenario"
+        if ! "$workload" --check --scenario "$scenario"; then
+            echo "bench_all.sh: FAILED: workload check of $scenario" >&2
+            exit 1
+        fi
+    done
+    echo "== uldma_workload smoke -> BENCH_workload_smoke.json"
+    if ! "$workload" --scenario scenarios/contended_4proc.json \
+            --seed "$seed" --quiet --report BENCH_workload_smoke.json; then
+        echo "bench_all.sh: FAILED: workload smoke run" >&2
+        exit 1
+    fi
+    written+=("BENCH_workload_smoke.json")
+else
+    echo "bench_all.sh: warning: no '$workload'; skipping workload smoke" >&2
 fi
 
 echo

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bounded-exhaustive interleaving exploration.
+ *
+ * The explorer enumerates every non-decreasing multiset of up to
+ * `depth` preemption boundaries over the victim's initiation sequence
+ * (repeats = back-to-back preemptions), re-executing the scenario
+ * from scratch for each (stateless model checking).  State hashes
+ * captured at each delivered preemption prune extensions of prefixes
+ * whose machine state was already explored.  The first invariant
+ * violation is greedily shrunk to a minimal counterexample.
+ */
+
+#ifndef ULDMA_CHECK_EXPLORER_HH
+#define ULDMA_CHECK_EXPLORER_HH
+
+#include <optional>
+
+#include "check/runner.hh"
+
+namespace uldma::check {
+
+struct ExplorerConfig
+{
+    RunnerConfig runner;
+    /** Maximum number of preemption points per schedule. */
+    unsigned depth = 2;
+    /** Prune extensions of state-equivalent prefixes. */
+    bool prune = true;
+    /** Safety valve on total re-executions (0 = unlimited). */
+    std::uint64_t maxRuns = 0;
+};
+
+/** A shrunk violating schedule and what replaying it produces. */
+struct Counterexample
+{
+    std::vector<std::uint64_t> preemptAfter;
+    RunResult result;
+};
+
+struct ExploreReport
+{
+    std::uint64_t boundarySpace = 0;
+    std::uint64_t runs = 0;       ///< schedules actually executed
+    std::uint64_t pruned = 0;     ///< prefixes cut by state hashing
+    bool exhausted = true;        ///< false if maxRuns stopped the search
+    std::optional<Counterexample> counterexample;
+};
+
+/**
+ * Explore @p config's schedule space, stopping at the first invariant
+ * violation (shrunk before being reported).
+ */
+ExploreReport explore(const ExplorerConfig &config);
+
+/**
+ * Greedily remove preemption points from @p pts while the violation
+ * persists; @p runs counts the extra executions spent shrinking.
+ * @return the minimal (for single-point removal) violating schedule.
+ */
+std::vector<std::uint64_t> shrink(const RunnerConfig &config,
+                                  std::vector<std::uint64_t> pts,
+                                  std::uint64_t &runs);
+
+} // namespace uldma::check
+
+#endif // ULDMA_CHECK_EXPLORER_HH

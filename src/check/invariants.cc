@@ -1,0 +1,144 @@
+#include "check/invariants.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dma/dma_params.hh"
+
+namespace uldma::check {
+namespace {
+
+std::string
+describeTransfer(const DmaEngine::InitiationRecord &rec)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << rec.src << " -> 0x" << rec.dst << std::dec
+       << " size " << rec.size << " ctx " << rec.ctx;
+    return os.str();
+}
+
+bool
+withinRights(const std::vector<FrameSpan> &spans, Addr base, Addr bytes,
+             bool need_write)
+{
+    for (const FrameSpan &s : spans) {
+        if (base >= s.base && base + bytes <= s.base + s.bytes)
+            return need_write ? s.write : s.read;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Violation>
+checkInvariants(const RunArtifacts &a)
+{
+    std::vector<Violation> out;
+
+    for (std::size_t i = 0; i < a.initiations.size(); ++i) {
+        const DmaEngine::InitiationRecord &rec = a.initiations[i];
+        if (rec.viaKernel)
+            continue;   // kernel-channel transfers are the OS's business
+
+        // initiation-atomicity: both arguments from the same process.
+        const bool uniform =
+            !rec.contributors.empty() &&
+            std::all_of(rec.contributors.begin(), rec.contributors.end(),
+                        [&](Pid p) { return p == rec.contributors.front(); });
+        if (!uniform) {
+            std::ostringstream d;
+            d << "transfer #" << i << " (" << describeTransfer(rec)
+              << ") mixed contributors:";
+            for (Pid p : rec.contributors)
+                d << " pid" << p;
+            out.push_back({"initiation-atomicity", d.str()});
+        }
+        if (rec.contributors.empty())
+            continue;   // nothing below is attributable
+        const Pid initiator = rec.contributors.front();
+
+        // protection: both endpoints inside the initiator's frames.
+        auto frames_it = a.frames.find(initiator);
+        const std::vector<FrameSpan> empty;
+        const std::vector<FrameSpan> &spans =
+            frames_it != a.frames.end() ? frames_it->second : empty;
+        if (!withinRights(spans, rec.src, rec.size, /*need_write=*/false)) {
+            std::ostringstream d;
+            d << "transfer #" << i << " reads 0x" << std::hex << rec.src
+              << std::dec << "+" << rec.size
+              << " outside pid" << initiator << "'s readable frames";
+            out.push_back({"protection", d.str()});
+        }
+        if (!withinRights(spans, rec.dst, rec.size, /*need_write=*/true)) {
+            std::ostringstream d;
+            d << "transfer #" << i << " writes 0x" << std::hex << rec.dst
+              << std::dec << "+" << rec.size
+              << " outside pid" << initiator << "'s writable frames";
+            out.push_back({"protection", d.str()});
+        }
+
+        // intent-match: some process asked for exactly this transfer.
+        const bool intended = std::any_of(
+            a.allowed.begin(), a.allowed.end(),
+            [&](const AllowedTransfer &t) {
+                return t.pid == initiator && t.src == rec.src &&
+                       t.dst == rec.dst && t.size == rec.size;
+            });
+        if (!intended) {
+            out.push_back({"intent-match",
+                           "transfer #" + std::to_string(i) + " (" +
+                               describeTransfer(rec) +
+                               ") matches no declared intent of pid" +
+                               std::to_string(initiator)});
+        }
+
+        // key-secrecy: a granted context only ever works for its owner.
+        auto owner_it = a.ctxOwner.find(rec.ctx);
+        if (owner_it != a.ctxOwner.end()) {
+            for (Pid p : rec.contributors) {
+                if (p != owner_it->second) {
+                    std::ostringstream d;
+                    d << "transfer #" << i << " went through ctx "
+                      << rec.ctx << " (owner pid" << owner_it->second
+                      << ") with a contribution from pid" << p;
+                    out.push_back({"key-secrecy", d.str()});
+                    break;
+                }
+            }
+        }
+    }
+
+    // status-honesty: success means the victim's transfer really
+    // happened and the payload arrived.
+    if (a.victimFinished && a.victimStatus != dmastatus::failure) {
+        const bool victim_started = std::any_of(
+            a.initiations.begin(), a.initiations.end(),
+            [&](const DmaEngine::InitiationRecord &rec) {
+                return !rec.contributors.empty() &&
+                       rec.contributors.front() == a.victimPid &&
+                       std::any_of(a.allowed.begin(), a.allowed.end(),
+                                   [&](const AllowedTransfer &t) {
+                                       return t.pid == a.victimPid &&
+                                              t.src == rec.src &&
+                                              t.dst == rec.dst &&
+                                              t.size == rec.size;
+                                   });
+            });
+        if (!victim_started) {
+            out.push_back({"status-honesty",
+                           "victim saw success but its transfer never "
+                           "started"});
+        } else if (!a.payloadDelivered) {
+            out.push_back({"status-honesty",
+                           "victim saw success but the destination buffer "
+                           "does not hold the source pattern"});
+        }
+    }
+
+    if (!a.machineFinished)
+        out.push_back({"no-progress", "a process failed to finish"});
+
+    return out;
+}
+
+} // namespace uldma::check

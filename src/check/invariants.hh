@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The protection-invariant catalog of the model checker.
+ *
+ * Every explored schedule is audited against the paper's safety
+ * claims, expressed as predicates over what one run actually did (the
+ * engine's initiation records plus the buffers and grants the runner
+ * set up).  See docs/CHECKING.md for the invariant catalog in prose.
+ */
+
+#ifndef ULDMA_CHECK_INVARIANTS_HH
+#define ULDMA_CHECK_INVARIANTS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/methods.hh"
+#include "dma/dma_engine.hh"
+
+namespace uldma::check {
+
+/** One invariant violation found by the audit. */
+struct Violation
+{
+    std::string invariant;   ///< catalog name, e.g. "initiation-atomicity"
+    std::string detail;      ///< deterministic human-readable evidence
+
+    bool
+    operator==(const Violation &o) const
+    {
+        return invariant == o.invariant && detail == o.detail;
+    }
+};
+
+/** A transfer some process legitimately asked for. */
+struct AllowedTransfer
+{
+    Pid pid;
+    Addr src;
+    Addr dst;
+    Addr size;
+};
+
+/** One physical range a process has rights to. */
+struct FrameSpan
+{
+    Addr base;
+    Addr bytes;
+    bool read;
+    bool write;
+};
+
+/**
+ * Everything the invariant checker needs to audit one run.  Filled by
+ * the runner from oracle state (initiation records, grants, page
+ * frames) that no protocol decision ever reads.
+ */
+struct RunArtifacts
+{
+    DmaMethod method = DmaMethod::Repeated5;
+
+    /// Every DMA the engine started, in order.
+    std::vector<DmaEngine::InitiationRecord> initiations;
+
+    /// Transfers that were legitimately requested by some process.
+    std::vector<AllowedTransfer> allowed;
+
+    /// Physical frames each process has mapped, with rights.
+    std::map<Pid, std::vector<FrameSpan>> frames;
+
+    /// Granted context id -> owning process (key or shadow contexts).
+    std::map<unsigned, Pid> ctxOwner;
+
+    Pid victimPid = 1;
+    bool machineFinished = false;
+    bool victimFinished = false;
+    std::uint64_t victimStatus = 0;
+    /// The victim's destination buffer holds the full source pattern.
+    bool payloadDelivered = false;
+};
+
+/**
+ * Audit one run.  Returns every violated invariant (empty = clean):
+ *
+ *  - "initiation-atomicity": a transfer started with argument
+ *    contributions from more than one process (paper §2.1);
+ *  - "protection": a transfer touches physical memory outside the
+ *    initiating process's mapped frames;
+ *  - "intent-match": a transfer started that no process asked for
+ *    (wrong source, destination or size);
+ *  - "key-secrecy": a transfer went through a granted context on
+ *    behalf of a process that does not own it (paper §3.1/§3.2);
+ *  - "status-honesty": the victim saw a success status although its
+ *    transfer never started or the payload never arrived;
+ *  - "no-progress": the machine failed to run every process to
+ *    completion.
+ */
+std::vector<Violation> checkInvariants(const RunArtifacts &a);
+
+} // namespace uldma::check
+
+#endif // ULDMA_CHECK_INVARIANTS_HH

@@ -1,0 +1,263 @@
+#include "check/runner.hh"
+
+#include <memory>
+
+#include "core/machine.hh"
+#include "core/methods.hh"
+#include "cpu/exec_context.hh"
+#include "cpu/program.hh"
+#include "os/scheduler.hh"
+#include "sim/ticks.hh"
+#include "util/logging.hh"
+#include "vm/layout.hh"
+
+namespace uldma::check {
+namespace {
+
+/// Victim transfer size (fits one page at both endpoints).
+constexpr Addr payloadSize = 192;
+/// Size the adversary's own (legitimate) transfers would carry.
+constexpr Addr burstBytes = 48;
+/// Byte pattern of the victim's source buffer.
+constexpr std::uint8_t pattern = 0xD5;
+
+/** 64-bit FNV-1a accumulator (matches DmaEngine::stateHash style). */
+struct Fnv1a
+{
+    std::uint64_t h = 14695981039346656037ULL;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+/** Micro-ops of one adversary gap burst for @p method. */
+std::uint64_t
+burstLength(DmaMethod method, bool faults)
+{
+    if (!faults)
+        return 1;   // one benign compute op per gap
+    switch (engineModeFor(method)) {
+      case EngineMode::ShadowPair: return 2;   // probe LOAD + dangling STORE
+      case EngineMode::KeyBased: return 2;     // two forged-key STOREs
+      default: return 3;                       // competing ST/LD/LD sequence
+    }
+}
+
+void
+mixExecContext(Fnv1a &f, ExecContext &ctx)
+{
+    f.mix(static_cast<std::uint64_t>(ctx.pc()));
+    f.mix(static_cast<std::uint64_t>(ctx.state()));
+    f.mix(ctx.instructionsRetired());
+    for (int r = 0; r < numRegs; ++r)
+        f.mix(ctx.reg(r));
+}
+
+} // namespace
+
+RunResult
+runSchedule(const RunnerConfig &config,
+            const std::vector<std::uint64_t> &preemptAfter)
+{
+    const DmaMethod method = config.method;
+
+    MachineConfig mconfig;
+    // The checker builds thousands of machines per exploration; a
+    // small DRAM keeps construction cheap (4 data pages are used).
+    mconfig.node.memBytes = 2 * 1024 * 1024;
+    configureNode(mconfig.node, method);
+    mconfig.node.dma.weakRecognizer = config.weakRecognizer;
+
+    const std::uint64_t gap = burstLength(method, config.faults);
+    PreemptionScheduler *sched = nullptr;
+    mconfig.node.makeScheduler = [&]() {
+        auto s = std::make_unique<PreemptionScheduler>(
+            /*victim=*/1, /*intruder=*/2, preemptAfter, gap);
+        sched = s.get();
+        return s;
+    };
+
+    Machine machine(mconfig);
+    prepareMachine(machine, method);
+    Kernel &kernel = machine.node(0).kernel();
+    DmaEngine &engine = machine.node(0).dmaEngine();
+    PhysicalMemory &mem = machine.node(0).memory();
+
+    Process &victim = kernel.createProcess("victim");
+    Process &adversary = kernel.createProcess("adversary");
+    ULDMA_ASSERT(prepareProcess(kernel, victim, method),
+                 "victim grant failed for ", toString(method));
+    ULDMA_ASSERT(prepareProcess(kernel, adversary, method),
+                 "adversary grant failed for ", toString(method));
+
+    // Buffers: one source and one destination page per process, all
+    // shadow-mapped (the adversary legitimately owns DMA-able pages —
+    // the question is whether it can abuse the victim's).
+    const Addr vsrc = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    const Addr vdst = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(victim, vsrc, pageSize);
+    kernel.createShadowMappings(victim, vdst, pageSize);
+    const Addr asrc = kernel.allocate(adversary, pageSize, Rights::ReadWrite);
+    const Addr adst = kernel.allocate(adversary, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(adversary, asrc, pageSize);
+    kernel.createShadowMappings(adversary, adst, pageSize);
+
+    const Addr vsrc_p = kernel.translateFor(victim, vsrc, Rights::Read).paddr;
+    const Addr vdst_p = kernel.translateFor(victim, vdst, Rights::Write).paddr;
+    const Addr asrc_p =
+        kernel.translateFor(adversary, asrc, Rights::Read).paddr;
+    const Addr adst_p =
+        kernel.translateFor(adversary, adst, Rights::Write).paddr;
+
+    mem.fill(vsrc_p, pattern, payloadSize);
+    mem.fill(vdst_p, 0x00, payloadSize);
+    mem.fill(asrc_p, 0xA5, burstBytes);
+    mem.fill(adst_p, 0x00, burstBytes);
+
+    // Oracle inputs for the invariant audit.
+    RunArtifacts art;
+    art.method = method;
+    art.victimPid = victim.pid();
+    art.allowed.push_back({victim.pid(), vsrc_p, vdst_p, payloadSize});
+    art.frames[victim.pid()] = {{vsrc_p, pageSize, true, true},
+                                {vdst_p, pageSize, true, true}};
+    art.frames[adversary.pid()] = {{asrc_p, pageSize, true, true},
+                                   {adst_p, pageSize, true, true}};
+    for (Process *p : {&victim, &adversary}) {
+        const DmaGrant &g = p->dmaGrant();
+        if (g.keyContext)
+            art.ctxOwner[*g.keyContext] = p->pid();
+        if (g.shadowContext)
+            art.ctxOwner[*g.shadowContext] = p->pid();
+    }
+
+    // Victim: one DMA initiation, then capture the status register.
+    std::uint64_t status = 0;
+    Program vp;
+    emitInitiation(vp, kernel, victim, method, vsrc, vdst, payloadSize);
+    const std::uint64_t initiationOps = vp.size();
+    vp.callback([&status](ExecContext &ctx) { status = ctx.reg(reg::v0); });
+    vp.exit();
+
+    for (std::uint64_t b : preemptAfter) {
+        ULDMA_ASSERT(b <= initiationOps, "preemption boundary ", b,
+                     " beyond initiation length ", initiationOps);
+    }
+
+    // Adversary: one burst per preemption gap.  With faults enabled
+    // the burst is the nastiest protocol-specific shadow traffic the
+    // process can legally issue; otherwise it is benign compute.
+    Program ap;
+    if (config.faults) {
+        const Addr s_asrc = kernel.shadowVaddrFor(adversary, asrc);
+        const Addr s_adst = kernel.shadowVaddrFor(adversary, adst);
+        switch (engineModeFor(method)) {
+          case EngineMode::ShadowPair:
+            // The LOAD completes whatever is latched (the previous
+            // burst's store → the adversary's own transfer, which is
+            // declared as intended below); the STORE is left dangling
+            // to tempt the victim's completing LOAD.
+            for (std::size_t i = 0; i < preemptAfter.size(); ++i) {
+                ap.load(reg::t0, s_asrc);
+                ap.store(s_adst, burstBytes);
+            }
+            if (!preemptAfter.empty()) {
+                art.allowed.push_back(
+                    {adversary.pid(), asrc_p, adst_p, burstBytes});
+            }
+            break;
+          case EngineMode::KeyBased: {
+            // Forged key aimed at the *victim's* register context.
+            ULDMA_ASSERT(victim.dmaGrant().keyContext.has_value(),
+                         "key-based victim without a context");
+            const std::uint64_t forged = keyfield::pack(
+                0xBADC0DEULL, *victim.dmaGrant().keyContext);
+            for (std::size_t i = 0; i < preemptAfter.size(); ++i) {
+                ap.store(s_adst, forged);
+                ap.store(s_asrc, forged);
+            }
+            break;
+          }
+          default:
+            // Competing repeated-passing traffic at the adversary's
+            // own addresses, shaped to hijack a half-done sequence if
+            // the recognizer fails to reset.
+            for (std::size_t i = 0; i < preemptAfter.size(); ++i) {
+                ap.store(s_adst, burstBytes);
+                ap.load(reg::t0, s_asrc);
+                ap.load(reg::t1, s_adst);
+            }
+            break;
+        }
+    } else {
+        for (std::size_t i = 0; i < preemptAfter.size(); ++i)
+            ap.compute(1);
+    }
+    ap.exit();
+
+    // Snapshot a state hash at each delivered preemption: engine
+    // protocol state plus both execution contexts.  Equal hashes mean
+    // equal futures, which is what the explorer's pruning relies on.
+    RunResult result;
+    result.boundarySpace = initiationOps + 1;
+    machine.setContextSwitchObserver(
+        0, [&](Tick, Process *, Process *next) {
+            if (sched == nullptr || next == nullptr ||
+                next->pid() != adversary.pid()) {
+                return;
+            }
+            if (sched->preemptionsDelivered() <=
+                result.boundaryHashes.size()) {
+                return;   // drain-phase dispatch, not a preemption
+            }
+            Fnv1a f;
+            f.mix(engine.stateHash());
+            mixExecContext(f, victim.context());
+            mixExecContext(f, adversary.context());
+            result.boundaryHashes.push_back(f.h);
+        });
+
+    kernel.launch(victim, std::move(vp));
+    kernel.launch(adversary, std::move(ap));
+    machine.start();
+    const bool finished = machine.run(tickPerSec / 100);
+
+    art.initiations = engine.initiations();
+    art.machineFinished = finished;
+    art.victimFinished = victim.context().state() == RunState::Exited;
+    art.victimStatus = status;
+    art.payloadDelivered = true;
+    for (Addr i = 0; i < payloadSize; ++i) {
+        if (mem.readInt(vdst_p + i, 1) != pattern) {
+            art.payloadDelivered = false;
+            break;
+        }
+    }
+
+    result.finished = finished;
+    result.status = status;
+    result.initiations = engine.numInitiations();
+    result.finalHash = engine.stateHash();
+    result.violations = checkInvariants(art);
+    return result;
+}
+
+Outcome
+outcomeOf(const RunResult &r)
+{
+    Outcome o;
+    o.finished = r.finished;
+    o.status = r.status;
+    o.initiations = r.initiations;
+    o.stateHash = r.finalHash;
+    o.violations = r.violations;
+    return o;
+}
+
+} // namespace uldma::check

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic single-schedule execution for the model checker.
+ *
+ * Every run builds a fresh two-process Machine (a victim issuing one
+ * DMA initiation, an adversary that runs in the preemption gaps),
+ * drives it with a PreemptionScheduler following an explicit list of
+ * victim-instruction boundaries, snapshots a state hash at each
+ * delivered preemption (for prefix pruning), and audits the outcome
+ * against the invariant catalog.  Stateless exploration: re-executing
+ * the same schedule always reproduces the same hashes, status and
+ * violations.
+ */
+
+#ifndef ULDMA_CHECK_RUNNER_HH
+#define ULDMA_CHECK_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "check/schedule.hh"
+
+namespace uldma::check {
+
+/** Scenario knobs shared by every run of one exploration. */
+struct RunnerConfig
+{
+    DmaMethod method = DmaMethod::Repeated5;
+    /** Adversary issues protocol-specific shadow traffic in each gap
+     *  (forged keys, dangling stores, competing sequences) instead of
+     *  benign compute. */
+    bool faults = false;
+    /** Engine fault injection: weakened §3.3 recognizer. */
+    bool weakRecognizer = false;
+};
+
+/** Everything one run produced. */
+struct RunResult
+{
+    /** Number of distinct preemption positions: one per boundary in
+     *  [0, initiation-sequence length]. */
+    std::uint64_t boundarySpace = 0;
+    bool finished = false;
+    std::uint64_t status = 0;
+    std::uint64_t initiations = 0;
+    /** Machine state hash captured at each delivered preemption. */
+    std::vector<std::uint64_t> boundaryHashes;
+    /** Engine state hash after the run. */
+    std::uint64_t finalHash = 0;
+    std::vector<Violation> violations;
+};
+
+/**
+ * Execute the scenario under @p preemptAfter (non-decreasing absolute
+ * victim instruction counts, each < boundarySpace).
+ */
+RunResult runSchedule(const RunnerConfig &config,
+                      const std::vector<std::uint64_t> &preemptAfter);
+
+/** Condense a RunResult into a serialisable Outcome. */
+Outcome outcomeOf(const RunResult &r);
+
+} // namespace uldma::check
+
+#endif // ULDMA_CHECK_RUNNER_HH

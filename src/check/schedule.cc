@@ -1,0 +1,190 @@
+#include "check/schedule.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/json.hh"
+
+namespace uldma::check {
+
+std::optional<DmaMethod>
+protocolMethod(const std::string &token)
+{
+    if (token == "pal")
+        return DmaMethod::PalCode;
+    if (token == "key-based")
+        return DmaMethod::KeyBased;
+    if (token == "ext-shadow")
+        return DmaMethod::ExtShadow;
+    if (token == "repeated")
+        return DmaMethod::Repeated5;
+    return std::nullopt;
+}
+
+const char *
+protocolToken(DmaMethod method)
+{
+    switch (method) {
+      case DmaMethod::PalCode: return "pal";
+      case DmaMethod::KeyBased: return "key-based";
+      case DmaMethod::ExtShadow: return "ext-shadow";
+      case DmaMethod::Repeated5: return "repeated";
+      default: return "?";
+    }
+}
+
+std::string
+toHex(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+bool
+parseHex(const std::string &s, std::uint64_t &v)
+{
+    if (s.size() < 3 || s.compare(0, 2, "0x") != 0)
+        return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        if (acc >> 60)
+            return false;   // overflow
+        acc = (acc << 4) | static_cast<std::uint64_t>(digit);
+    }
+    v = acc;
+    return true;
+}
+
+void
+writeScheduleJson(std::ostream &os, const Schedule &schedule,
+                  const Outcome &outcome)
+{
+    json::Writer w(os, /*pretty=*/true);
+    w.beginObject();
+    w.member("schema", scheduleSchema);
+    w.member("protocol", schedule.protocol);
+    w.member("faults", schedule.faults);
+    w.member("weakened_recognizer", schedule.weakRecognizer);
+    w.member("boundary_space", schedule.boundarySpace);
+    w.key("preempt_after");
+    w.beginArray();
+    for (std::uint64_t b : schedule.preemptAfter)
+        w.value(b);
+    w.endArray();
+    w.key("outcome");
+    w.beginObject();
+    w.member("finished", outcome.finished);
+    w.member("status", toHex(outcome.status));
+    w.member("initiations", outcome.initiations);
+    w.member("state_hash", toHex(outcome.stateHash));
+    w.key("violations");
+    w.beginArray();
+    for (const Violation &v : outcome.violations) {
+        w.beginObject();
+        w.member("invariant", v.invariant);
+        w.member("detail", v.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &msg)
+{
+    if (error != nullptr)
+        *error = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+parseScheduleJson(const std::string &text, Schedule &schedule,
+                  Outcome &outcome, std::string *error)
+{
+    std::string perr;
+    const json::Value doc = json::parse(text, &perr);
+    if (!perr.empty())
+        return fail(error, "JSON parse error: " + perr);
+    if (!doc.isObject())
+        return fail(error, "root is not an object");
+    if (!doc["schema"].isString() ||
+        doc["schema"].asString() != scheduleSchema) {
+        return fail(error, "schema is not '" +
+                               std::string(scheduleSchema) + "'");
+    }
+    if (!doc["protocol"].isString() ||
+        !protocolMethod(doc["protocol"].asString())) {
+        return fail(error, "unknown protocol");
+    }
+    if (!doc["faults"].isBool() || !doc["weakened_recognizer"].isBool())
+        return fail(error, "faults/weakened_recognizer must be booleans");
+    if (!doc["boundary_space"].isNumber())
+        return fail(error, "boundary_space must be a number");
+    if (!doc["preempt_after"].isArray())
+        return fail(error, "preempt_after must be an array");
+
+    schedule.protocol = doc["protocol"].asString();
+    schedule.faults = doc["faults"].asBool();
+    schedule.weakRecognizer = doc["weakened_recognizer"].asBool();
+    schedule.boundarySpace =
+        static_cast<std::uint64_t>(doc["boundary_space"].asNumber());
+    schedule.preemptAfter.clear();
+    std::uint64_t last = 0;
+    for (std::size_t i = 0; i < doc["preempt_after"].size(); ++i) {
+        const json::Value &b = doc["preempt_after"][i];
+        if (!b.isNumber())
+            return fail(error, "preempt_after entries must be numbers");
+        const auto v = static_cast<std::uint64_t>(b.asNumber());
+        if (v >= schedule.boundarySpace)
+            return fail(error, "preempt_after entry out of range");
+        if (i > 0 && v < last)
+            return fail(error, "preempt_after must be non-decreasing");
+        last = v;
+        schedule.preemptAfter.push_back(v);
+    }
+
+    const json::Value &oc = doc["outcome"];
+    if (!oc.isObject())
+        return fail(error, "outcome must be an object");
+    if (!oc["finished"].isBool() || !oc["initiations"].isNumber())
+        return fail(error, "outcome.finished/initiations malformed");
+    if (!oc["status"].isString() ||
+        !parseHex(oc["status"].asString(), outcome.status)) {
+        return fail(error, "outcome.status must be a 0x hex string");
+    }
+    if (!oc["state_hash"].isString() ||
+        !parseHex(oc["state_hash"].asString(), outcome.stateHash)) {
+        return fail(error, "outcome.state_hash must be a 0x hex string");
+    }
+    if (!oc["violations"].isArray())
+        return fail(error, "outcome.violations must be an array");
+    outcome.finished = oc["finished"].asBool();
+    outcome.initiations =
+        static_cast<std::uint64_t>(oc["initiations"].asNumber());
+    outcome.violations.clear();
+    for (std::size_t i = 0; i < oc["violations"].size(); ++i) {
+        const json::Value &v = oc["violations"][i];
+        if (!v["invariant"].isString() || !v["detail"].isString())
+            return fail(error, "violation entries need invariant/detail");
+        outcome.violations.push_back(
+            {v["invariant"].asString(), v["detail"].asString()});
+    }
+    return true;
+}
+
+} // namespace uldma::check

@@ -136,6 +136,19 @@ class Machine
         runHook_ = std::move(hook);
     }
 
+    /**
+     * Observe every context switch on node @p id (see
+     * Kernel::setContextSwitchObserver).  The model checker uses this
+     * to snapshot state at each preemption boundary.
+     */
+    void
+    setContextSwitchObserver(
+        NodeId id,
+        std::function<void(Tick, Process *, Process *)> obs)
+    {
+        node(id).kernel().setContextSwitchObserver(std::move(obs));
+    }
+
     /** Dump every component's stats to @p os. */
     void dumpStats(std::ostream &os);
 

@@ -340,7 +340,7 @@ DmaEngine::accessShadow(Packet &pkt)
       case EngineMode::Repeated3:
       case EngineMode::Repeated4:
       case EngineMode::Repeated5:
-        shadowRepeated(pkt, target);
+        shadowRepeated(pkt, target, ctx);
         break;
       case EngineMode::MappedOut:
         shadowMappedOut(pkt, target);
@@ -485,21 +485,29 @@ DmaEngine::fsmReset()
 }
 
 void
-DmaEngine::shadowRepeated(Packet &pkt, Addr target)
+DmaEngine::shadowRepeated(Packet &pkt, Addr target, unsigned ctx)
 {
-    fsmStepAccess(pkt, target);
+    fsmStepAccess(pkt, target, ctx);
 }
 
 void
-DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
+DmaEngine::fsmStepAccess(Packet &pkt, Addr target, unsigned ctx)
 {
     const bool is_store = pkt.isWrite();
+    // Test-only fault injection (see DmaEngineParams::weakRecognizer):
+    // skip the same-address checks of figure 7 and adopt the new
+    // address instead of resetting.
+    const bool weak = params_.weakRecognizer;
 
     // Two attempts: if the access mismatches mid-sequence, the engine
     // resets and the same access may begin a new sequence (this is what
     // makes the figure-5 interleaving possible against Repeated3).
     for (int attempt = 0; attempt < 2; ++attempt) {
         bool matched = false;
+        // A sequence belongs to one shadow CONTEXT_ID: an access that
+        // arrives through a different context window never continues
+        // it, even when its stripped target address lines up.
+        const bool ctx_ok = fsmStep_ == 0 || ctx == fsmCtx_;
 
         switch (params_.mode) {
           case EngineMode::Repeated3:
@@ -508,6 +516,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
               case 0:
                 if (!is_store) {
                     fsmLoadAddr_ = target;
+                    fsmCtx_ = ctx;
                     fsmContributors_.assign({pkt.srcPid});
                     if (span::captureOn()) {
                         fsmSpan_ = span::tracker().open(
@@ -519,7 +528,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 1:
-                if (is_store) {
+                if (ctx_ok && is_store) {
                     fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
                     fsmContributors_.push_back(pkt.srcPid);
@@ -528,7 +537,8 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 2:
-                if (!is_store && target == fsmLoadAddr_) {
+                if (ctx_ok && !is_store &&
+                    (weak || target == fsmLoadAddr_)) {
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
@@ -551,6 +561,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 if (is_store) {
                     fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
+                    fsmCtx_ = ctx;
                     fsmContributors_.assign({pkt.srcPid});
                     if (span::captureOn()) {
                         fsmSpan_ = span::tracker().open(
@@ -561,7 +572,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 1:
-                if (!is_store) {
+                if (ctx_ok && !is_store) {
                     fsmLoadAddr_ = target;
                     fsmContributors_.push_back(pkt.srcPid);
                     fsmStep_ = 2;
@@ -570,7 +581,9 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 2:
-                if (is_store && target == fsmStoreAddr_) {
+                if (ctx_ok && is_store &&
+                    (weak || target == fsmStoreAddr_)) {
+                    fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
                     fsmContributors_.push_back(pkt.srcPid);
                     fsmStep_ = 3;
@@ -578,7 +591,8 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 3:
-                if (!is_store && target == fsmLoadAddr_) {
+                if (ctx_ok && !is_store &&
+                    (weak || target == fsmLoadAddr_)) {
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
@@ -602,6 +616,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 if (is_store) {
                     fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
+                    fsmCtx_ = ctx;
                     fsmContributors_.assign({pkt.srcPid});
                     if (span::captureOn()) {
                         fsmSpan_ = span::tracker().open(
@@ -612,7 +627,7 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 1:
-                if (!is_store) {
+                if (ctx_ok && !is_store) {
                     fsmLoadAddr_ = target;
                     fsmContributors_.push_back(pkt.srcPid);
                     fsmStep_ = 2;
@@ -621,7 +636,9 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 2:
-                if (is_store && target == fsmStoreAddr_) {
+                if (ctx_ok && is_store &&
+                    (weak || target == fsmStoreAddr_)) {
+                    fsmStoreAddr_ = target;
                     fsmSize_ = pkt.data;
                     fsmContributors_.push_back(pkt.srcPid);
                     fsmStep_ = 3;
@@ -629,7 +646,9 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 3:
-                if (!is_store && target == fsmLoadAddr_) {
+                if (ctx_ok && !is_store &&
+                    (weak || target == fsmLoadAddr_)) {
+                    fsmLoadAddr_ = target;
                     fsmContributors_.push_back(pkt.srcPid);
                     fsmStep_ = 4;
                     pkt.data = dmastatus::pending;
@@ -637,7 +656,8 @@ DmaEngine::fsmStepAccess(Packet &pkt, Addr target)
                 }
                 break;
               case 4:
-                if (!is_store && target == fsmStoreAddr_) {
+                if (ctx_ok && !is_store &&
+                    (weak || target == fsmStoreAddr_)) {
                     fsmContributors_.push_back(pkt.srcPid);
                     const TransferId id =
                         tryStartUser(fsmLoadAddr_, fsmStoreAddr_, fsmSize_,
@@ -782,6 +802,88 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
                 std::hex, src, " -> 0x", dst, std::dec, " size ", size,
                 " mode ", toString(params_.mode));
     return id;
+}
+
+// ---------------------------------------------------------------------
+// State hashing for the model checker.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** 64-bit FNV-1a accumulator. */
+struct Fnv1a
+{
+    std::uint64_t h = 14695981039346656037ULL;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+};
+
+} // namespace
+
+std::uint64_t
+DmaEngine::stateHash() const
+{
+    Fnv1a f;
+    f.mix(static_cast<std::uint64_t>(params_.mode));
+    f.mix(osTag_);
+
+    // Repeated-passing FSM.
+    f.mix(fsmStep_);
+    f.mix(fsmCtx_);
+    f.mix(fsmStoreAddr_);
+    f.mix(fsmLoadAddr_);
+    f.mix(fsmSize_);
+    f.mix(fsmContributors_.size());
+    for (Pid p : fsmContributors_)
+        f.mix(p);
+
+    // ShadowPair latches.
+    for (const PairLatch &l : pairLatch_) {
+        f.mix(l.valid);
+        f.mix(l.dst);
+        f.mix(l.size);
+        f.mix(l.osTag);
+        f.mix(l.contributor);
+    }
+
+    // Key-based register contexts.  The secret keys are deliberately
+    // excluded: they differ across machines but never across two
+    // re-executions of the same schedule prefix, and hashing them
+    // would leak them into repro files.
+    for (const RegisterContext &c : contexts_) {
+        f.mix(c.keyValid);
+        f.mix(c.src);
+        f.mix(c.dst);
+        f.mix(c.size);
+        f.mix(c.srcValid);
+        f.mix(c.dstValid);
+        f.mix(c.sizeValid);
+        f.mix(c.transfer != invalidTransfer);
+        f.mix(c.contributors.size());
+        for (Pid p : c.contributors)
+            f.mix(p);
+    }
+
+    // Kernel channel.
+    f.mix(kSrc_);
+    f.mix(kDst_);
+    f.mix(kSize_);
+    f.mix(kFailed_);
+
+    // Event counters: two states that took different numbers of
+    // starts/rejects to reach are not interchangeable for exploration.
+    f.mix(started_.value());
+    f.mix(rejected_.value());
+    f.mix(keyMismatch_.value());
+    f.mix(fsmResets_.value());
+    return f.h;
 }
 
 } // namespace uldma

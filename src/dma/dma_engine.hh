@@ -109,6 +109,17 @@ class DmaEngine : public BusDevice
     unsigned fsmStep() const { return fsmStep_; }
     /// @}
 
+    /**
+     * Deterministic FNV-1a hash of the engine's protocol-visible state:
+     * the repeated-passing FSM, the pair latches, the register contexts
+     * (validity and staged arguments; the secret keys themselves are
+     * excluded), the kernel channel, the OS tag, and the event
+     * counters.  Equal hashes mean the engine would treat any future
+     * access stream identically; the model checker (src/check) uses
+     * this to prune equivalent interleaving prefixes.
+     */
+    std::uint64_t stateHash() const;
+
     /// @name Stats.
     /// @{
     stats::Group &statsGroup() { return statsGroup_; }
@@ -173,7 +184,7 @@ class DmaEngine : public BusDevice
     /// @{
     void shadowPair(Packet &pkt, Addr target, unsigned ctx);
     void shadowKeyBased(Packet &pkt, Addr target);
-    void shadowRepeated(Packet &pkt, Addr target);
+    void shadowRepeated(Packet &pkt, Addr target, unsigned ctx);
     void shadowMappedOut(Packet &pkt, Addr target);
     /// @}
 
@@ -197,7 +208,7 @@ class DmaEngine : public BusDevice
      * Feed one access to the repeated-passing FSM.
      * Sets pkt.data for loads.
      */
-    void fsmStepAccess(Packet &pkt, Addr target);
+    void fsmStepAccess(Packet &pkt, Addr target, unsigned ctx);
 
     std::string name_;
     DmaEngineParams params_;
@@ -238,6 +249,11 @@ class DmaEngine : public BusDevice
     Addr fsmStoreAddr_ = 0;    ///< destination (address of the STOREs)
     Addr fsmLoadAddr_ = 0;     ///< source (address of the LOADs)
     Addr fsmSize_ = 0;
+    /** CONTEXT_ID the in-progress sequence arrived through: an access
+     *  through a different shadow context resets the recognizer even
+     *  when its stripped target address happens to match (§3.3 applied
+     *  to §3.2's extended windows). */
+    unsigned fsmCtx_ = 0;
     std::vector<Pid> fsmContributors_;
     span::SpanId fsmSpan_ = span::invalidSpan;
 

@@ -141,6 +141,15 @@ struct DmaEngineParams
     /** Number of register contexts (paper §3.1 suggests 4 to 8). */
     unsigned numContexts = 4;
 
+    /**
+     * Fault injection for the model checker (src/check): weaken the
+     * repeated-passing sequence recognizer so mid-sequence accesses are
+     * accepted without the §3.3 same-address checks (the new address is
+     * adopted instead of resetting).  This reproduces the vulnerable
+     * recognizer the paper argues against; never set outside tests.
+     */
+    bool weakRecognizer = false;
+
     /** Device-side latency of a register/shadow access in bus cycles
      *  (the FPGA of the prototype board). */
     Cycles accessCycles = 3;

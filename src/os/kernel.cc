@@ -698,6 +698,9 @@ Kernel::doContextSwitch()
     ULDMA_TRACE("Sched", cpu_.clockEdge(), name_, ": switch ",
                 previous != nullptr ? previous->name() : "<none>", " -> ",
                 current_ != nullptr ? current_->name() : "<idle>");
+
+    if (switchObserver_)
+        switchObserver_(cpu_.clockEdge(), previous, current_);
     return cost;
 }
 

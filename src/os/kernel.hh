@@ -201,6 +201,20 @@ class Kernel : public OsCallbacks
     Addr mapContextPage(Process &process);
     /// @}
 
+    /**
+     * Observe every context switch (model checker / tests): invoked
+     * after the scheduling decision with the outgoing process (may be
+     * nullptr or finished) and the incoming one (nullptr = idle).
+     * Pure observation — installing one does not count as a kernel
+     * modification in the paper's sense.
+     */
+    void
+    setContextSwitchObserver(
+        std::function<void(Tick, Process *previous, Process *next)> obs)
+    {
+        switchObserver_ = std::move(obs);
+    }
+
     /// @name Kernel modifications (the baselines' requirement).
     /// @{
     /** SHRIMP-2: invalidate half-initiated user DMA on every switch. */
@@ -262,6 +276,9 @@ class Kernel : public OsCallbacks
     std::vector<std::unique_ptr<Process>> processes_;
     Process *current_ = nullptr;
     Pid nextPid_ = 1;
+
+    /// Context-switch observer (see the setter).
+    std::function<void(Tick, Process *, Process *)> switchObserver_;
     Addr nextFreeFrame_ = 16;   ///< first frames reserved for the kernel
 
     bool shrimp2Hook_ = false;

@@ -78,6 +78,78 @@ ScriptedScheduler::pickNext(Process *previous)
 }
 
 // ---------------------------------------------------------------------
+// PreemptionScheduler
+// ---------------------------------------------------------------------
+
+void
+PreemptionScheduler::enqueue(Process &process)
+{
+    if (std::find(ready_.begin(), ready_.end(), &process) == ready_.end())
+        ready_.push_back(&process);
+}
+
+Process *
+PreemptionScheduler::takeRunnable(Pid pid)
+{
+    auto it = std::find_if(ready_.begin(), ready_.end(),
+                           [&](Process *p) {
+                               return p->pid() == pid && p->runnable();
+                           });
+    if (it == ready_.end())
+        return nullptr;
+    Process *chosen = *it;
+    ready_.erase(it);
+    return chosen;
+}
+
+SchedulingDecision
+PreemptionScheduler::pickNext(Process *previous)
+{
+    if (previous != nullptr && previous->runnable())
+        enqueue(*previous);
+
+    for (;;) {
+        if (pendingGap_) {
+            // The victim just reached a boundary: give the intruder
+            // one gap.  A repeated boundary lands here twice in a row.
+            pendingGap_ = false;
+            if (Process *in = takeRunnable(intruder_)) {
+                ++delivered_;
+                return SchedulingDecision{in, gap_, 0};
+            }
+            continue;   // intruder already finished; fall through
+        }
+        if (cursor_ >= boundaries_.size())
+            break;
+        const std::uint64_t boundary = boundaries_[cursor_];
+        ++cursor_;
+        const std::uint64_t delta =
+            boundary > victimGiven_ ? boundary - victimGiven_ : 0;
+        if (boundary > victimGiven_)
+            victimGiven_ = boundary;
+        pendingGap_ = true;
+        // A zero-length victim slice cannot be issued (an instruction
+        // quantum of 0 means "no cap"), so back-to-back boundaries
+        // collapse into consecutive intruder gaps.
+        if (delta > 0) {
+            if (Process *v = takeRunnable(victim_))
+                return SchedulingDecision{v, delta, 0};
+            // Victim exited before this boundary; still run the gap.
+        }
+    }
+
+    // Drain phase: run-to-completion round robin.
+    while (!ready_.empty()) {
+        Process *candidate = ready_.front();
+        ready_.pop_front();
+        if (!candidate->runnable())
+            continue;
+        return SchedulingDecision{candidate, 0, 0};
+    }
+    return SchedulingDecision{};
+}
+
+// ---------------------------------------------------------------------
 // RandomScheduler
 // ---------------------------------------------------------------------
 

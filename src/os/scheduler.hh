@@ -105,6 +105,50 @@ class ScriptedScheduler : public Scheduler
 };
 
 /**
+ * The model checker's scheduler (src/check): runs a designated victim
+ * process, interrupting it at an explicit list of instruction-count
+ * boundaries; at each boundary the intruder process runs for a fixed
+ * gap of instructions before the victim resumes.
+ *
+ * Boundaries are *absolute* victim instruction counts and must be
+ * non-decreasing; a repeated boundary means the intruder is dispatched
+ * twice back to back with no victim instruction in between.  Once all
+ * boundaries are consumed the scheduler degrades to run-to-completion
+ * round robin so both programs can finish.
+ */
+class PreemptionScheduler : public Scheduler
+{
+  public:
+    PreemptionScheduler(Pid victim, Pid intruder,
+                        std::vector<std::uint64_t> boundaries,
+                        std::uint64_t gap_instructions)
+        : victim_(victim), intruder_(intruder),
+          boundaries_(std::move(boundaries)), gap_(gap_instructions)
+    {}
+
+    void enqueue(Process &process) override;
+    SchedulingDecision pickNext(Process *previous) override;
+
+    /** How many intruder gaps have actually been dispatched. */
+    std::size_t preemptionsDelivered() const { return delivered_; }
+
+  private:
+    Process *takeRunnable(Pid pid);
+
+    Pid victim_;
+    Pid intruder_;
+    std::vector<std::uint64_t> boundaries_;
+    std::uint64_t gap_;
+
+    /// Victim instructions granted so far (sum of issued slice caps).
+    std::uint64_t victimGiven_ = 0;
+    std::size_t cursor_ = 0;
+    bool pendingGap_ = false;
+    std::size_t delivered_ = 0;
+    std::deque<Process *> ready_;
+};
+
+/**
  * Randomized slicing: each decision runs a uniformly chosen runnable
  * process for a uniformly chosen instruction count in
  * [1, maxSliceInstructions].  Used by property tests to explore the

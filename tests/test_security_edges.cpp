@@ -242,6 +242,78 @@ TEST(SecurityEdges, Figure8aCooperatingApplication)
         EXPECT_EQ(rec.contributors[i], i + 1);
 }
 
+TEST(SecurityEdges, RecognizerResetsOnDifferentContext)
+{
+    // §3.3 regression: the sequence recognizer must reset when an
+    // access from a *different CONTEXT_ID* interleaves, even if that
+    // access names the exact physical addresses the half-done sequence
+    // expects next.  With shared pages the intruder's shadow mappings
+    // strip to the same target addresses as the victim's, so the only
+    // thing distinguishing its accesses is the context id baked into
+    // its shadow PTEs — without the context check the intruder could
+    // finish the victim's sequence and hijack the initiation.
+    MachineConfig config;
+    configureNode(config.node, DmaMethod::Repeated5);
+    config.node.dma.ctxIdBits = 1;   // two shadow CONTEXT_IDs
+    const Pid vp = 1, ip = 2;
+    std::vector<ScriptedScheduler::Slice> script = {{vp, 2}, {ip, 3}};
+    config.node.makeScheduler = [&script]() {
+        return std::make_unique<ScriptedScheduler>(script);
+    };
+    Machine machine(config);
+    Kernel &kernel = machine.node(0).kernel();
+
+    Process &victim = kernel.createProcess("victim");       // ctx 0
+    Process &intruder = kernel.createProcess("intruder");   // ctx 1
+    ASSERT_TRUE(kernel.grantShadowContext(victim));
+    ASSERT_TRUE(kernel.grantShadowContext(intruder));
+    ASSERT_NE(*victim.dmaGrant().shadowContext,
+              *intruder.dmaGrant().shadowContext);
+
+    const Addr src = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    const Addr dst = kernel.allocate(victim, pageSize, Rights::ReadWrite);
+    kernel.createShadowMappings(victim, src, pageSize);
+    kernel.createShadowMappings(victim, dst, pageSize);
+    const Addr s_src = kernel.shadowVaddrFor(victim, src);
+    const Addr s_dst = kernel.shadowVaddrFor(victim, dst);
+
+    // The intruder legitimately shares both pages (so the interleaved
+    // accesses differ ONLY in CONTEXT_ID, not in target address).
+    const Addr isrc = kernel.mapShared(victim, src, pageSize, intruder,
+                                       Rights::ReadWrite);
+    const Addr idst = kernel.mapShared(victim, dst, pageSize, intruder,
+                                       Rights::ReadWrite);
+    kernel.createShadowMappings(intruder, isrc, pageSize);
+    kernel.createShadowMappings(intruder, idst, pageSize);
+    EXPECT_EQ(kernel.shadowVaddrFor(intruder, isrc), s_src);
+    EXPECT_EQ(kernel.shadowVaddrFor(intruder, idst), s_dst);
+
+    // Victim: the first two accesses of the 5-sequence, then nothing
+    // (no retry loop — the half-done FSM state is the point).
+    Program vprog;
+    vprog.store(s_dst, 96);
+    vprog.load(reg::t0, s_src);
+    vprog.exit();
+
+    // Intruder: exactly the three accesses that would complete the
+    // sequence, at the matching shadow addresses.
+    Program iprog;
+    iprog.store(s_dst, 96);
+    iprog.load(reg::t0, s_src);
+    iprog.load(reg::t1, s_dst);
+    iprog.exit();
+
+    kernel.launch(victim, std::move(vprog));
+    kernel.launch(intruder, std::move(iprog));
+    machine.start();
+    ASSERT_TRUE(machine.run(tickPerSec));
+
+    DmaEngine &engine = machine.node(0).dmaEngine();
+    // The context switch reset the recognizer: no transfer started.
+    EXPECT_EQ(engine.numInitiations(), 0u);
+    EXPECT_GE(engine.numFsmResets(), 1u);
+}
+
 TEST(SecurityEdges, KernelRegistersUnreachableFromUserSpace)
 {
     // No user page table ever maps the kernel register block; a

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * uldma_check — the model-checker CLI (see docs/CHECKING.md).
+ *
+ * Explore mode: bounded-exhaustive search over preemption placements
+ * for one protocol.  Exit 0 when every explored schedule upholds the
+ * invariant catalog, exit 1 when a (shrunk) counterexample was found
+ * — written to --report as a replayable uldma-schedule-v1 file.
+ * --expect-violation inverts the verdict for fault-injection tests.
+ *
+ * Replay mode: --replay=FILE re-executes a recorded schedule and
+ * compares the reproduced outcome against the recorded one; --report
+ * re-serialises the reproduced document (byte-identical to the
+ * original when the run reproduces).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "check/explorer.hh"
+#include "check/runner.hh"
+#include "check/schedule.hh"
+#include "util/options.hh"
+
+namespace {
+
+using namespace uldma;
+using namespace uldma::check;
+
+int
+usageError(const std::string &msg)
+{
+    std::cerr << "uldma_check: " << msg << "\n";
+    return 2;
+}
+
+bool
+writeReport(const std::string &path, const Schedule &schedule,
+            const Outcome &outcome)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+        std::cerr << "uldma_check: cannot write '" << path << "'\n";
+        return false;
+    }
+    writeScheduleJson(out, schedule, outcome);
+    return true;
+}
+
+void
+printViolations(const std::vector<Violation> &violations)
+{
+    for (const Violation &v : violations)
+        std::cout << "  violated " << v.invariant << ": " << v.detail
+                  << "\n";
+}
+
+int
+replayMode(const std::string &path, const std::string &report)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return usageError("cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Schedule schedule;
+    Outcome recorded;
+    std::string error;
+    if (!parseScheduleJson(text.str(), schedule, recorded, &error))
+        return usageError(path + ": " + error);
+
+    RunnerConfig config;
+    config.method = *protocolMethod(schedule.protocol);
+    config.faults = schedule.faults;
+    config.weakRecognizer = schedule.weakRecognizer;
+    const RunResult r = runSchedule(config, schedule.preemptAfter);
+    const Outcome reproduced = outcomeOf(r);
+
+    if (!report.empty() &&
+        !writeReport(report, schedule, reproduced)) {
+        return 2;
+    }
+
+    if (r.boundarySpace != schedule.boundarySpace) {
+        std::cout << "replay DIVERGED: boundary space "
+                  << r.boundarySpace << " != recorded "
+                  << schedule.boundarySpace << "\n";
+        return 1;
+    }
+    if (!(reproduced == recorded)) {
+        std::cout << "replay DIVERGED from the recorded outcome\n";
+        printViolations(reproduced.violations);
+        return 1;
+    }
+    std::cout << "replay reproduced: " << schedule.protocol << " with "
+              << schedule.preemptAfter.size() << " preemption(s), "
+              << reproduced.violations.size() << " violation(s)\n";
+    printViolations(reproduced.violations);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(
+        "Systematic interleaving explorer for the DMA-initiation "
+        "protocols (see docs/CHECKING.md).");
+    opts.addString("protocol", "repeated",
+                   "pal | key-based | ext-shadow | repeated");
+    opts.addInt("depth", 2, "max preemption points per schedule");
+    opts.addFlag("faults", false,
+                 "adversarial shadow traffic in every preemption gap");
+    opts.addFlag("weaken", false,
+                 "fault-inject a weakened sequence recognizer");
+    opts.addFlag("no-prune", false, "disable state-hash prefix pruning");
+    opts.addInt("max-runs", 0, "cap on schedule executions (0 = none)");
+    opts.addString("replay", "", "re-execute a uldma-schedule-v1 file");
+    opts.addString("report", "",
+                   "write the counterexample / reproduced schedule here");
+    opts.addFlag("expect-violation", false,
+                 "exit 0 iff a violation was found (for fault tests)");
+
+    if (!opts.parse(argc, argv))
+        return 2;
+    if (!opts.positional().empty())
+        return usageError("unexpected positional argument");
+
+    const std::string replay = opts.getString("replay");
+    const std::string report = opts.getString("report");
+    if (!replay.empty())
+        return replayMode(replay, report);
+
+    const auto method = protocolMethod(opts.getString("protocol"));
+    if (!method) {
+        return usageError("unknown protocol '" +
+                          opts.getString("protocol") +
+                          "' (pal | key-based | ext-shadow | repeated)");
+    }
+    if (opts.getInt("depth") < 0)
+        return usageError("depth must be >= 0");
+
+    ExplorerConfig config;
+    config.runner.method = *method;
+    config.runner.faults = opts.getFlag("faults");
+    config.runner.weakRecognizer = opts.getFlag("weaken");
+    config.depth = static_cast<unsigned>(opts.getInt("depth"));
+    config.prune = !opts.getFlag("no-prune");
+    config.maxRuns = static_cast<std::uint64_t>(opts.getInt("max-runs"));
+
+    const ExploreReport result = explore(config);
+
+    std::cout << "protocol " << opts.getString("protocol") << ": "
+              << result.runs << " schedule(s) executed, "
+              << result.boundarySpace << " boundary position(s), depth "
+              << config.depth << ", " << result.pruned
+              << " prefix(es) pruned"
+              << (result.exhausted ? "" : " [max-runs hit]") << "\n";
+
+    const bool violated = result.counterexample.has_value();
+    if (violated) {
+        const Counterexample &cex = *result.counterexample;
+        std::cout << "counterexample (shrunk to "
+                  << cex.preemptAfter.size() << " preemption(s)):";
+        for (std::uint64_t b : cex.preemptAfter)
+            std::cout << " " << b;
+        std::cout << "\n";
+        printViolations(cex.result.violations);
+        if (!report.empty()) {
+            Schedule schedule;
+            schedule.protocol = protocolToken(*method);
+            schedule.faults = config.runner.faults;
+            schedule.weakRecognizer = config.runner.weakRecognizer;
+            schedule.boundarySpace = result.boundarySpace;
+            schedule.preemptAfter = cex.preemptAfter;
+            if (!writeReport(report, schedule, outcomeOf(cex.result)))
+                return 2;
+            std::cout << "repro written to " << report << "\n";
+        }
+    } else {
+        std::cout << "all explored schedules uphold the invariants\n";
+    }
+
+    if (opts.getFlag("expect-violation"))
+        return violated ? 0 : 1;
+    return violated ? 1 : 0;
+}

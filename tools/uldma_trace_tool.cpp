@@ -19,9 +19,12 @@
  *   validate <file.json> [...]
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
- *       uldma-bench-v1, uldma-workload-v1, chrome://tracing).
- *       uldma-workload-v1 validation is strict: unknown members
- *       anywhere in the document are problems.
+ *       uldma-bench-v1, uldma-workload-v1, uldma-schedule-v1,
+ *       chrome://tracing).  uldma-workload-v1 and uldma-schedule-v1
+ *       validation is strict: unknown members anywhere in the
+ *       document are problems.  Schema strings must match exactly —
+ *       a known version tag with trailing garbage (e.g.
+ *       "uldma-spans-v1x") is rejected, not treated as the prefix.
  *
  * Exit status: 0 = clean, 1 = finding (regression / invalid document),
  * 2 = usage or I/O error.
@@ -350,6 +353,83 @@ validateWorkload(Problems &p, const Value &doc)
     }
 }
 
+/** Strict uldma-schedule-v1 check (model-checker repro files). */
+void
+validateSchedule(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "protocol", "faults", "weakened_recognizer",
+                  "boundary_space", "preempt_after", "outcome"},
+                 "root");
+    p.require(doc["protocol"].isString(), "protocol missing");
+    if (doc["protocol"].isString()) {
+        const std::string proto = doc["protocol"].asString();
+        p.require(proto == "pal" || proto == "key-based" ||
+                      proto == "ext-shadow" || proto == "repeated",
+                  "unknown protocol '" + proto + "'");
+    }
+    p.require(doc["faults"].isBool(), "faults missing");
+    p.require(doc["weakened_recognizer"].isBool(),
+              "weakened_recognizer missing");
+    p.require(doc["boundary_space"].isNumber(), "boundary_space missing");
+    p.require(doc["preempt_after"].isArray(), "preempt_after missing");
+    if (doc["preempt_after"].isArray()) {
+        const auto &pts = doc["preempt_after"].asArray();
+        double last = 0.0;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            const std::string where =
+                "preempt_after[" + std::to_string(i) + "]";
+            p.require(pts[i].isNumber(), where + " is not a number");
+            if (!pts[i].isNumber())
+                continue;
+            const double v = pts[i].asNumber();
+            if (doc["boundary_space"].isNumber()) {
+                p.require(v < doc["boundary_space"].asNumber(),
+                          where + " out of boundary space");
+            }
+            p.require(i == 0 || v >= last,
+                      where + " breaks non-decreasing order");
+            last = v;
+        }
+    }
+
+    const Value &oc = doc["outcome"];
+    p.require(oc.isObject(), "outcome missing");
+    checkNoExtra(p, oc,
+                 {"finished", "status", "initiations", "state_hash",
+                  "violations"},
+                 "outcome");
+    p.require(oc["finished"].isBool(), "outcome.finished missing");
+    p.require(oc["initiations"].isNumber(), "outcome.initiations missing");
+    for (const char *f : {"status", "state_hash"}) {
+        const std::string where = std::string("outcome.") + f;
+        p.require(oc[f].isString(), where + " missing");
+        if (oc[f].isString()) {
+            const std::string &s = oc[f].asString();
+            bool hex = s.size() > 2 && s.size() <= 18 &&
+                       s.compare(0, 2, "0x") == 0;
+            for (std::size_t i = 2; hex && i < s.size(); ++i) {
+                const char c = s[i];
+                hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+            }
+            p.require(hex, where + " is not a 0x hex string");
+        }
+    }
+    p.require(oc["violations"].isArray(), "outcome.violations missing");
+    if (oc["violations"].isArray()) {
+        const auto &vs = oc["violations"].asArray();
+        for (std::size_t i = 0; i < vs.size(); ++i) {
+            const std::string where =
+                "outcome.violations[" + std::to_string(i) + "]";
+            checkNoExtra(p, vs[i], {"invariant", "detail"}, where);
+            p.require(vs[i]["invariant"].isString(),
+                      where + ".invariant missing");
+            p.require(vs[i]["detail"].isString(),
+                      where + ".detail missing");
+        }
+    }
+}
+
 void
 validateChromeTracing(Problems &p, const Value &doc)
 {
@@ -387,8 +467,28 @@ validateOne(const std::string &path)
             validateBench(p, doc);
         else if (schema == "uldma-workload-v1")
             validateWorkload(p, doc);
-        else
-            p.add("unknown schema '" + schema + "'");
+        else if (schema == "uldma-schedule-v1")
+            validateSchedule(p, doc);
+        else {
+            // Exact matching only: catch version tags with trailing
+            // garbage explicitly so they are never mistaken for the
+            // known schema they start with.
+            bool garbled = false;
+            for (const char *known :
+                 {"uldma-spans-v1", "uldma-timeseries-v1",
+                  "uldma-stats-v1", "uldma-bench-v1", "uldma-workload-v1",
+                  "uldma-schedule-v1"}) {
+                if (schema.size() > std::strlen(known) &&
+                    schema.compare(0, std::strlen(known), known) == 0) {
+                    p.add("schema '" + schema +
+                          "' has trailing garbage after '" + known + "'");
+                    garbled = true;
+                    break;
+                }
+            }
+            if (!garbled)
+                p.add("unknown schema '" + schema + "'");
+        }
     } else if (doc.has("traceEvents")) {
         schema = "chrome-tracing";
         validateChromeTracing(p, doc);
