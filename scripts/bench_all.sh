@@ -70,12 +70,58 @@ if [ -x "$workload" ]; then
         exit 1
     fi
     written+=("BENCH_workload_smoke.json")
+
+    # Sharded-execution determinism smoke: the 4-shard scenario at
+    # --threads 4 must reproduce the --threads 1 report byte for byte.
+    echo "== uldma_workload --threads 4 determinism smoke"
+    if ! "$workload" --scenario scenarios/parallel_shards.json \
+            --seed "$seed" --quiet --threads 1 --report /tmp/uldma_t1.json \
+       || ! "$workload" --scenario scenarios/parallel_shards.json \
+            --seed "$seed" --quiet --threads 4 --report /tmp/uldma_t4.json \
+       || ! cmp -s /tmp/uldma_t1.json /tmp/uldma_t4.json; then
+        echo "bench_all.sh: FAILED: --threads 4 report differs from" \
+             "--threads 1 (determinism contract)" >&2
+        exit 1
+    fi
+    rm -f /tmp/uldma_t1.json /tmp/uldma_t4.json
 else
     echo "bench_all.sh: warning: no '$workload'; skipping workload smoke" >&2
 fi
 
 echo
 echo "bench_all.sh: wrote ${#written[@]} report(s):"
-for out in "${written[@]}"; do
-    echo "  $out"
-done
+
+# One-line-per-report summary table: report name, schema, and a key
+# metric pulled from the document (first record's first metric for
+# uldma-bench-v1; simulated duration for uldma-workload-v1).
+python3 - "${written[@]}" <<'PYEOF'
+import json, sys
+
+rows = []
+for path in sys.argv[1:]:
+    try:
+        doc = json.load(open(path))
+    except (OSError, ValueError) as err:
+        rows.append((path, "?", f"unreadable: {err}"))
+        continue
+    schema = doc.get("schema", "?")
+    if schema == "uldma-bench-v1":
+        records = doc.get("records", [])
+        key = f"{len(records)} record(s)"
+        if records and records[0].get("metrics"):
+            name, value = next(iter(records[0]["metrics"].items()))
+            key += f", {records[0].get('name', '?')}: {name}={value:g}"
+        rows.append((path, schema, key))
+    elif schema == "uldma-workload-v1":
+        key = (f"{doc.get('scenario', '?')}: "
+               f"duration_us={doc.get('duration_us', 0):g}, "
+               f"{len(doc.get('per_protocol', []))} protocol row(s)")
+        rows.append((path, schema, key))
+    else:
+        rows.append((path, schema, f"{len(doc)} top-level member(s)"))
+
+width = max(len(r[0]) for r in rows)
+swidth = max(len(r[1]) for r in rows)
+for path, schema, key in rows:
+    print(f"  {path:<{width}}  {schema:<{swidth}}  {key}")
+PYEOF

@@ -5,6 +5,16 @@
  * unit, NIC and kernel — wired together and ready to run programs.
  * This is the top of the public API; examples, tests and benches all
  * start here.
+ *
+ * Thread isolation: a Machine owns every piece of its simulation —
+ * event queue, nodes, network, stats registry — and the components it
+ * builds hold no mutable globals or statics; the only process-wide
+ * capture points (span::tracker(), trace::eventRing(), and their
+ * enable gates) are thread_local.  Two Machines on two threads
+ * therefore share no mutable state, which is what lets the parallel
+ * workload runner (workload/parallel.hh) simulate independent shards
+ * concurrently; CI's -fsanitize=thread job runs exactly that
+ * configuration to keep the claim honest.
  */
 
 #ifndef ULDMA_CORE_MACHINE_HH

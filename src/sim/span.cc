@@ -10,7 +10,7 @@
 
 namespace uldma::span {
 
-namespace detail { bool spanCaptureEnabled = false; }
+namespace detail { thread_local bool spanCaptureEnabled = false; }
 
 const char *
 toString(Outcome outcome)
@@ -219,16 +219,24 @@ writeQuantiles(json::Writer &w, std::vector<double> samples)
     w.endObject();
 }
 
-} // namespace
-
+/**
+ * Serialisation core shared by the single-tracker and merged exports:
+ * @p rows pairs each span with the shard it came from (-1 = omit the
+ * "shard" member, i.e. a single-tracker export), @p opened is the
+ * total open count across all sources.  Ids are emitted as given —
+ * the merged path renumbers before calling.
+ */
 void
-Tracker::exportJson(std::ostream &os, bool pretty) const
+writeSpansDocument(std::ostream &os, bool pretty,
+                   const std::vector<std::pair<const Span *, int>> &rows,
+                   std::uint64_t opened)
 {
     // Protocols keyed by first appearance — deterministic, depends
-    // only on the captured spans.
+    // only on the captured spans and their order.
     std::vector<std::string> order;
     std::map<std::string, ProtocolSummary> summaries;
-    for (const Span &s : spans_) {
+    for (const auto &[span, shard] : rows) {
+        const Span &s = *span;
         auto [it, inserted] = summaries.try_emplace(s.protocol);
         if (inserted)
             order.push_back(s.protocol);
@@ -253,13 +261,16 @@ Tracker::exportJson(std::ostream &os, bool pretty) const
     json::Writer w(os, pretty);
     w.beginObject();
     w.member("schema", "uldma-spans-v1");
-    w.member("opened", opened_);
+    w.member("opened", opened);
 
     w.key("spans");
     w.beginArray();
-    for (const Span &s : spans_) {
+    for (const auto &[span, shard] : rows) {
+        const Span &s = *span;
         w.beginObject();
         w.member("id", s.id);
+        if (shard >= 0)
+            w.member("shard", static_cast<std::uint64_t>(shard));
         w.member("engine", s.engine);
         w.member("protocol", s.protocol);
         w.member("ctx", static_cast<std::uint64_t>(s.ctx));
@@ -326,10 +337,52 @@ Tracker::exportJson(std::ostream &os, bool pretty) const
     os << '\n';
 }
 
+} // namespace
+
+void
+Tracker::exportJson(std::ostream &os, bool pretty) const
+{
+    std::vector<std::pair<const Span *, int>> rows;
+    rows.reserve(spans_.size());
+    for (const Span &s : spans_)
+        rows.emplace_back(&s, -1);
+    writeSpansDocument(os, pretty, rows, opened_);
+}
+
+void
+exportMergedSpansJson(std::ostream &os,
+                      const std::vector<ShardSpans> &shards, bool pretty)
+{
+    // Renumber ids sequentially in (shard, capture) order so the
+    // merged document never depends on per-shard id sequences.
+    std::vector<Span> renumbered;
+    std::size_t total = 0;
+    for (const ShardSpans &shard : shards)
+        total += shard.spans.size();
+    renumbered.reserve(total);
+    std::uint64_t opened = 0;
+    SpanId next = 1;
+    std::vector<std::pair<const Span *, int>> rows;
+    rows.reserve(total);
+    for (const ShardSpans &shard : shards) {
+        opened += shard.opened;
+        for (const Span &s : shard.spans) {
+            renumbered.push_back(s);
+            renumbered.back().id = next++;
+        }
+    }
+    std::size_t i = 0;
+    for (const ShardSpans &shard : shards) {
+        for (std::size_t j = 0; j < shard.spans.size(); ++j, ++i)
+            rows.emplace_back(&renumbered[i], static_cast<int>(shard.shard));
+    }
+    writeSpansDocument(os, pretty, rows, opened);
+}
+
 Tracker &
 tracker()
 {
-    static Tracker instance;
+    static thread_local Tracker instance;
     return instance;
 }
 

@@ -15,11 +15,18 @@
  * with exact, reproducible numbers.
  *
  * Cost discipline mirrors trace::EventRing: while disabled (the
- * default) every instrumented site pays one branch on a plain global
- * bool — no allocation, no string formatting, no storage.  Captured
- * spans contain no wall-clock time or pointers, so the JSON export
- * (schema uldma-spans-v1, see docs/OBSERVABILITY.md) is
+ * default) every instrumented site pays one branch on a plain
+ * thread-local bool — no allocation, no string formatting, no storage.
+ * Captured spans contain no wall-clock time or pointers, so the JSON
+ * export (schema uldma-spans-v1, see docs/SCHEMAS.md) is
  * byte-deterministic across identical runs.
+ *
+ * Thread isolation: the tracker (and its enable gate) is thread_local,
+ * so every simulation thread owns an independent span store.  The
+ * sharded workload runner (workload/parallel.hh) relies on this: each
+ * shard's Machine runs on its own thread with its own tracker, and
+ * the per-shard captures are merged deterministically afterwards via
+ * exportMergedSpansJson().
  */
 
 #ifndef ULDMA_SIM_SPAN_HH
@@ -126,6 +133,9 @@ class Tracker
     std::size_t size() const { return spans_.size(); }
     const Span &at(std::size_t i) const { return spans_.at(i); }
 
+    /** Copy out every captured span (capture order). */
+    std::vector<Span> snapshot() const { return spans_; }
+
     /** Total spans ever opened since enable(). */
     std::uint64_t opened() const { return opened_; }
 
@@ -150,17 +160,47 @@ class Tracker
     std::uint64_t opened_ = 0;
 };
 
-/** The process-wide tracker used by all instrumented components. */
+/**
+ * The calling thread's tracker, used by all instrumented components.
+ * Thread-local: each simulation thread (e.g. one workload shard)
+ * captures into its own independent store, so concurrent Machines
+ * never share span state.
+ */
 Tracker &tracker();
 
-namespace detail { extern bool spanCaptureEnabled; }
+namespace detail { extern thread_local bool spanCaptureEnabled; }
 
-/** Cheap global gate checked before any span bookkeeping. */
+/** Cheap thread-local gate checked before any span bookkeeping. */
 inline bool
 captureOn()
 {
     return detail::spanCaptureEnabled;
 }
+
+// ---------------------------------------------------------------------
+// Merged (multi-shard) export
+// ---------------------------------------------------------------------
+
+/** One shard's span capture, as collected by the parallel workload
+ *  runner (engine names already rewritten to global node ids). */
+struct ShardSpans
+{
+    unsigned shard = 0;            ///< shard id (plan order)
+    std::uint64_t opened = 0;      ///< Tracker::opened() of that shard
+    std::vector<Span> spans;       ///< Tracker::snapshot() of that shard
+};
+
+/**
+ * Serialise the concatenation of several shards' captures as one
+ * uldma-spans-v1 document (see docs/SCHEMAS.md).  Span ids are
+ * renumbered sequentially in (shard, capture) order and every span
+ * carries a "shard" member; the summary aggregates across all shards.
+ * Deterministic: depends only on the shard captures and their order,
+ * never on thread scheduling.
+ */
+void exportMergedSpansJson(std::ostream &os,
+                           const std::vector<ShardSpans> &shards,
+                           bool pretty = true);
 
 } // namespace uldma::span
 

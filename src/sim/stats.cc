@@ -274,6 +274,112 @@ Registry::dumpJson(std::ostream &os, bool pretty) const
     w.endObject();
 }
 
+GroupSnapshot
+snapshotGroup(const Group &group)
+{
+    GroupSnapshot snap;
+    snap.name = group.name();
+    for (const auto &e : group.scalars())
+        snap.scalars.push_back({e.name, e.stat->value()});
+    for (const auto &e : group.averages()) {
+        GroupSnapshot::AverageValue v;
+        v.name = e.name;
+        v.count = e.stat->count();
+        v.sum = e.stat->sum();
+        v.mean = e.stat->mean();
+        v.min = e.stat->min();
+        v.max = e.stat->max();
+        v.stddev = e.stat->stddev();
+        snap.averages.push_back(std::move(v));
+    }
+    for (const auto &e : group.histograms()) {
+        GroupSnapshot::HistogramValue v;
+        v.name = e.name;
+        v.lo = e.stat->lo();
+        v.hi = e.stat->hi();
+        v.underflow = e.stat->underflow();
+        v.overflow = e.stat->overflow();
+        v.total = e.stat->totalSamples();
+        v.p50 = e.stat->percentile(50.0);
+        v.p90 = e.stat->percentile(90.0);
+        v.p99 = e.stat->percentile(99.0);
+        for (unsigned i = 0; i < e.stat->numBuckets(); ++i)
+            v.buckets.push_back(e.stat->bucketCount(i));
+        snap.histograms.push_back(std::move(v));
+    }
+    return snap;
+}
+
+std::vector<GroupSnapshot>
+snapshotRegistry(const Registry &registry)
+{
+    std::vector<GroupSnapshot> snaps;
+    snaps.reserve(registry.groups().size());
+    for (const Group *g : registry.groups())
+        snaps.push_back(snapshotGroup(*g));
+    return snaps;
+}
+
+void
+writeStatsJson(std::ostream &os, const std::vector<GroupSnapshot> &groups,
+               bool pretty)
+{
+    json::Writer w(os, pretty);
+    w.beginObject();
+    w.member("schema", "uldma-stats-v1");
+    w.key("groups");
+    w.beginArray();
+    for (const GroupSnapshot &g : groups) {
+        w.beginObject();
+        w.member("name", g.name);
+        if (g.shard >= 0)
+            w.member("shard", static_cast<std::uint64_t>(g.shard));
+        w.key("scalars");
+        w.beginObject();
+        for (const auto &e : g.scalars)
+            w.member(e.name, e.value);
+        w.endObject();
+        w.key("averages");
+        w.beginObject();
+        for (const auto &e : g.averages) {
+            w.key(e.name);
+            w.beginObject();
+            w.member("count", e.count);
+            w.member("sum", e.sum);
+            w.member("mean", e.mean);
+            w.member("min", e.min);
+            w.member("max", e.max);
+            w.member("stddev", e.stddev);
+            w.endObject();
+        }
+        w.endObject();
+        w.key("histograms");
+        w.beginObject();
+        for (const auto &e : g.histograms) {
+            w.key(e.name);
+            w.beginObject();
+            w.member("lo", e.lo);
+            w.member("hi", e.hi);
+            w.member("underflow", e.underflow);
+            w.member("overflow", e.overflow);
+            w.member("total", e.total);
+            w.member("p50", e.p50);
+            w.member("p90", e.p90);
+            w.member("p99", e.p99);
+            w.key("buckets");
+            w.beginArray();
+            for (std::uint64_t b : e.buckets)
+                w.value(b);
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 Sampler::Sampler(const Registry &registry, Tick interval,
                  std::vector<std::string> prefixes)
     : interval_(interval)

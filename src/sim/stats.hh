@@ -181,6 +181,59 @@ class Registry
     std::vector<const Group *> groups_;
 };
 
+// ---------------------------------------------------------------------
+// Value snapshots and merged (multi-shard) export
+// ---------------------------------------------------------------------
+
+/**
+ * Deep-copied values of one Group, detached from the live components
+ * that own the counters.  The sharded workload runner snapshots each
+ * shard's Registry before its Machine is destroyed, then the merge
+ * layer serialises the renamed snapshots as one uldma-stats-v1
+ * document (see docs/SCHEMAS.md).
+ */
+struct GroupSnapshot
+{
+    struct ScalarValue { std::string name; std::uint64_t value = 0; };
+    struct AverageValue
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0, stddev = 0.0;
+    };
+    struct HistogramValue
+    {
+        std::string name;
+        double lo = 0.0, hi = 0.0;
+        std::uint64_t underflow = 0, overflow = 0, total = 0;
+        double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+        std::vector<std::uint64_t> buckets;
+    };
+
+    std::string name;
+    /** Shard the group came from; < 0 omits the member on export. */
+    int shard = -1;
+    std::vector<ScalarValue> scalars;
+    std::vector<AverageValue> averages;
+    std::vector<HistogramValue> histograms;
+};
+
+/** Deep-copy the current values of @p group. */
+GroupSnapshot snapshotGroup(const Group &group);
+
+/** Deep-copy every group of @p registry, in registration order. */
+std::vector<GroupSnapshot> snapshotRegistry(const Registry &registry);
+
+/**
+ * Serialise snapshots as one uldma-stats-v1 document.  Emits the same
+ * bytes as Registry::dumpJson for the same values (plus a "shard"
+ * member on groups whose snapshot carries one), so merged multi-shard
+ * exports and live single-machine exports share a schema.
+ */
+void writeStatsJson(std::ostream &os,
+                    const std::vector<GroupSnapshot> &groups,
+                    bool pretty = true);
+
 /**
  * Periodic counter snapshots: selects scalar stats from a Registry at
  * construction time (by full "group.stat" name prefix; an empty

@@ -1,5 +1,6 @@
 #include "sim/trace.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -87,7 +88,7 @@ initFromEnvironment()
 // Structured event capture
 // ---------------------------------------------------------------------
 
-namespace detail { bool eventCaptureEnabled = false; }
+namespace detail { thread_local bool eventCaptureEnabled = false; }
 
 void
 EventRing::enable(std::size_t capacity)
@@ -231,10 +232,91 @@ EventRing::exportChromeTracing(std::ostream &os) const
     os << '\n';
 }
 
+std::vector<TraceEvent>
+EventRing::snapshot() const
+{
+    std::vector<TraceEvent> events;
+    events.reserve(count_);
+    for (std::size_t i = 0; i < count_; ++i)
+        events.push_back(at(i));
+    return events;
+}
+
+void
+exportMergedChromeTracing(std::ostream &os,
+                          const std::vector<ShardTrace> &shards)
+{
+    // Stable merge by (tick, shard, capture order): deterministic for
+    // a fixed set of shard captures, independent of thread scheduling.
+    struct Row { const TraceEvent *event; unsigned shard; std::size_t seq; };
+    std::vector<Row> rows;
+    std::uint64_t recorded = 0, dropped = 0, filtered = 0;
+    for (const ShardTrace &shard : shards) {
+        recorded += shard.recorded;
+        dropped += shard.dropped;
+        filtered += shard.filteredOut;
+        for (std::size_t i = 0; i < shard.events.size(); ++i)
+            rows.push_back({&shard.events[i], shard.shard, i});
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.event->tick != b.event->tick)
+            return a.event->tick < b.event->tick;
+        if (a.shard != b.shard)
+            return a.shard < b.shard;
+        return a.seq < b.seq;
+    });
+
+    std::map<std::string, std::uint64_t> tids;
+    for (const Row &row : rows)
+        tids.emplace(row.event->component, tids.size());
+
+    json::Writer w(os, /*pretty=*/false);
+    w.beginObject();
+    w.member("displayTimeUnit", "ns");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &[component, tid] : tids) {
+        w.beginObject();
+        w.member("name", "thread_name");
+        w.member("ph", "M");
+        w.member("pid", std::uint64_t{0});
+        w.member("tid", tid);
+        w.key("args");
+        w.beginObject();
+        w.member("name", component);
+        w.endObject();
+        w.endObject();
+    }
+    for (const Row &row : rows) {
+        const TraceEvent &e = *row.event;
+        w.beginObject();
+        w.member("name", e.kind);
+        w.member("cat", e.component);
+        w.member("ph", "i");
+        w.member("s", "t");
+        w.member("ts", ticksToUs(e.tick));
+        w.member("pid", std::uint64_t(row.shard));
+        w.member("tid", tids.at(e.component));
+        if (!e.payload.empty()) {
+            w.key("args");
+            w.beginObject();
+            w.member("detail", e.payload);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.member("meta_recorded", recorded);
+    w.member("meta_dropped", dropped);
+    w.member("meta_filtered", filtered);
+    w.endObject();
+    os << '\n';
+}
+
 EventRing &
 eventRing()
 {
-    static EventRing instance;
+    static thread_local EventRing instance;
     return instance;
 }
 

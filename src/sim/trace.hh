@@ -117,6 +117,9 @@ class EventRing
     /** The i-th held event in chronological order (0 = oldest). */
     const TraceEvent &at(std::size_t i) const;
 
+    /** Copy out the held events, oldest first. */
+    std::vector<TraceEvent> snapshot() const;
+
     /**
      * Export the held events as a chrome://tracing / Perfetto JSON
      * document ("ts" in simulated microseconds, one thread per
@@ -136,17 +139,43 @@ class EventRing
     std::uint64_t filteredOut_ = 0;
 };
 
-/** The process-wide event ring used by ULDMA_TRACE_EVENT. */
+/**
+ * The calling thread's event ring, used by ULDMA_TRACE_EVENT.
+ * Thread-local: each simulation thread (e.g. one workload shard)
+ * captures into its own ring, so concurrent Machines never share
+ * trace state.
+ */
 EventRing &eventRing();
 
-namespace detail { extern bool eventCaptureEnabled; }
+namespace detail { extern thread_local bool eventCaptureEnabled; }
 
-/** Cheap global gate checked before any event-argument formatting. */
+/** Cheap thread-local gate checked before any event-argument
+ *  formatting. */
 inline bool
 eventCaptureOn()
 {
     return detail::eventCaptureEnabled;
 }
+
+/** One shard's event capture, for merged export (component names
+ *  already rewritten to global node ids by the collector). */
+struct ShardTrace
+{
+    unsigned shard = 0;
+    std::vector<TraceEvent> events;
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t filteredOut = 0;
+};
+
+/**
+ * Merge several shards' captures into one chrome://tracing document:
+ * events are stably ordered by (tick, shard, capture order) and each
+ * event's "pid" is its shard id, so Perfetto renders one process lane
+ * per shard.  Deterministic — never depends on thread scheduling.
+ */
+void exportMergedChromeTracing(std::ostream &os,
+                               const std::vector<ShardTrace> &shards);
 
 } // namespace uldma::trace
 

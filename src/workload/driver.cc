@@ -68,8 +68,11 @@ runWorkload(const Scenario &scenario, std::uint64_t seed,
             }
         }
         if (scenario.scheduler.kind == SchedulerSpec::Kind::Random) {
+            const std::uint64_t seed_node =
+                options.nodeSeedIds.empty() ? n
+                                            : options.nodeSeedIds.at(n);
             const std::uint64_t sched_seed =
-                streamSeed(seed, n, SeedPurpose::Scheduler);
+                streamSeed(seed, seed_node, SeedPurpose::Scheduler);
             const std::uint64_t max_slice = scenario.scheduler.maxSlice;
             nc.makeScheduler = [sched_seed, max_slice]() {
                 return std::make_unique<RandomScheduler>(sched_seed,
@@ -97,8 +100,11 @@ runWorkload(const Scenario &scenario, std::uint64_t seed,
     result.seed = seed;
     result.streams.resize(scenario.streams.size());
     for (std::size_t i = 0; i < scenario.streams.size(); ++i) {
-        spawnStream(machine, scenario, scenario.streams[i], i, seed,
-                    result.streams[i]);
+        const std::uint64_t seed_index =
+            options.streamSeedIds.empty() ? i
+                                          : options.streamSeedIds.at(i);
+        spawnStream(machine, scenario, scenario.streams[i], seed_index,
+                    seed, result.streams[i]);
     }
 
     machine.start();
@@ -162,6 +168,8 @@ runWorkload(const Scenario &scenario, std::uint64_t seed,
         result.perNode.push_back(stats);
     }
 
+    if (options.inspectMachine)
+        options.inspectMachine(machine);
     if (!options.keepSpans)
         span::tracker().disable();
     return result;

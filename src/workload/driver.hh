@@ -17,11 +17,31 @@ namespace uldma::workload {
 
 struct WorkloadOptions
 {
-    /** Leave the global span tracker enabled and populated after the
-     *  run (e.g. so a caller can also export uldma-spans-v1).  By
-     *  default the driver disables it to restore the zero-cost
-     *  global state it found. */
+    /** Leave the calling thread's span tracker enabled and populated
+     *  after the run (e.g. so a caller can also export
+     *  uldma-spans-v1).  By default the driver disables it to restore
+     *  the zero-cost state it found. */
     bool keepSpans = false;
+
+    /**
+     * Seed-identity maps for sharded execution (workload/shard.hh):
+     * when non-empty, node n derives its scheduler seed from
+     * nodeSeedIds[n] and stream i derives its PRNG streams from
+     * streamSeedIds[i] instead of the local indices, so a shard-local
+     * sub-scenario draws exactly the randomness its streams would
+     * draw in the whole scenario.  Empty (the default) keeps identity
+     * — local indices are the seed ids.
+     */
+    std::vector<unsigned> nodeSeedIds;
+    std::vector<std::uint64_t> streamSeedIds;
+
+    /**
+     * Invoked with the finished Machine just before runWorkload
+     * returns (and destroys it) — the only window in which a caller
+     * can snapshot the stats registry or other component state.  The
+     * sharded runner captures per-shard stats through this.
+     */
+    std::function<void(Machine &)> inspectMachine;
 };
 
 /** Achieved-side aggregate of one span protocol. */

@@ -35,7 +35,8 @@ ratePerSec(std::uint64_t count, double duration_us)
 
 void
 writeWorkloadReport(std::ostream &os, const Scenario &scenario,
-                    const WorkloadResult &result, bool pretty)
+                    const WorkloadResult &result, bool pretty,
+                    const std::vector<ShardReportInfo> *shards)
 {
     std::uint64_t offered_initiations = 0, offered_bytes = 0;
     std::uint64_t failures = 0;
@@ -132,6 +133,29 @@ writeWorkloadReport(std::ostream &os, const Scenario &scenario,
         w.endObject();
     }
     w.endArray();
+
+    if (shards != nullptr) {
+        w.key("shards");
+        w.beginArray();
+        for (const ShardReportInfo &shard : *shards) {
+            w.beginObject();
+            w.member("id", std::uint64_t(shard.id));
+            w.key("nodes");
+            w.beginArray();
+            for (unsigned n : shard.nodes)
+                w.value(std::uint64_t(n));
+            w.endArray();
+            w.key("streams");
+            w.beginArray();
+            for (std::uint64_t s : shard.streams)
+                w.value(s);
+            w.endArray();
+            w.member("duration_us", shard.durationUs);
+            w.member("finished", shard.finished);
+            w.endObject();
+        }
+        w.endArray();
+    }
 
     w.endObject();
     os << "\n";

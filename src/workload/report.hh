@@ -15,9 +15,31 @@
 
 namespace uldma::workload {
 
-/** Write @p result (of running @p scenario) as uldma-workload-v1. */
+/** Per-shard summary row of a sharded run, for the report's "shards"
+ *  array (see docs/SCHEMAS.md).  Built by the parallel runner. */
+struct ShardReportInfo
+{
+    unsigned id = 0;
+    /** Member nodes, global ids, ascending. */
+    std::vector<unsigned> nodes;
+    /** Member streams, global indices, ascending. */
+    std::vector<std::uint64_t> streams;
+    /** Simulated time the shard covered, microseconds. */
+    double durationUs = 0.0;
+    bool finished = false;
+};
+
+/**
+ * Write @p result (of running @p scenario) as uldma-workload-v1.
+ * When @p shards is non-null the document additionally carries a
+ * "shards" array describing the parallel execution plan — purely a
+ * function of (scenario, seed), never of the thread count, so sharded
+ * reports stay byte-deterministic.
+ */
 void writeWorkloadReport(std::ostream &os, const Scenario &scenario,
-                         const WorkloadResult &result, bool pretty = true);
+                         const WorkloadResult &result, bool pretty = true,
+                         const std::vector<ShardReportInfo> *shards =
+                             nullptr);
 
 } // namespace uldma::workload
 

@@ -1,0 +1,101 @@
+#include "workload/shard.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace uldma::workload {
+
+namespace {
+
+/** Path-compressing union-find root lookup. */
+unsigned
+findRoot(std::vector<unsigned> &parent, unsigned n)
+{
+    while (parent[n] != n) {
+        parent[n] = parent[parent[n]];
+        n = parent[n];
+    }
+    return n;
+}
+
+} // namespace
+
+ShardPlan
+planShards(const Scenario &scenario)
+{
+    const unsigned nodes = scenario.nodes;
+    std::vector<unsigned> parent(nodes);
+    std::iota(parent.begin(), parent.end(), 0u);
+
+    for (const StreamSpec &stream : scenario.streams) {
+        ULDMA_ASSERT(stream.node < nodes,
+                     "stream node out of range: ", stream.node);
+        if (stream.remoteNode < 0)
+            continue;
+        const auto remote = static_cast<unsigned>(stream.remoteNode);
+        ULDMA_ASSERT(remote < nodes,
+                     "stream remote node out of range: ", remote);
+        const unsigned a = findRoot(parent, stream.node);
+        const unsigned b = findRoot(parent, remote);
+        // Union by smaller root, so component representatives are the
+        // smallest member node — the plan's shard order.
+        if (a != b)
+            parent[std::max(a, b)] = std::min(a, b);
+    }
+
+    ShardPlan plan;
+    plan.shardOfNode.assign(nodes, 0);
+    plan.localOfNode.assign(nodes, 0);
+
+    // Shards in ascending-representative order; nodes ascend within a
+    // shard because we scan global ids in order.
+    std::vector<int> shardOfRoot(nodes, -1);
+    for (unsigned n = 0; n < nodes; ++n) {
+        const unsigned root = findRoot(parent, n);
+        if (shardOfRoot[root] < 0) {
+            shardOfRoot[root] = static_cast<int>(plan.shards.size());
+            plan.shards.emplace_back();
+            plan.shards.back().id =
+                static_cast<unsigned>(plan.shards.size() - 1);
+        }
+        Shard &shard =
+            plan.shards[static_cast<std::size_t>(shardOfRoot[root])];
+        plan.shardOfNode[n] = shard.id;
+        plan.localOfNode[n] = static_cast<unsigned>(shard.nodes.size());
+        shard.nodes.push_back(n);
+    }
+
+    for (Shard &shard : plan.shards) {
+        Scenario &sub = shard.scenario;
+        sub.name = scenario.name;
+        sub.description = scenario.description;
+        sub.nodes = static_cast<unsigned>(shard.nodes.size());
+        sub.bus = scenario.bus;
+        sub.cpuMhz = scenario.cpuMhz;
+        sub.syscallCycles = scenario.syscallCycles;
+        sub.scheduler = scenario.scheduler;
+        sub.limitUs = scenario.limitUs;
+    }
+
+    for (std::size_t i = 0; i < scenario.streams.size(); ++i) {
+        const StreamSpec &spec = scenario.streams[i];
+        Shard &shard = plan.shards[plan.shardOfNode[spec.node]];
+        StreamSpec local = spec;
+        local.node = static_cast<NodeId>(plan.localOfNode[spec.node]);
+        if (spec.remoteNode >= 0) {
+            const auto remote = static_cast<unsigned>(spec.remoteNode);
+            ULDMA_ASSERT(plan.shardOfNode[remote] == shard.id,
+                         "remote node escaped its shard");
+            local.remoteNode =
+                static_cast<int>(plan.localOfNode[remote]);
+        }
+        shard.streams.push_back(i);
+        shard.scenario.streams.push_back(std::move(local));
+    }
+
+    return plan;
+}
+
+} // namespace uldma::workload

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shard planning for parallel workload execution: partition a
+ * scenario's node set into independent shards — connected components
+ * of the graph whose edges are the cross-node dependencies streams
+ * create (`node` -> `remote_node`) — and derive, per shard, a
+ * self-contained sub-scenario with locally renumbered nodes plus the
+ * local<->global maps the runner needs to keep seed derivation and
+ * output naming global.
+ *
+ * The plan is a pure function of the scenario: it never depends on
+ * the thread count, which is what makes `--threads N` byte-identical
+ * to `--threads 1` by construction (threads only size the worker pool
+ * that executes a fixed plan).
+ */
+
+#ifndef ULDMA_WORKLOAD_SHARD_HH
+#define ULDMA_WORKLOAD_SHARD_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/scenario.hh"
+
+namespace uldma::workload {
+
+/** One independent unit of simulation: a node subset no stream links
+ *  to the rest of the scenario, plus every stream living on it. */
+struct Shard
+{
+    /** Plan-order index (shards are ordered by smallest member node). */
+    unsigned id = 0;
+    /** Member nodes as global scenario ids, ascending; local node i of
+     *  @ref scenario is global node nodes[i]. */
+    std::vector<unsigned> nodes;
+    /** Member streams as global indices into Scenario::streams,
+     *  ascending; local stream j of @ref scenario is global
+     *  streams[j]. */
+    std::vector<std::size_t> streams;
+    /** Self-contained sub-scenario: global fields copied, nodes
+     *  renumbered 0..nodes.size()-1, stream node/remote_node remapped
+     *  to local ids. */
+    Scenario scenario;
+};
+
+/** The whole partition, plus reverse maps for merging. */
+struct ShardPlan
+{
+    std::vector<Shard> shards;
+    /** Global node id -> owning shard id. */
+    std::vector<unsigned> shardOfNode;
+    /** Global node id -> local node id within its shard. */
+    std::vector<unsigned> localOfNode;
+};
+
+/**
+ * Partition @p scenario.  Every node lands in exactly one shard (a
+ * node with no streams forms — or joins — a shard like any other);
+ * two nodes share a shard iff a chain of stream `remote_node` edges
+ * connects them.  Deterministic and thread-count independent.
+ */
+ShardPlan planShards(const Scenario &scenario);
+
+} // namespace uldma::workload
+
+#endif // ULDMA_WORKLOAD_SHARD_HH

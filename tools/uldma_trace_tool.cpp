@@ -20,7 +20,8 @@
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
  *       uldma-bench-v1, uldma-workload-v1, uldma-schedule-v1,
- *       chrome://tracing).  uldma-workload-v1 and uldma-schedule-v1
+ *       chrome://tracing).  Every accepted shape is documented in
+ *       docs/SCHEMAS.md.  uldma-workload-v1 and uldma-schedule-v1
  *       validation is strict: unknown members anywhere in the
  *       document are problems.  Schema strings must match exactly —
  *       a known version tag with trailing garbage (e.g.
@@ -247,7 +248,7 @@ validateWorkload(Problems &p, const Value &doc)
     checkNoExtra(p, doc,
                  {"schema", "scenario", "seed", "nodes", "finished",
                   "duration_us", "offered", "achieved", "per_protocol",
-                  "streams", "per_node"},
+                  "streams", "per_node", "shards"},
                  "root");
     p.require(doc["scenario"].isString(), "scenario missing");
     p.require(doc["seed"].isNumber(), "seed missing");
@@ -349,6 +350,34 @@ validateWorkload(Problems &p, const Value &doc)
                                   "context_switches", "syscalls"})
                 p.require(rows[i][f].isNumber(),
                           where + "." + f + " missing");
+        }
+    }
+
+    // Optional: present only on reports from the sharded runner (see
+    // docs/SCHEMAS.md).  Each row records one shard of the plan.
+    if (doc["shards"].isArray()) {
+        const auto &rows = doc["shards"].asArray();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where = "shards[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"id", "nodes", "streams", "duration_us",
+                          "finished"},
+                         where);
+            p.require(r["id"].isNumber(), where + ".id missing");
+            p.require(r["duration_us"].isNumber(),
+                      where + ".duration_us missing");
+            p.require(r["finished"].isBool(), where + ".finished missing");
+            for (const char *f : {"nodes", "streams"}) {
+                p.require(r[f].isArray(),
+                          where + "." + f + " missing");
+                if (!r[f].isArray())
+                    continue;
+                for (std::size_t m = 0; m < r[f].size(); ++m)
+                    p.require(r[f][m].isNumber(),
+                              where + "." + f + "[" + std::to_string(m) +
+                                  "] is not a number");
+            }
         }
     }
 }
@@ -701,7 +730,8 @@ usage()
                  "<spans.json | workload-report.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
-                 "       uldma_trace_tool validate <file.json> [...]\n");
+                 "       uldma_trace_tool validate <file.json> [...]\n"
+                 "schemas: docs/SCHEMAS.md\n");
     return 2;
 }
 

@@ -3,16 +3,24 @@
  * uldma_workload — scenario-driven traffic generation.
  *
  * Loads a declarative uldma-scenario-v1 JSON file (see
- * docs/WORKLOADS.md), runs it through the workload engine, prints an
- * offered-vs-achieved summary, and optionally writes the full
- * uldma-workload-v1 report.  Byte-deterministic: the same scenario and
- * --seed always produce the same report bytes.
+ * docs/WORKLOADS.md), partitions it into independent shards, runs one
+ * Machine per shard across --threads worker threads, prints an
+ * offered-vs-achieved summary plus wall-clock throughput, and
+ * optionally writes the merged uldma-workload-v1 report and the
+ * merged stats / spans / trace exports (schemas in docs/SCHEMAS.md).
+ *
+ * Byte-deterministic: the same scenario and --seed always produce the
+ * same report bytes, for every --threads value — the shard plan is a
+ * pure function of the scenario, threads only size the worker pool.
+ * Wall-clock numbers appear only in the human summary, never in the
+ * JSON artifacts.
  *
  *   $ uldma_workload --scenario scenarios/table1_mix.json --seed 7 \
- *                    --report report.json
+ *                    --threads 4 --report report.json
  *   $ uldma_workload --scenario scenarios/adversarial_mix.json --check
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,8 +28,9 @@
 
 #include "sim/span.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "util/options.hh"
-#include "workload/driver.hh"
+#include "workload/parallel.hh"
 #include "workload/report.hh"
 #include "workload/scenario.hh"
 
@@ -35,12 +44,21 @@ main(int argc, char **argv)
     opts.addString("scenario", "", "uldma-scenario-v1 JSON file (required)");
     opts.addInt("seed", 1, "run seed; all stream randomness derives "
                            "from it");
+    opts.addInt("threads", 1,
+                "worker threads running independent shards in parallel; "
+                "output bytes are identical for every value");
     opts.addString("report", "",
-                   "write the uldma-workload-v1 report to this file "
-                   "('-' for stdout)");
+                   "write the merged uldma-workload-v1 report to this "
+                   "file ('-' for stdout)");
     opts.addString("spans-json", "",
-                   "also write the raw per-initiation spans as a "
+                   "write the merged per-initiation spans as a "
                    "uldma-spans-v1 file ('-' for stdout)");
+    opts.addString("stats-json", "",
+                   "write every shard's component stats as one merged "
+                   "uldma-stats-v1 file ('-' for stdout)");
+    opts.addString("trace-json", "",
+                   "capture structured events and write the merged "
+                   "chrome://tracing file ('-' for stdout)");
     opts.addFlag("check", false,
                  "parse and validate the scenario, then exit without "
                  "running");
@@ -62,19 +80,35 @@ main(int argc, char **argv)
         return 2;
     }
     if (opts.getFlag("check")) {
-        std::printf("%s: ok (scenario '%s', %u node(s), %zu stream(s))\n",
+        const ShardPlan plan = planShards(scenario);
+        std::printf("%s: ok (scenario '%s', %u node(s), %zu stream(s), "
+                    "%zu shard(s))\n",
                     scenario_path.c_str(), scenario.name.c_str(),
-                    scenario.nodes, scenario.streams.size());
+                    scenario.nodes, scenario.streams.size(),
+                    plan.shards.size());
         return 0;
     }
 
     const std::uint64_t seed =
         static_cast<std::uint64_t>(opts.getInt("seed"));
-    const std::string spans_path = opts.getString("spans-json");
-    WorkloadOptions wl_opts;
-    wl_opts.keepSpans = !spans_path.empty();
+    const long threads_arg = opts.getInt("threads");
+    if (threads_arg < 1) {
+        std::fprintf(stderr, "uldma_workload: --threads must be >= 1\n");
+        return 2;
+    }
 
-    const WorkloadResult result = runWorkload(scenario, seed, wl_opts);
+    ParallelOptions par;
+    par.threads = static_cast<unsigned>(threads_arg);
+    par.captureStats = !opts.getString("stats-json").empty();
+    par.captureTrace = !opts.getString("trace-json").empty();
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    const ParallelResult run = runParallelWorkload(scenario, seed, par);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const WorkloadResult &result = run.merged;
 
     if (!opts.getFlag("quiet")) {
         std::uint64_t offered = 0, failures = 0;
@@ -87,10 +121,11 @@ main(int argc, char **argv)
             achieved += row.opened;
             completed += row.completed;
         }
-        std::printf("scenario  : %s (seed %llu, %u node(s))\n",
+        std::printf("scenario  : %s (seed %llu, %u node(s), %zu shard(s), "
+                    "%u thread(s))\n",
                     scenario.name.c_str(),
-                    static_cast<unsigned long long>(seed),
-                    scenario.nodes);
+                    static_cast<unsigned long long>(seed), scenario.nodes,
+                    run.plan.shards.size(), par.threads);
         std::printf("duration  : %.1f us simulated%s\n", result.durationUs,
                     result.finished ? "" : "  [hit limit_us]");
         std::printf("offered   : %llu initiation(s)\n",
@@ -100,6 +135,16 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(achieved),
                     static_cast<unsigned long long>(completed),
                     static_cast<unsigned long long>(failures));
+        // Wall-clock throughput: how fast the host chewed through the
+        // simulation.  Kept out of every JSON artifact — those stay
+        // byte-deterministic.
+        const double sim_s = result.durationUs / 1e6;
+        std::printf("wall      : %.3f s host, %.0f completed "
+                    "transfer(s)/host-sec, %.3f host-sec per "
+                    "simulated-sec\n",
+                    wall_s,
+                    wall_s > 0.0 ? double(completed) / wall_s : 0.0,
+                    sim_s > 0.0 ? wall_s / sim_s : 0.0);
         std::printf("\n%-14s %8s %8s %8s %8s %8s %10s\n", "protocol",
                     "offered", "seen", "complete", "rejected", "aborted",
                     "e2e-p50us");
@@ -135,15 +180,29 @@ main(int argc, char **argv)
     bool io_ok = true;
     const std::string report_path = opts.getString("report");
     if (!report_path.empty()) {
+        const std::vector<ShardReportInfo> infos = run.shardInfos();
         io_ok &= writeTo(report_path, [&](std::ostream &os) {
-            writeWorkloadReport(os, scenario, result);
+            writeWorkloadReport(os, scenario, result, /*pretty=*/true,
+                                &infos);
         });
     }
+    const std::string spans_path = opts.getString("spans-json");
     if (!spans_path.empty()) {
         io_ok &= writeTo(spans_path, [&](std::ostream &os) {
-            span::tracker().exportJson(os);
+            span::exportMergedSpansJson(os, run.shardSpans());
         });
-        span::tracker().disable();
+    }
+    const std::string stats_path = opts.getString("stats-json");
+    if (!stats_path.empty()) {
+        io_ok &= writeTo(stats_path, [&](std::ostream &os) {
+            stats::writeStatsJson(os, run.mergedStats());
+        });
+    }
+    const std::string trace_path = opts.getString("trace-json");
+    if (!trace_path.empty()) {
+        io_ok &= writeTo(trace_path, [&](std::ostream &os) {
+            trace::exportMergedChromeTracing(os, run.shardTraces());
+        });
     }
 
     if (!io_ok)
