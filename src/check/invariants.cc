@@ -92,6 +92,35 @@ checkInvariants(const RunArtifacts &a)
                                std::to_string(initiator)});
         }
 
+        // ring-isolation: a descriptor-ring transfer stays inside the
+        // frames the kernel authorized for its context, and the ring's
+        // context belongs to the process that rang the doorbell.
+        if (rec.viaRing) {
+            auto ring_it = a.ringFrames.find(rec.ctx);
+            const std::vector<FrameSpan> &ring_spans =
+                ring_it != a.ringFrames.end() ? ring_it->second : empty;
+            if (!withinRights(ring_spans, rec.src, rec.size,
+                              /*need_write=*/false) ||
+                !withinRights(ring_spans, rec.dst, rec.size,
+                              /*need_write=*/true)) {
+                std::ostringstream d;
+                d << "ring transfer #" << i << " ("
+                  << describeTransfer(rec)
+                  << ") escapes ctx " << rec.ctx
+                  << "'s authorized ring frames";
+                out.push_back({"ring-isolation", d.str()});
+            }
+            auto ring_owner = a.ctxOwner.find(rec.ctx);
+            if (ring_owner != a.ctxOwner.end() &&
+                initiator != ring_owner->second) {
+                std::ostringstream d;
+                d << "ring transfer #" << i << " enqueued by pid"
+                  << initiator << " into ctx " << rec.ctx
+                  << "'s ring (owner pid" << ring_owner->second << ")";
+                out.push_back({"ring-isolation", d.str()});
+            }
+        }
+
         // key-secrecy: a granted context only ever works for its owner.
         auto owner_it = a.ctxOwner.find(rec.ctx);
         if (owner_it != a.ctxOwner.end()) {

@@ -72,6 +72,10 @@ struct RunArtifacts
     /// Granted context id -> owning process (key or shadow contexts).
     std::map<unsigned, Pid> ctxOwner;
 
+    /// Ring context id -> physical frame spans the kernel authorized
+    /// for ring DMA (Kernel::authorizeRingDma), page granular.
+    std::map<unsigned, std::vector<FrameSpan>> ringFrames;
+
     Pid victimPid = 1;
     bool machineFinished = false;
     bool victimFinished = false;
@@ -93,6 +97,12 @@ struct RunArtifacts
  *    behalf of a process that does not own it (paper §3.1/§3.2);
  *  - "status-honesty": the victim saw a success status although its
  *    transfer never started or the payload never arrived;
+ *  - "ring-isolation": a descriptor-ring transfer touched physical
+ *    memory outside the frames the kernel authorized for that ring's
+ *    context, or went through a ring whose context the enqueuing
+ *    process does not own (docs/RING.md) — a process must never
+ *    enqueue into, arm, or observe completions from another context's
+ *    ring;
  *  - "no-progress": the machine failed to run every process to
  *    completion.
  */

@@ -42,6 +42,8 @@ burstLength(DmaMethod method, bool faults)
 {
     if (!faults)
         return 1;   // one benign compute op per gap
+    if (method == DmaMethod::Ring)
+        return 6;   // malicious descriptor enqueue + arm + doorbell
     switch (engineModeFor(method)) {
       case EngineMode::ShadowPair: return 2;   // probe LOAD + dangling STORE
       case EngineMode::KeyBased: return 2;     // two forged-key STOREs
@@ -73,6 +75,7 @@ runSchedule(const RunnerConfig &config,
     mconfig.node.memBytes = 2 * 1024 * 1024;
     configureNode(mconfig.node, method);
     mconfig.node.dma.weakRecognizer = config.weakRecognizer;
+    mconfig.node.dma.weakRing = config.weakRing;
 
     const std::uint64_t gap = burstLength(method, config.faults);
     PreemptionScheduler *sched = nullptr;
@@ -107,6 +110,15 @@ runSchedule(const RunnerConfig &config,
     const Addr adst = kernel.allocate(adversary, pageSize, Rights::ReadWrite);
     kernel.createShadowMappings(adversary, asrc, pageSize);
     kernel.createShadowMappings(adversary, adst, pageSize);
+    if (method == DmaMethod::Ring) {
+        // Ring descriptors name physical addresses, so the kernel's
+        // frame table (not the MMU) is what confines them: authorize
+        // each process's own buffers for its own ring.
+        kernel.authorizeRingDma(victim, vsrc, pageSize);
+        kernel.authorizeRingDma(victim, vdst, pageSize);
+        kernel.authorizeRingDma(adversary, asrc, pageSize);
+        kernel.authorizeRingDma(adversary, adst, pageSize);
+    }
 
     const Addr vsrc_p = kernel.translateFor(victim, vsrc, Rights::Read).paddr;
     const Addr vdst_p = kernel.translateFor(victim, vdst, Rights::Write).paddr;
@@ -135,6 +147,20 @@ runSchedule(const RunnerConfig &config,
             art.ctxOwner[*g.keyContext] = p->pid();
         if (g.shadowContext)
             art.ctxOwner[*g.shadowContext] = p->pid();
+        // Oracle copy of the kernel's ring frame table: what this
+        // context's ring DMA is allowed to touch, page granular.
+        if (g.ringConfigured && g.keyContext) {
+            std::vector<FrameSpan> &spans = art.ringFrames[*g.keyContext];
+            for (Addr region : {g.ringDescVaddr, g.ringCplVaddr}) {
+                const Addr p_paddr = pageAlignDown(
+                    kernel.translateFor(*p, region, Rights::Read).paddr);
+                spans.push_back({p_paddr, pageSize, true, true});
+            }
+            const Addr own_src = p == &victim ? vsrc_p : asrc_p;
+            const Addr own_dst = p == &victim ? vdst_p : adst_p;
+            spans.push_back({pageAlignDown(own_src), pageSize, true, true});
+            spans.push_back({pageAlignDown(own_dst), pageSize, true, true});
+        }
     }
 
     // Victim: one DMA initiation, then capture the status register.
@@ -154,7 +180,33 @@ runSchedule(const RunnerConfig &config,
     // the burst is the nastiest protocol-specific shadow traffic the
     // process can legally issue; otherwise it is benign compute.
     Program ap;
-    if (config.faults) {
+    if (config.faults && method == DmaMethod::Ring) {
+        // Ring attack: enqueue a descriptor into the adversary's OWN
+        // ring that names the *victim's* source frame, arm it (ctrl
+        // last) and ring the doorbell with the adversary's own valid
+        // key.  The engine's per-context frame check must reject it;
+        // with weakRing injected the theft goes through and the
+        // ring-isolation invariant catches it.
+        const DmaGrant &ag = adversary.dmaGrant();
+        ULDMA_ASSERT(ag.ringConfigured && ag.keyContext.has_value(),
+                     "ring adversary without a configured ring");
+        const std::uint64_t payload =
+            keyfield::pack(ag.key, *ag.keyContext);
+        const Addr doorbell = ag.contextPageVaddr + ctxpage::ringDoorbell;
+        for (std::size_t i = 0; i < preemptAfter.size(); ++i) {
+            const Addr desc =
+                ag.ringDescVaddr +
+                Addr(i % ag.ringSlots) * ringdesc::descBytes;
+            ap.store(desc + ringdesc::srcOff, vsrc_p);
+            ap.withLabel("ring attack: desc.src = victim frame");
+            ap.store(desc + ringdesc::dstOff, adst_p);
+            ap.store(desc + ringdesc::sizeOff, burstBytes);
+            ap.store(desc + ringdesc::ctrlOff, ringdesc::ctrl::valid);
+            ap.membar();
+            ap.store(doorbell, payload);
+            ap.withLabel("ring attack: doorbell");
+        }
+    } else if (config.faults) {
         const Addr s_asrc = kernel.shadowVaddrFor(adversary, asrc);
         const Addr s_adst = kernel.shadowVaddrFor(adversary, adst);
         switch (engineModeFor(method)) {

@@ -33,6 +33,8 @@ struct RunnerConfig
     bool faults = false;
     /** Engine fault injection: weakened §3.3 recognizer. */
     bool weakRecognizer = false;
+    /** Engine fault injection: ring frame check disabled. */
+    bool weakRing = false;
 };
 
 /** Everything one run produced. */

@@ -18,6 +18,8 @@ protocolMethod(const std::string &token)
         return DmaMethod::ExtShadow;
     if (token == "repeated")
         return DmaMethod::Repeated5;
+    if (token == "ring")
+        return DmaMethod::Ring;
     return std::nullopt;
 }
 
@@ -29,6 +31,7 @@ protocolToken(DmaMethod method)
       case DmaMethod::KeyBased: return "key-based";
       case DmaMethod::ExtShadow: return "ext-shadow";
       case DmaMethod::Repeated5: return "repeated";
+      case DmaMethod::Ring: return "ring";
       default: return "?";
     }
 }
@@ -74,6 +77,7 @@ writeScheduleJson(std::ostream &os, const Schedule &schedule,
     w.member("protocol", schedule.protocol);
     w.member("faults", schedule.faults);
     w.member("weakened_recognizer", schedule.weakRecognizer);
+    w.member("weakened_ring", schedule.weakRing);
     w.member("boundary_space", schedule.boundarySpace);
     w.key("preempt_after");
     w.beginArray();
@@ -133,6 +137,10 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
     }
     if (!doc["faults"].isBool() || !doc["weakened_recognizer"].isBool())
         return fail(error, "faults/weakened_recognizer must be booleans");
+    // weakened_ring is optional (schedules predating the descriptor
+    // ring omit it); when present it must be a boolean.
+    if (!doc["weakened_ring"].isNull() && !doc["weakened_ring"].isBool())
+        return fail(error, "weakened_ring must be a boolean");
     if (!doc["boundary_space"].isNumber())
         return fail(error, "boundary_space must be a number");
     if (!doc["preempt_after"].isArray())
@@ -141,6 +149,9 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
     schedule.protocol = doc["protocol"].asString();
     schedule.faults = doc["faults"].asBool();
     schedule.weakRecognizer = doc["weakened_recognizer"].asBool();
+    schedule.weakRing = doc["weakened_ring"].isBool()
+                            ? doc["weakened_ring"].asBool()
+                            : false;
     schedule.boundarySpace =
         static_cast<std::uint64_t>(doc["boundary_space"].asNumber());
     schedule.preemptAfter.clear();

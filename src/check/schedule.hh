@@ -27,9 +27,10 @@ namespace uldma::check {
 
 inline constexpr char scheduleSchema[] = "uldma-schedule-v1";
 
-/** CLI tokens of the four checked protocols, in paper order. */
+/** CLI tokens of the checked protocols: the four paper protocols in
+ *  paper order, plus the descriptor-ring extension (docs/RING.md). */
 inline constexpr const char *checkedProtocols[] = {
-    "pal", "key-based", "ext-shadow", "repeated",
+    "pal", "key-based", "ext-shadow", "repeated", "ring",
 };
 
 /** Map a protocol token to its DmaMethod (nullopt = unknown token). */
@@ -44,6 +45,9 @@ struct Schedule
     std::string protocol;           ///< one of checkedProtocols
     bool faults = false;            ///< adversary shadow traffic in gaps
     bool weakRecognizer = false;    ///< test-only fault injection
+    /** Test-only fault injection: disable the engine's ring frame
+     *  check (absent in old schedule files, parsed as false). */
+    bool weakRing = false;
     /** Number of distinct preemption positions (0..initiation length). */
     std::uint64_t boundarySpace = 0;
     /** Non-decreasing absolute victim instruction counts; a repeated

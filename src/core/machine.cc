@@ -25,6 +25,7 @@ Node::Node(EventQueue &eq, Network &network, NodeId id,
     engine_ = std::make_unique<DmaEngine>(eq, prefix + ".dma",
                                           bus_->clockDomain(), config.dma,
                                           *nic_);
+    engine_->setLocalMemory(memory_.get());
     atomicUnit_ = std::make_unique<AtomicUnit>(prefix + ".atomic",
                                                config.atomic,
                                                bus_->clockDomain(), *nic_);

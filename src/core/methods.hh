@@ -19,6 +19,7 @@
  * | Repeated3  | §3.3  | yes        | no (UNSAFE)| 3 (+membar)         |
  * | Repeated4  | §3.3  | yes        | no (UNSAFE)| 4 (+membar)         |
  * | Repeated5  | §3.3  | yes        | no         | 5 (+membars)        |
+ * | Ring       | RING.md | yes      | no         | 7/transfer, amortized|
  *
  * ¹ Shrimp1 needs no context-switch hook but restricts each source
  *   page to a single pre-arranged destination.
@@ -28,6 +29,7 @@
 #define ULDMA_CORE_METHODS_HH
 
 #include <string>
+#include <vector>
 
 #include "core/machine.hh"
 #include "cpu/program.hh"
@@ -48,6 +50,11 @@ enum class DmaMethod : std::uint8_t
     Repeated3,
     Repeated4,
     Repeated5,
+    /** Descriptor-ring batched initiation with async completions
+     *  (docs/RING.md) — an extension beyond the paper, built on the
+     *  key-based engine mode.  Deliberately NOT in allMethods[]: the
+     *  paper-order sweeps stay paper-only. */
+    Ring,
 };
 
 /** All methods, in paper order (for sweeps). */
@@ -129,6 +136,27 @@ bool prepareProcess(Kernel &kernel, Process &process, DmaMethod method);
  */
 void emitInitiation(Program &program, Kernel &kernel, Process &process,
                     DmaMethod method, Addr vsrc, Addr vdst, Addr size);
+
+/** One transfer of a descriptor-ring batch (docs/RING.md). */
+struct RingTransfer
+{
+    Addr vsrc = 0;
+    Addr vdst = 0;
+    Addr size = 0;
+};
+
+/**
+ * Append a descriptor-ring batch to @p program: enqueue every transfer
+ * in @p batch (control word written last per descriptor), ring the
+ * doorbell once per chunk of at most ringSlots descriptors, and wait
+ * for completion (poll the last completion record under the polling
+ * policy, sys::ringWait under coalescing).  The last completion record
+ * value lands in reg::v0 (dmastatus::failure on a rejected
+ * descriptor).  Requires Kernel::setupRing and authorizeRingDma over
+ * every buffer the batch touches.
+ */
+void emitRingBatch(Program &program, Kernel &kernel, Process &process,
+                   const std::vector<RingTransfer> &batch);
 
 /**
  * Number of user-mode instructions emitInitiation produces, excluding

@@ -1,5 +1,9 @@
 #include "dma/dma_engine.hh"
 
+#include <algorithm>
+
+#include "mem/physical_memory.hh"
+#include "sim/event.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -23,6 +27,7 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                      const ClockDomain &bus_clock,
                      const DmaEngineParams &params, TransferBackend &backend)
     : name_(std::move(name)), params_(params), backend_(backend),
+      eq_(eq),
       xfer_(eq, name_ + ".xfer", bus_clock,
             TransferTiming{params.bytesPerBusCycle,
                            params.transferStartupCycles},
@@ -36,6 +41,7 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
 
     pairLatch_.resize(std::size_t(1) << params_.ctxIdBits);
     contexts_.resize(params_.numContexts);
+    rings_.resize(params_.numContexts);
 
     statsGroup_.addScalar("shadow_stores", &shadowStores_,
                           "stores decoded in the shadow window");
@@ -53,6 +59,16 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                           "user transfers rejected for page crossing");
     statsGroup_.addScalar("kernel_starts", &kernelStarts_,
                           "kernel-channel DMA starts");
+    statsGroup_.addScalar("ring_doorbells", &ringDoorbells_,
+                          "accepted descriptor-ring doorbells");
+    statsGroup_.addScalar("ring_descriptors", &ringDescriptors_,
+                          "ring descriptors drained");
+    statsGroup_.addScalar("ring_rejects", &ringRejects_,
+                          "ring descriptors rejected");
+    statsGroup_.addScalar("ring_fences", &ringFences_,
+                          "ring fence descriptors retired");
+    statsGroup_.addScalar("ring_interrupts", &ringInterrupts_,
+                          "coalesced ring completion interrupts");
 }
 
 std::vector<AddrRange>
@@ -108,7 +124,11 @@ DmaEngine::access(Packet &pkt)
         ULDMA_PANIC(name_, ": access to unmapped engine address 0x",
                     std::hex, a);
     }
-    return xfer_.clockDomain().cyclesToTicks(params_.accessCycles);
+    // A doorbell drain charges its descriptor walk to the access that
+    // triggered it (pendingExtraCycles_, see ringDrain).
+    const Cycles cycles = params_.accessCycles + pendingExtraCycles_;
+    pendingExtraCycles_ = 0;
+    return xfer_.clockDomain().cyclesToTicks(cycles);
 }
 
 // ---------------------------------------------------------------------
@@ -164,6 +184,9 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
                 rc.transfer = invalidTransfer;
                 rc.keyValid = false;
                 rc.span = span::invalidSpan;
+                // The ring dies with its context: a re-granted context
+                // must not inherit the old owner's ring or rights.
+                rings_[pkt.data].reset();
             }
             break;
           case kregs::startDelay:
@@ -174,6 +197,48 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
             break;
           case kregs::mapOutTarget:
             mapOutTable_[mapOutPfn_] = pkt.data;
+            break;
+          case kregs::ringCtxSelect:
+            ringCtxSelect_ = pkt.data;
+            break;
+          case kregs::ringBase:
+            ringBaseStage_ = pkt.data;
+            break;
+          case kregs::ringCplBase:
+            ringCplStage_ = pkt.data;
+            break;
+          case kregs::ringConfig:
+            // Commits the staged bases for the selected context.  The
+            // OS programs this from setup code; user processes can
+            // never reach the kernel block, which is the whole
+            // protection argument for ring configuration.
+            if (ringCtxSelect_ < rings_.size()) {
+                RingContext &ring = rings_[ringCtxSelect_];
+                ring.reset();
+                ring.base = ringBaseStage_;
+                ring.cplBase = ringCplStage_;
+                ring.slots = static_cast<unsigned>(
+                    ringdesc::slotsOf(pkt.data));
+                ring.policy = ringdesc::policyOf(pkt.data);
+                ring.coalesce = std::max<unsigned>(
+                    1, static_cast<unsigned>(
+                           ringdesc::coalesceOf(pkt.data)));
+                ring.configured = ring.slots > 0;
+            }
+            break;
+          case kregs::ringFrameBase:
+            if (ringCtxSelect_ < rings_.size())
+                rings_[ringCtxSelect_].stagedFrameBase = pkt.data;
+            break;
+          case kregs::ringFrameLimit:
+            // Commit one authorized [base, limit) frame span.
+            if (ringCtxSelect_ < rings_.size()) {
+                RingContext &ring = rings_[ringCtxSelect_];
+                if (pkt.data > ring.stagedFrameBase) {
+                    ring.frames.push_back(
+                        {ring.stagedFrameBase, pkt.data});
+                }
+            }
             break;
           default:
             ULDMA_WARN(name_, ": write to unknown kernel register 0x",
@@ -255,7 +320,7 @@ DmaEngine::kernelStart()
                       "size ", kSize_);
     initiations_.push_back(InitiationRecord{
         xfer_.now(), params_.mode, kSrc_, kDst_, kSize_, 0,
-        /*viaKernel=*/true, {}});
+        /*viaKernel=*/true, /*viaRing=*/false, {}});
 }
 
 // ---------------------------------------------------------------------
@@ -265,7 +330,12 @@ DmaEngine::kernelStart()
 void
 DmaEngine::accessContextPage(Packet &pkt, unsigned ctx, Addr offset)
 {
-    (void)offset;  // every store lands on the size register (paper §3.1)
+    // The ring doorbell is the one decoded offset besides the size
+    // register (paper §3.1 stores land on SIZE wherever they hit).
+    if (offset == ctxpage::ringDoorbell) {
+        ringDoorbell(pkt, ctx);
+        return;
+    }
     RegisterContext &rc = contexts_[ctx];
 
     if (pkt.isWrite()) {
@@ -749,13 +819,240 @@ DmaEngine::shadowMappedOut(Packet &pkt, Addr target)
 }
 
 // ---------------------------------------------------------------------
+// Descriptor ring (docs/RING.md).
+// ---------------------------------------------------------------------
+
+unsigned
+DmaEngine::ringOutstanding(unsigned ctx) const
+{
+    ULDMA_ASSERT(ctx < rings_.size(), "context id out of range");
+    return rings_[ctx].outstanding;
+}
+
+std::uint64_t
+DmaEngine::ringRetired(unsigned ctx) const
+{
+    ULDMA_ASSERT(ctx < rings_.size(), "context id out of range");
+    return rings_[ctx].retired;
+}
+
+bool
+DmaEngine::ringConfigured(unsigned ctx) const
+{
+    ULDMA_ASSERT(ctx < rings_.size(), "context id out of range");
+    return rings_[ctx].configured;
+}
+
+void
+DmaEngine::ringDoorbell(Packet &pkt, unsigned ctx)
+{
+    RingContext &ring = rings_[ctx];
+
+    if (!pkt.isWrite()) {
+        // Drain-progress poll: total descriptors retired so far.
+        pkt.data = ring.configured ? ring.retired : dmastatus::failure;
+        return;
+    }
+
+    // The doorbell payload is key#context_id, exactly like a key-based
+    // shadow store: the MMU mapping proves the page, the key proves
+    // the ring.  A forged doorbell from a process that guessed the
+    // page address but not the key dies here.
+    const unsigned payload_ctx = keyfield::ctxOf(pkt.data);
+    RegisterContext &rc = contexts_[ctx];
+    if (payload_ctx != ctx || !rc.keyValid ||
+        keyfield::keyOf(pkt.data) != rc.key) {
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "ring_key_mismatch",
+                          "ctx ", ctx);
+        ++keyMismatch_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, "ring", xfer_.now()), xfer_.now(),
+                     span::Outcome::KeyMismatch);
+        }
+        return;
+    }
+    if (!ring.configured || localMemory_ == nullptr) {
+        ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, "ring", xfer_.now()), xfer_.now());
+        }
+        return;
+    }
+
+    ++ringDoorbells_;
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "ring_doorbell", "ctx ", ctx);
+    ringDrain(ctx, pkt.srcPid);
+}
+
+void
+DmaEngine::ringDrain(unsigned ctx, Pid doorbell_pid)
+{
+    RingContext &ring = rings_[ctx];
+    unsigned drained = 0;
+    // One doorbell drains every armed descriptor: walk from head until
+    // the first control word without the valid bit (the chain
+    // terminator — a torn enqueue that wrote ctrl before the
+    // arguments parks the drain there too, see ringConsume).
+    while (drained < ring.slots && ringConsume(ctx, doorbell_pid))
+        ++drained;
+    // Two engine-side accesses per consumed descriptor: the descriptor
+    // fetch and the control-word writeback.
+    pendingExtraCycles_ += Cycles(2 * drained) * params_.accessCycles;
+}
+
+bool
+DmaEngine::ringConsume(unsigned ctx, Pid doorbell_pid)
+{
+    RingContext &ring = rings_[ctx];
+    const unsigned slot = ring.head;
+    const Addr desc = ring.base + Addr(slot) * ringdesc::descBytes;
+    if (desc + ringdesc::descBytes > localMemory_->size())
+        return false;
+
+    const std::uint64_t ctrl =
+        localMemory_->readInt(desc + ringdesc::ctrlOff, 8);
+    if (!(ctrl & ringdesc::ctrl::valid) ||
+        (ctrl & (ringdesc::ctrl::done | ringdesc::ctrl::error)))
+        return false;
+
+    ++ringDescriptors_;
+    ring.head = (ring.head + 1) % ring.slots;
+
+    const Addr src = localMemory_->readInt(desc + ringdesc::srcOff, 8);
+    const Addr dst = localMemory_->readInt(desc + ringdesc::dstOff, 8);
+    const Addr size = localMemory_->readInt(desc + ringdesc::sizeOff, 8);
+
+    if (ctrl & ringdesc::ctrl::fence) {
+        // Fence/flush: completes once every transfer queued before it
+        // has drained from the serialized pipeline.  No data moves.
+        ++ringFences_;
+        span::SpanId sid = span::invalidSpan;
+        if (span::captureOn()) {
+            sid = span::tracker().open(name_, "ring", xfer_.now());
+            span::tracker().recognize(sid, xfer_.now(), ctx,
+                                      /*via_kernel=*/false, 0);
+            span::tracker().queue(sid, xfer_.now());
+        }
+        const Tick done_at = std::max(xfer_.busyUntil(), xfer_.now());
+        eq_.scheduleLambda(
+            name_ + ".ringFence", done_at,
+            [this, ctx, slot, sid]() {
+                ringRetire(ctx, slot, dmastatus::ok,
+                           ringdesc::ctrl::done);
+                if (span::captureOn())
+                    span::tracker().complete(sid, xfer_.now());
+                // A fence is a flush point: always interrupt under the
+                // coalescing policy, never leave one batched up.
+                RingContext &r = rings_[ctx];
+                if (r.policy == ringdesc::policyCoalesce &&
+                    ringCompletionHandler_) {
+                    r.coalesceCount = 0;
+                    ++ringInterrupts_;
+                    ringCompletionHandler_(ctx);
+                }
+            },
+            Event::DevicePrio);
+        return true;
+    }
+
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn())
+        sid = span::tracker().open(name_, "ring", xfer_.now());
+
+    // The kernel-programmed frame table is the ring's protection: a
+    // descriptor is only as trusted as the rights the OS granted the
+    // context at setup time.  weakRing (model-checker fault injection)
+    // turns this into the vulnerable "trust the descriptor" design.
+    if (!params_.weakRing &&
+        (!ringFrameAllowed(ring, src, size) ||
+         !ringFrameAllowed(ring, dst, size))) {
+        ++ringRejects_;
+        ++rejected_;
+        if (span::captureOn())
+            span::tracker().reject(sid, xfer_.now());
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "ring_reject",
+                          "ctx ", ctx, " unauthorized frame");
+        ringRetire(ctx, slot, dmastatus::failure, ringdesc::ctrl::error);
+        return true;
+    }
+
+    const TransferId id = tryStartUser(
+        src, dst, size, ctx, {doorbell_pid}, sid, /*via_ring=*/true,
+        [this, ctx, slot]() {
+            ringRetire(ctx, slot, dmastatus::ok, ringdesc::ctrl::done);
+            ringTransferDone(ctx, slot);
+        });
+    if (id == invalidTransfer) {
+        ++ringRejects_;
+        ringRetire(ctx, slot, dmastatus::failure, ringdesc::ctrl::error);
+        return true;
+    }
+    ++ring.outstanding;
+    return true;
+}
+
+bool
+DmaEngine::ringFrameAllowed(const RingContext &ring, Addr addr,
+                            Addr size) const
+{
+    if (size == 0)
+        return false;
+    for (const RingContext::Frame &frame : ring.frames) {
+        if (addr >= frame.base && addr + size <= frame.limit)
+            return true;
+    }
+    return false;
+}
+
+void
+DmaEngine::ringRetire(unsigned ctx, unsigned slot, std::uint64_t status,
+                      std::uint64_t ctrl_bits)
+{
+    RingContext &ring = rings_[ctx];
+    ++ring.retired;
+    const Addr desc = ring.base + Addr(slot) * ringdesc::descBytes;
+    const Addr cpl = ring.cplBase + Addr(slot) * ringdesc::cplBytes;
+    const std::uint64_t ctrl =
+        localMemory_->readInt(desc + ringdesc::ctrlOff, 8);
+    // writeInt fires the memory's write observers, so a polling CPU
+    // sees the completion record coherently.
+    localMemory_->writeInt(desc + ringdesc::ctrlOff, ctrl | ctrl_bits, 8);
+    localMemory_->writeInt(cpl, status == dmastatus::ok
+                                    ? std::uint64_t(1)
+                                    : dmastatus::failure, 8);
+}
+
+void
+DmaEngine::ringTransferDone(unsigned ctx, unsigned slot)
+{
+    (void)slot;
+    RingContext &ring = rings_[ctx];
+    if (ring.outstanding > 0)
+        --ring.outstanding;
+    if (ring.policy != ringdesc::policyCoalesce ||
+        !ringCompletionHandler_)
+        return;
+    // Interrupt coalescing: fire every N completions, and always when
+    // the ring goes idle so no completion is ever announced late.
+    ++ring.coalesceCount;
+    if (ring.coalesceCount >= ring.coalesce || ring.outstanding == 0) {
+        ring.coalesceCount = 0;
+        ++ringInterrupts_;
+        ringCompletionHandler_(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Common start path.
 // ---------------------------------------------------------------------
 
 TransferId
 DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
                         const std::vector<Pid> &contributors,
-                        span::SpanId span)
+                        span::SpanId span, bool via_ring,
+                        std::function<void()> on_complete)
 {
     if (size == 0 || size > params_.userMaxTransfer) {
         ++rejected_;
@@ -790,13 +1087,14 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
         span::tracker().recognize(span, xfer_.now(), ctx,
                                   /*via_kernel=*/false, size);
 
-    const TransferId id = xfer_.start(src, dst, size, nullptr, 0, span);
+    const TransferId id =
+        xfer_.start(src, dst, size, std::move(on_complete), 0, span);
     ++started_;
     ULDMA_TRACE_EVENT(name_, xfer_.now(), "dma_start",
                       "ctx ", ctx, " size ", size);
     initiations_.push_back(InitiationRecord{
         xfer_.now(), params_.mode, src, dst, size, ctx,
-        /*viaKernel=*/false, contributors});
+        /*viaKernel=*/false, via_ring, contributors});
 
     ULDMA_TRACE("Dma", xfer_.now(), name_, ": user DMA started 0x",
                 std::hex, src, " -> 0x", dst, std::dec, " size ", size,
@@ -871,6 +1169,26 @@ DmaEngine::stateHash() const
             f.mix(p);
     }
 
+    // Descriptor rings (ring bases and frame tables are OS-programmed
+    // and protocol-visible; nothing here is secret like the keys).
+    for (const RingContext &r : rings_) {
+        f.mix(r.configured);
+        f.mix(r.base);
+        f.mix(r.cplBase);
+        f.mix(r.slots);
+        f.mix(r.policy);
+        f.mix(r.coalesce);
+        f.mix(r.head);
+        f.mix(r.retired);
+        f.mix(r.outstanding);
+        f.mix(r.coalesceCount);
+        f.mix(r.frames.size());
+        for (const RingContext::Frame &frame : r.frames) {
+            f.mix(frame.base);
+            f.mix(frame.limit);
+        }
+    }
+
     // Kernel channel.
     f.mix(kSrc_);
     f.mix(kDst_);
@@ -883,6 +1201,10 @@ DmaEngine::stateHash() const
     f.mix(rejected_.value());
     f.mix(keyMismatch_.value());
     f.mix(fsmResets_.value());
+    f.mix(ringDoorbells_.value());
+    f.mix(ringDescriptors_.value());
+    f.mix(ringRejects_.value());
+    f.mix(ringFences_.value());
     return f.h;
 }
 

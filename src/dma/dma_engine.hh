@@ -38,6 +38,8 @@
 
 namespace uldma {
 
+class PhysicalMemory;
+
 /**
  * The programmable DMA controller on the NI board.
  */
@@ -76,6 +78,33 @@ class DmaEngine : public BusDevice
                !xfer_.complete(kTransfer_);
     }
 
+    /**
+     * Local DRAM for descriptor-ring fetches and completion-record
+     * writes (docs/RING.md).  Wired by the Node at construction;
+     * without it the ring registers exist but every doorbell is
+     * rejected.  Completion records are written through writeInt so
+     * the memory's write observers (cache invalidation) fire.
+     */
+    void setLocalMemory(PhysicalMemory *mem) { localMemory_ = mem; }
+
+    /**
+     * Coalesced completion interrupt for the descriptor ring: invoked
+     * with the register-context id when a ring transfer completes and
+     * the context's policy/coalescing calls for an interrupt.
+     */
+    void
+    setRingCompletionHandler(std::function<void(unsigned)> handler)
+    {
+        ringCompletionHandler_ = std::move(handler);
+    }
+
+    /** Outstanding (started, not yet completed) ring transfers. */
+    unsigned ringOutstanding(unsigned ctx) const;
+    /** Descriptors retired (completed or rejected) on @p ctx's ring. */
+    std::uint64_t ringRetired(unsigned ctx) const;
+    /** True once the OS committed a ring configuration for @p ctx. */
+    bool ringConfigured(unsigned ctx) const;
+
     /** Physical address of register-context page @p ctx. */
     Addr contextPageAddr(unsigned ctx) const;
 
@@ -91,6 +120,7 @@ class DmaEngine : public BusDevice
         Addr size;
         unsigned ctx;              ///< register context / CONTEXT_ID
         bool viaKernel;            ///< through the kernel register block
+        bool viaRing;              ///< from a descriptor-ring drain
         std::vector<Pid> contributors;  ///< pids of contributing accesses
     };
 
@@ -136,6 +166,19 @@ class DmaEngine : public BusDevice
     std::uint64_t numRejects() const { return rejected_.value(); }
     std::uint64_t numKeyMismatches() const { return keyMismatch_.value(); }
     std::uint64_t numFsmResets() const { return fsmResets_.value(); }
+    std::uint64_t numRingDoorbells() const
+    {
+        return ringDoorbells_.value();
+    }
+    std::uint64_t numRingDescriptors() const
+    {
+        return ringDescriptors_.value();
+    }
+    std::uint64_t numRingRejects() const { return ringRejects_.value(); }
+    std::uint64_t numRingInterrupts() const
+    {
+        return ringInterrupts_.value();
+    }
     /// @}
 
   private:
@@ -159,6 +202,36 @@ class DmaEngine : public BusDevice
         {
             srcValid = dstValid = sizeValid = false;
             contributors.clear();
+        }
+    };
+
+    /** Per-context descriptor-ring state (docs/RING.md). */
+    struct RingContext
+    {
+        bool configured = false;
+        Addr base = 0;         ///< descriptor ring base (physical)
+        Addr cplBase = 0;      ///< completion record base (physical)
+        unsigned slots = 0;
+        std::uint64_t policy = ringdesc::policyPolling;
+        unsigned coalesce = 1; ///< completions per interrupt
+        unsigned head = 0;     ///< next slot the engine examines
+        std::uint64_t retired = 0;     ///< descriptors retired
+        unsigned outstanding = 0;      ///< transfers in flight
+        unsigned coalesceCount = 0;    ///< completions since interrupt
+
+        /** One kernel-authorized physical span [base, limit). */
+        struct Frame
+        {
+            Addr base = 0;
+            Addr limit = 0;
+        };
+        std::vector<Frame> frames;
+        Addr stagedFrameBase = 0;
+
+        void
+        reset()
+        {
+            *this = RingContext();
         }
     };
 
@@ -196,7 +269,27 @@ class DmaEngine : public BusDevice
      */
     TransferId tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
                             const std::vector<Pid> &contributors,
-                            span::SpanId span = span::invalidSpan);
+                            span::SpanId span = span::invalidSpan,
+                            bool via_ring = false,
+                            std::function<void()> on_complete = nullptr);
+
+    /// @name Descriptor-ring path (docs/RING.md).
+    /// @{
+    /** Key-gated doorbell store / drain-progress load. */
+    void ringDoorbell(Packet &pkt, unsigned ctx);
+    /** Walk valid descriptors from head and issue/retire them. */
+    void ringDrain(unsigned ctx, Pid doorbell_pid);
+    /** Process one descriptor; false ends the drain (no valid bit). */
+    bool ringConsume(unsigned ctx, Pid doorbell_pid);
+    /** True if [addr, addr+size) lies inside an authorized frame. */
+    bool ringFrameAllowed(const RingContext &ring, Addr addr,
+                          Addr size) const;
+    /** Retire slot @p slot: completion record + control writeback. */
+    void ringRetire(unsigned ctx, unsigned slot, std::uint64_t status,
+                    std::uint64_t ctrl_bits);
+    /** Completion bookkeeping after a started ring transfer ends. */
+    void ringTransferDone(unsigned ctx, unsigned slot);
+    /// @}
 
     /** Start (or reject) a kernel-channel transfer. */
     void kernelStart();
@@ -213,10 +306,29 @@ class DmaEngine : public BusDevice
     std::string name_;
     DmaEngineParams params_;
     TransferBackend &backend_;
+    EventQueue &eq_;
     TransferEngine xfer_;
 
     /// Kernel-channel completion interrupt (see the setter).
     std::function<void()> kernelCompletionHandler_;
+
+    /// Ring coalesced-completion interrupt (see the setter).
+    std::function<void(unsigned)> ringCompletionHandler_;
+
+    /// Local DRAM for descriptor fetch / completion-record writes.
+    PhysicalMemory *localMemory_ = nullptr;
+
+    /// Per-context descriptor rings, parallel to contexts_.
+    std::vector<RingContext> rings_;
+
+    /// Ring-management staging registers (kernel block).
+    std::uint64_t ringCtxSelect_ = 0;
+    Addr ringBaseStage_ = 0;
+    Addr ringCplStage_ = 0;
+
+    /// Extra device cycles charged to the access that caused a ring
+    /// drain (descriptor fetch + control writeback per slot).
+    Cycles pendingExtraCycles_ = 0;
 
     /// Kernel channel registers (figure 1).
     Tick kStartDelay_ = 0;
@@ -268,6 +380,11 @@ class DmaEngine : public BusDevice
     stats::Scalar fsmResets_;
     stats::Scalar crossPageRejects_;
     stats::Scalar kernelStarts_;
+    stats::Scalar ringDoorbells_;
+    stats::Scalar ringDescriptors_;
+    stats::Scalar ringRejects_;
+    stats::Scalar ringFences_;
+    stats::Scalar ringInterrupts_;
 };
 
 } // namespace uldma

@@ -89,7 +89,58 @@ constexpr std::uint64_t keyOf(std::uint64_t payload)
 namespace ctxpage {
 /** Stores land on the size register; loads read remaining/status. */
 inline constexpr Addr sizeReg = 0x0;
+/** Ring doorbell: a store of key#context_id arms the context's
+ *  descriptor ring (docs/RING.md).  Loads read the drain progress. */
+inline constexpr Addr ringDoorbell = 0x8;
 } // namespace ctxpage
+
+/**
+ * In-memory layout of one ring descriptor (docs/RING.md).  Descriptors
+ * live in plain user memory; the engine reads them with uncosted
+ * functional accesses during a doorbell drain and retires each one by
+ * rewriting its control word.  The control word is written *last* by
+ * the user (SNIPPETS.md Snippet 2's "control word written last"
+ * idiom): a descriptor without ctrl::valid terminates the drain.
+ */
+namespace ringdesc {
+inline constexpr Addr srcOff = 0x00;   ///< source physical address
+inline constexpr Addr dstOff = 0x08;   ///< destination physical address
+inline constexpr Addr sizeOff = 0x10;  ///< transfer size in bytes
+inline constexpr Addr ctrlOff = 0x18;  ///< control/valid word
+inline constexpr Addr descBytes = 0x20;
+/** Bytes of one completion record (0 = pending, dmastatus on retire). */
+inline constexpr Addr cplBytes = 0x8;
+
+namespace ctrl {
+inline constexpr std::uint64_t valid = 0x1;  ///< descriptor armed
+inline constexpr std::uint64_t fence = 0x2;  ///< flush: complete after
+                                             ///< all prior transfers
+inline constexpr std::uint64_t done = 0x4;   ///< engine: retired ok
+inline constexpr std::uint64_t error = 0x8;  ///< engine: rejected
+} // namespace ctrl
+
+/** Completion policy encoded in the ringConfig register. */
+inline constexpr std::uint64_t policyPolling = 0;
+inline constexpr std::uint64_t policyCoalesce = 1;
+
+/** ringConfig register layout: slots | policy << 8 | coalesce << 16. */
+constexpr std::uint64_t
+packConfig(std::uint64_t slots, std::uint64_t policy,
+           std::uint64_t coalesce)
+{
+    return slots | (policy << 8) | (coalesce << 16);
+}
+
+constexpr std::uint64_t slotsOf(std::uint64_t cfg) { return cfg & 0xff; }
+constexpr std::uint64_t policyOf(std::uint64_t cfg)
+{
+    return (cfg >> 8) & 0xff;
+}
+constexpr std::uint64_t coalesceOf(std::uint64_t cfg)
+{
+    return (cfg >> 16) & 0xff;
+}
+} // namespace ringdesc
 
 /** Offsets within the kernel register block (figure 1's registers). */
 namespace kregs {
@@ -118,6 +169,17 @@ inline constexpr Addr ctxReset = 0x40;
 /** Mapped-out table management (SHRIMP-1): pfn / node+pfn pair. */
 inline constexpr Addr mapOutPfn = 0x48;
 inline constexpr Addr mapOutTarget = 0x50;
+/** Descriptor-ring management (docs/RING.md): the OS selects a
+ *  context, programs the ring/completion base addresses, then commits
+ *  slot count + completion policy via ringConfig.  The frame pair
+ *  appends one authorized physical frame span to the context's
+ *  ring-DMA rights table (base write latches, limit write commits). */
+inline constexpr Addr ringCtxSelect = 0x60;
+inline constexpr Addr ringBase = 0x68;
+inline constexpr Addr ringCplBase = 0x70;
+inline constexpr Addr ringConfig = 0x78;
+inline constexpr Addr ringFrameBase = 0x80;
+inline constexpr Addr ringFrameLimit = 0x88;
 inline constexpr Addr blockSize = 0x100;
 } // namespace kregs
 
@@ -149,6 +211,15 @@ struct DmaEngineParams
      * recognizer the paper argues against; never set outside tests.
      */
     bool weakRecognizer = false;
+
+    /**
+     * Fault injection for the model checker (src/check): disable the
+     * per-context authorized-frame check on ring descriptors, so a
+     * process that can arm its own ring can name *any* physical frame
+     * in a descriptor.  This is the vulnerability the ring-isolation
+     * invariant exists to catch; never set outside tests.
+     */
+    bool weakRing = false;
 
     /** Device-side latency of a register/shadow access in bus cycles
      *  (the FPGA of the prototype board). */

@@ -1,5 +1,7 @@
 #include "os/kernel.hh"
 
+#include <algorithm>
+
 #include "sim/span.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
@@ -25,6 +27,10 @@ Kernel::Kernel(std::string name, Cpu &cpu, Scheduler &scheduler,
                           "processes blocked in sys::dmaWait");
     statsGroup_.addScalar("dma_interrupts", &dmaInterrupts_,
                           "kernel-channel completion interrupts");
+    statsGroup_.addScalar("ring_waits", &ringWaits_,
+                          "processes blocked in sys::ringWait");
+    statsGroup_.addScalar("ring_interrupts", &ringInterrupts_,
+                          "coalesced ring completion interrupts");
 }
 
 void
@@ -37,6 +43,10 @@ Kernel::setDmaEngine(DmaEngine *engine)
     // sys::dmaWait when the kernel channel's transfer finishes.
     engine_->setKernelCompletionHandler(
         [this]() { onKernelDmaInterrupt(); });
+    // Ring completion interrupts (coalescing policy) wake processes
+    // blocked in sys::ringWait on that ring's context.
+    engine_->setRingCompletionHandler(
+        [this](unsigned ctx) { onRingDmaInterrupt(ctx); });
     // Tell the engine how long after a trap its SIZE write physically
     // lands (kernel entry + two software translations), so
     // kernel-channel transfers start at the honest wall-clock time.
@@ -359,6 +369,110 @@ Kernel::mapContextPage(Process &process)
     return vaddr;
 }
 
+bool
+Kernel::setupRing(Process &process, unsigned slots, std::uint64_t policy,
+                  unsigned coalesce)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    ULDMA_ASSERT(slots > 0, "setupRing: need at least one slot");
+
+    auto &grant = process.dmaGrant();
+    // The ring doorbell rides on the key-gated register-context page,
+    // so a ring grant implies a key grant.
+    if (!grant.keyContext && !grantKeyContext(process))
+        return false;
+    const unsigned ctx = *grant.keyContext;
+
+    // User-mapped descriptor ring and completion records.  allocate()
+    // hands out physically contiguous frames, which is what the
+    // engine's slot arithmetic assumes.
+    const Addr desc_vaddr = allocate(
+        process, Addr(slots) * ringdesc::descBytes, Rights::ReadWrite);
+    const Addr cpl_vaddr = allocate(
+        process, Addr(slots) * ringdesc::cplBytes, Rights::ReadWrite);
+    const Translation desc_x =
+        translateFor(process, desc_vaddr, Rights::ReadWrite);
+    const Translation cpl_x =
+        translateFor(process, cpl_vaddr, Rights::ReadWrite);
+    ULDMA_ASSERT(desc_x.ok() && cpl_x.ok(),
+                 "setupRing: ring regions not mapped");
+
+    // Program the privileged ring registers: select, bases, then the
+    // config word last (the commit point on the engine side).
+    const Addr base = engine_->params().kernelRegsBase;
+    Packet sel = Packet::makeWrite(base + kregs::ringCtxSelect, ctx);
+    cpu_.kernelBusAccess(sel);
+    Packet db = Packet::makeWrite(base + kregs::ringBase, desc_x.paddr);
+    cpu_.kernelBusAccess(db);
+    Packet cb = Packet::makeWrite(base + kregs::ringCplBase, cpl_x.paddr);
+    cpu_.kernelBusAccess(cb);
+    Packet cfg = Packet::makeWrite(
+        base + kregs::ringConfig,
+        ringdesc::packConfig(slots, policy, coalesce));
+    cpu_.kernelBusAccess(cfg);
+
+    grant.ringConfigured = true;
+    grant.ringDescVaddr = desc_vaddr;
+    grant.ringCplVaddr = cpl_vaddr;
+    grant.ringSlots = slots;
+    grant.ringPolicy = policy;
+    grant.ringCoalesce = std::max(1u, coalesce);
+    grant.ringEnqueueSeq = 0;
+
+    // The ring's own pages are legal DMA endpoints (a chained
+    // descriptor may stage data through them in tests).
+    authorizeRingDma(process, desc_vaddr,
+                     Addr(slots) * ringdesc::descBytes);
+    authorizeRingDma(process, cpl_vaddr, Addr(slots) * ringdesc::cplBytes);
+    return true;
+}
+
+void
+Kernel::authorizeRingDma(Process &process, Addr vaddr, Addr bytes)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    auto &grant = process.dmaGrant();
+    ULDMA_ASSERT(grant.keyContext.has_value(),
+                 "authorizeRingDma: no register context granted");
+    ULDMA_ASSERT(bytes > 0, "authorizeRingDma: empty range");
+    const unsigned ctx = *grant.keyContext;
+    const Addr base = engine_->params().kernelRegsBase;
+
+    // Translate page by page and program one frame span per physically
+    // contiguous run (the common case is a single span, because
+    // allocate() is contiguous).
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    Addr span_base = 0;
+    Addr span_limit = 0;
+    const auto flush = [&]() {
+        if (span_limit <= span_base)
+            return;
+        Packet sel = Packet::makeWrite(base + kregs::ringCtxSelect, ctx);
+        cpu_.kernelBusAccess(sel);
+        Packet fb = Packet::makeWrite(base + kregs::ringFrameBase,
+                                      span_base);
+        cpu_.kernelBusAccess(fb);
+        Packet fl = Packet::makeWrite(base + kregs::ringFrameLimit,
+                                      span_limit);
+        cpu_.kernelBusAccess(fl);
+    };
+    for (Addr page = first; page <= last; page += pageSize) {
+        const auto pte = process.pageTable().lookup(page);
+        ULDMA_ASSERT(pte.has_value(),
+                     "authorizeRingDma: page not mapped");
+        const Addr paddr = pte->pfn << pageShift;
+        if (span_limit == paddr) {
+            span_limit += pageSize;   // extend the contiguous run
+        } else {
+            flush();
+            span_base = paddr;
+            span_limit = paddr + pageSize;
+        }
+    }
+    flush();
+}
+
 // ---------------------------------------------------------------------
 // OsCallbacks: traps and scheduling.
 // ---------------------------------------------------------------------
@@ -385,6 +499,8 @@ Kernel::syscall(ExecContext &ctx, std::uint64_t number)
       }
       case sys::dmaWait:
         return sysDmaWait(ctx);
+      case sys::ringWait:
+        return sysRingWait(ctx);
       default: {
         ULDMA_WARN(name_, ": unknown syscall ", number);
         SyscallResult r;
@@ -555,6 +671,32 @@ Kernel::sysDmaWait(ExecContext &ctx)
     return r;
 }
 
+SyscallResult
+Kernel::sysRingWait(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+
+    Process &proc = process(ctx.pid());
+    const auto &grant = proc.dmaGrant();
+    // No ring, polling policy, or idle ring: nothing will interrupt,
+    // return immediately (under polling, poll the completion records).
+    if (!grant.ringConfigured || !grant.keyContext ||
+        grant.ringPolicy != ringdesc::policyCoalesce) {
+        return r;
+    }
+    const unsigned ring_ctx = *grant.keyContext;
+    if (engine_->ringOutstanding(ring_ctx) == 0)
+        return r;
+
+    proc.context().setState(RunState::Blocked);
+    ringWaiters_.emplace_back(&proc, ring_ctx);
+    ++ringWaits_;
+    r.cost += doContextSwitch();
+    return r;
+}
+
 void
 Kernel::onKernelDmaInterrupt()
 {
@@ -573,6 +715,36 @@ Kernel::onKernelDmaInterrupt()
     // busy CPU keeps running; the woken process competes at the next
     // scheduling point — we do not model preemptive interrupts.)
     if (cpu_.idle()) {
+        doContextSwitch();
+        cpu_.start();
+    }
+}
+
+void
+Kernel::onRingDmaInterrupt(unsigned ctx)
+{
+    ++ringInterrupts_;
+    if (ringWaiters_.empty())
+        return;
+    // Wake sleepers on this ring only once it is fully drained —
+    // sys::ringWait's contract is "ring idle", and a coalesced
+    // interrupt can fire with transfers still outstanding.
+    if (engine_ != nullptr && engine_->ringOutstanding(ctx) != 0)
+        return;
+    bool woke = false;
+    std::vector<std::pair<Process *, unsigned>> keep;
+    for (auto &[waiter, ring_ctx] : ringWaiters_) {
+        if (ring_ctx == ctx && waiter->state() == RunState::Blocked) {
+            waiter->context().setState(RunState::Ready);
+            scheduler_.enqueue(*waiter);
+            woke = true;
+        } else {
+            keep.emplace_back(waiter, ring_ctx);
+        }
+    }
+    ringWaiters_ = std::move(keep);
+
+    if (woke && cpu_.idle()) {
         doContextSwitch();
         cpu_.start();
     }
@@ -629,6 +801,18 @@ Kernel::reapGrants(Process &process)
     // Exit-time cleanup: return the register context / CONTEXT_ID to
     // the free pool so later processes can use user-level DMA.
     Tick cost = 0;
+    if (process.dmaGrant().ringConfigured) {
+        // The engine side is torn down by the ctxReset that
+        // revokeKeyContext writes below; just drop the grant view.
+        auto &grant = process.dmaGrant();
+        grant.ringConfigured = false;
+        grant.ringDescVaddr = 0;
+        grant.ringCplVaddr = 0;
+        grant.ringSlots = 0;
+        grant.ringPolicy = 0;
+        grant.ringCoalesce = 1;
+        grant.ringEnqueueSeq = 0;
+    }
     if (process.dmaGrant().keyContext) {
         const Tick before = cpu_.clockEdge();
         revokeKeyContext(process);

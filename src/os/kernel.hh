@@ -27,6 +27,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/cpu.hh"
@@ -199,6 +200,26 @@ class Kernel : public OsCallbacks
     /** Map the process's granted register-context page; returns the
      *  virtual address (also recorded in the grant). */
     Addr mapContextPage(Process &process);
+
+    /**
+     * Set up a descriptor ring for @p process (docs/RING.md): grant a
+     * key context if none yet, allocate user-mapped descriptor and
+     * completion-record regions, and program the engine's privileged
+     * ring registers.  @p policy is ringdesc::policyPolling or
+     * ringdesc::policyCoalesce; @p coalesce is the completions-per-
+     * interrupt threshold (coalescing policy only).  false = no
+     * register context free, fall back to per-transfer DMA.
+     */
+    bool setupRing(Process &process, unsigned slots, std::uint64_t policy,
+                   unsigned coalesce = 1);
+
+    /**
+     * Authorize ring DMA to/from [vaddr, vaddr+bytes) of @p process:
+     * translate page by page and program the engine's per-context
+     * frame table.  Descriptors naming physical addresses outside the
+     * authorized frames are rejected by the engine.
+     */
+    void authorizeRingDma(Process &process, Addr vaddr, Addr bytes);
     /// @}
 
     /**
@@ -257,10 +278,14 @@ class Kernel : public OsCallbacks
     SyscallResult sysDma(ExecContext &ctx);
     SyscallResult sysDmaPoll(ExecContext &ctx);
     SyscallResult sysDmaWait(ExecContext &ctx);
+    SyscallResult sysRingWait(ExecContext &ctx);
     SyscallResult sysAtomic(ExecContext &ctx);
 
     /** Completion interrupt from the engine's kernel channel. */
     void onKernelDmaInterrupt();
+
+    /** Coalesced completion interrupt from a descriptor ring. */
+    void onRingDmaInterrupt(unsigned ctx);
 
     Tick cyclesToTicks(Cycles c) const { return cpu_.cyclesToTicks(c); }
 
@@ -287,6 +312,10 @@ class Kernel : public OsCallbacks
     /** Processes blocked in sys::dmaWait. */
     std::vector<Process *> dmaWaiters_;
 
+    /** Processes blocked in sys::ringWait, with the ring context each
+     *  one is waiting on. */
+    std::vector<std::pair<Process *, unsigned>> ringWaiters_;
+
     /** Register-context occupancy (key-based protocol). */
     std::vector<Pid> keyContextOwner_;
     /** CONTEXT_ID occupancy (extended shadow addressing). */
@@ -301,6 +330,8 @@ class Kernel : public OsCallbacks
     stats::Scalar hookRuns_;
     stats::Scalar dmaWaits_;
     stats::Scalar dmaInterrupts_;
+    stats::Scalar ringWaits_;
+    stats::Scalar ringInterrupts_;
 };
 
 } // namespace uldma

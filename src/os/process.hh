@@ -31,6 +31,19 @@ struct DmaGrant
 
     /** Extended shadow addressing (paper §3.2). */
     std::optional<unsigned> shadowContext;  ///< CONTEXT_ID
+
+    /// @name Descriptor ring (docs/RING.md), set up by Kernel::setupRing.
+    /// @{
+    bool ringConfigured = false;
+    Addr ringDescVaddr = 0;   ///< descriptor ring, user-mapped
+    Addr ringCplVaddr = 0;    ///< completion records, user-mapped
+    unsigned ringSlots = 0;
+    std::uint64_t ringPolicy = 0;   ///< ringdesc::policy*
+    unsigned ringCoalesce = 1;      ///< completions per interrupt
+    /** Program-build-time enqueue cursor (emitRingBatch's slot
+     *  allocator; not runtime state). */
+    std::uint64_t ringEnqueueSeq = 0;
+    /// @}
 };
 
 /**

@@ -47,6 +47,15 @@ inline constexpr std::uint64_t yield = 4;
  */
 inline constexpr std::uint64_t dmaWait = 5;
 
+/**
+ * Block until the calling process's descriptor ring is idle (every
+ * started ring transfer completed).  Only meaningful under the
+ * interrupt-coalescing completion policy — the engine's coalesced
+ * interrupt wakes the sleeper; under the polling policy it returns
+ * immediately (poll the completion records instead, docs/RING.md).
+ */
+inline constexpr std::uint64_t ringWait = 6;
+
 } // namespace uldma::sys
 
 #endif // ULDMA_OS_SYSCALLS_HH

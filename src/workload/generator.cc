@@ -18,7 +18,15 @@ buildWorker(Machine &machine, const Scenario &scenario,
             Random &size_rng, Random &pace_rng, StreamRuntime &runtime)
 {
     DmaMethod method = spec.method;
-    if (!prepareProcess(kernel, proc, method)) {
+    if (method == DmaMethod::Ring) {
+        // Size the ring to the stream's queue depth so one doorbell
+        // drains exactly one batch (docs/RING.md).
+        if (!kernel.setupRing(proc, spec.queueDepth,
+                              ringdesc::policyPolling)) {
+            method = DmaMethod::Kernel;
+            ++runtime.kernelFallbacks;
+        }
+    } else if (!prepareProcess(kernel, proc, method)) {
         // Contexts exhausted: this replica degrades to the kernel
         // channel, exactly the fallback §3.2 prescribes.
         method = DmaMethod::Kernel;
@@ -42,6 +50,11 @@ buildWorker(Machine &machine, const Scenario &scenario,
     }
     kernel.createShadowMappings(proc, dst, region);
 
+    if (method == DmaMethod::Ring) {
+        kernel.authorizeRingDma(proc, src, region);
+        kernel.authorizeRingDma(proc, dst, region);
+    }
+
     if (method == DmaMethod::Shrimp1) {
         for (unsigned s = 0; s < spec.slots; ++s) {
             kernel.setupMapOut(
@@ -54,6 +67,7 @@ buildWorker(Machine &machine, const Scenario &scenario,
 
     StreamRuntime *rt = &runtime;
     Program prog;
+    std::vector<RingTransfer> batch;
     for (unsigned i = 0; i < spec.initiations; ++i) {
         const unsigned s = i % spec.slots;
         const Addr size = sampleSize(spec.size, size_rng);
@@ -65,9 +79,25 @@ buildWorker(Machine &machine, const Scenario &scenario,
                 prog.compute(gap_us * scenario.cpuMhz);
         }
 
-        emitInitiation(prog, kernel, proc, method,
-                       src + Addr(s) * pageSize, dst + Addr(s) * pageSize,
-                       size);
+        if (method == DmaMethod::Ring) {
+            // Ring streams batch queueDepth descriptors per doorbell;
+            // the wait + status check happen once per batch.
+            batch.push_back({src + Addr(s) * pageSize,
+                             dst + Addr(s) * pageSize, size});
+            ++runtime.issued;
+            runtime.offeredBytes += size;
+            if (batch.size() < spec.queueDepth &&
+                i + 1 < spec.initiations)
+                continue;
+            emitRingBatch(prog, kernel, proc, batch);
+            batch.clear();
+        } else {
+            emitInitiation(prog, kernel, proc, method,
+                           src + Addr(s) * pageSize,
+                           dst + Addr(s) * pageSize, size);
+            ++runtime.issued;
+            runtime.offeredBytes += size;
+        }
         prog.callback([rt](ExecContext &ctx) {
             if (ctx.reg(reg::v0) == dmastatus::failure)
                 ++rt->failures;
@@ -77,9 +107,6 @@ buildWorker(Machine &machine, const Scenario &scenario,
         if (spec.pacing.kind == Pacing::Kind::Closed &&
             spec.pacing.thinkUs > 0)
             prog.compute(spec.pacing.thinkUs * scenario.cpuMhz);
-
-        ++runtime.issued;
-        runtime.offeredBytes += size;
     }
     prog.exit();
     return prog;

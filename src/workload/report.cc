@@ -113,6 +113,7 @@ writeWorkloadReport(std::ostream &os, const Scenario &scenario,
         w.member("protocol", methodName(spec.method));
         w.member("count", std::uint64_t(spec.count));
         w.member("adversarial", spec.adversarial);
+        w.member("queue_depth", std::uint64_t(spec.queueDepth));
         w.member("initiations", stream.issued);
         w.member("offered_bytes", stream.offeredBytes);
         w.member("failures", stream.failures);

@@ -244,7 +244,7 @@ parseStream(const Value &v, unsigned num_nodes, StreamSpec &out,
     if (!checkKeys(v,
                    {"name", "count", "node", "protocol", "adversarial",
                     "initiations", "ops", "size", "pacing", "slots",
-                    "remote_node"},
+                    "remote_node", "queue_depth"},
                    where, error))
         return false;
 
@@ -308,6 +308,19 @@ parseStream(const Value &v, unsigned num_nodes, StreamSpec &out,
         return fail(error, where + ".initiations must be >= 1");
     out.initiations = static_cast<unsigned>(initiations);
 
+    if (v.has("queue_depth")) {
+        if (out.method != DmaMethod::Ring)
+            return fail(error, where + ".queue_depth only valid on a "
+                                       "ring-protocol stream");
+        std::uint64_t depth = 1;
+        if (!getUint(v, "queue_depth", depth, true, where, error))
+            return false;
+        if (depth < 1 || depth > 64)
+            return fail(error,
+                        where + ".queue_depth must be in [1, 64]");
+        out.queueDepth = static_cast<unsigned>(depth);
+    }
+
     if (!parseSize(v["size"], out.size, where + ".size", error) ||
         !parsePacing(v["pacing"], out.pacing, where + ".pacing", error))
         return false;
@@ -342,6 +355,7 @@ methodName(DmaMethod method)
       case DmaMethod::Repeated3: return "repeated3";
       case DmaMethod::Repeated4: return "repeated4";
       case DmaMethod::Repeated5: return "repeated5";
+      case DmaMethod::Ring: return "ring";
     }
     return "?";
 }
@@ -354,6 +368,12 @@ parseMethodName(const std::string &name, DmaMethod &out)
             out = method;
             return true;
         }
+    }
+    // Not in allMethods (paper-order sweeps stay paper-only), but a
+    // legal scenario protocol.
+    if (name == "ring") {
+        out = DmaMethod::Ring;
+        return true;
     }
     return false;
 }

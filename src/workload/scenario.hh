@@ -87,6 +87,9 @@ struct StreamSpec
     Pacing pacing;
     /** Distinct page slots cycled through (paper §3.4). */
     unsigned slots = 8;
+    /** Ring streams only: descriptors enqueued per doorbell (the ring
+     *  is sized to match, docs/RING.md).  1 = one-by-one. */
+    unsigned queueDepth = 1;
     /** >= 0: destinations live on that node, reached through a remote
      *  window (multi-node traffic).  -1 = local destinations. */
     int remoteNode = -1;

@@ -33,7 +33,8 @@ cleanArtifacts()
     RunArtifacts a;
     a.method = DmaMethod::Repeated5;
     a.initiations.push_back(
-        {0, EngineMode::Repeated5, 0x10000, 0x20000, 192, 0, false, {1}});
+        {0, EngineMode::Repeated5, 0x10000, 0x20000, 192, 0, false, false,
+         {1}});
     a.allowed.push_back({1, 0x10000, 0x20000, 192});
     a.frames[1] = {{0x10000, 0x2000, true, true},
                    {0x20000, 0x2000, true, true}};

@@ -56,7 +56,7 @@ loadShipped(const std::string &name)
 /** Every scenario file the repo ships (scenarios/README-worthy set). */
 const std::vector<std::string> kShippedScenarios = {
     "table1_mix",      "contended_4proc", "multinode_scatter",
-    "adversarial_mix", "parallel_shards",
+    "adversarial_mix", "parallel_shards", "ring_pipeline",
 };
 
 // ---------------------------------------------------------------------

@@ -75,6 +75,7 @@ replayMode(const std::string &path, const std::string &report)
     config.method = *protocolMethod(schedule.protocol);
     config.faults = schedule.faults;
     config.weakRecognizer = schedule.weakRecognizer;
+    config.weakRing = schedule.weakRing;
     const RunResult r = runSchedule(config, schedule.preemptAfter);
     const Outcome reproduced = outcomeOf(r);
 
@@ -110,12 +111,14 @@ main(int argc, char **argv)
         "Systematic interleaving explorer for the DMA-initiation "
         "protocols (see docs/CHECKING.md).");
     opts.addString("protocol", "repeated",
-                   "pal | key-based | ext-shadow | repeated");
+                   "pal | key-based | ext-shadow | repeated | ring");
     opts.addInt("depth", 2, "max preemption points per schedule");
     opts.addFlag("faults", false,
                  "adversarial shadow traffic in every preemption gap");
     opts.addFlag("weaken", false,
                  "fault-inject a weakened sequence recognizer");
+    opts.addFlag("weaken-ring", false,
+                 "fault-inject a disabled ring frame check");
     opts.addFlag("no-prune", false, "disable state-hash prefix pruning");
     opts.addInt("max-runs", 0, "cap on schedule executions (0 = none)");
     opts.addString("replay", "", "re-execute a uldma-schedule-v1 file");
@@ -138,7 +141,8 @@ main(int argc, char **argv)
     if (!method) {
         return usageError("unknown protocol '" +
                           opts.getString("protocol") +
-                          "' (pal | key-based | ext-shadow | repeated)");
+                          "' (pal | key-based | ext-shadow | repeated | "
+                          "ring)");
     }
     if (opts.getInt("depth") < 0)
         return usageError("depth must be >= 0");
@@ -147,6 +151,7 @@ main(int argc, char **argv)
     config.runner.method = *method;
     config.runner.faults = opts.getFlag("faults");
     config.runner.weakRecognizer = opts.getFlag("weaken");
+    config.runner.weakRing = opts.getFlag("weaken-ring");
     config.depth = static_cast<unsigned>(opts.getInt("depth"));
     config.prune = !opts.getFlag("no-prune");
     config.maxRuns = static_cast<std::uint64_t>(opts.getInt("max-runs"));
@@ -174,6 +179,7 @@ main(int argc, char **argv)
             schedule.protocol = protocolToken(*method);
             schedule.faults = config.runner.faults;
             schedule.weakRecognizer = config.runner.weakRecognizer;
+            schedule.weakRing = config.runner.weakRing;
             schedule.boundarySpace = result.boundarySpace;
             schedule.preemptAfter = cex.preemptAfter;
             if (!writeReport(report, schedule, outcomeOf(cex.result)))

@@ -4,12 +4,14 @@
  *
  * Subcommands:
  *
- *   summarize <spans.json | workload-report.json>
+ *   summarize <spans.json | workload-report.json | ring-sweep.json>
  *       uldma-spans-v1: per-protocol table of outcome counts and
  *       end-to-end / per-phase latency quantiles — the offline
  *       reproduction of the paper's Table 1 view.
  *       uldma-workload-v1: offered-vs-achieved table of a workload
  *       engine run.
+ *       uldma-ring-v1: descriptor-ring crossover curve (amortized
+ *       batched initiation vs the per-transfer baselines).
  *
  *   diff <before.json> <after.json> [--threshold=<pct>]
  *       Compare per-protocol end-to-end p50 between two uldma-spans-v1
@@ -20,12 +22,16 @@
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
  *       uldma-bench-v1, uldma-workload-v1, uldma-schedule-v1,
- *       chrome://tracing).  Every accepted shape is documented in
- *       docs/SCHEMAS.md.  uldma-workload-v1 and uldma-schedule-v1
- *       validation is strict: unknown members anywhere in the
- *       document are problems.  Schema strings must match exactly —
- *       a known version tag with trailing garbage (e.g.
- *       "uldma-spans-v1x") is rejected, not treated as the prefix.
+ *       uldma-ring-v1, chrome://tracing).  Every accepted shape is
+ *       documented in docs/SCHEMAS.md.  uldma-workload-v1,
+ *       uldma-schedule-v1 and uldma-ring-v1 validation is strict:
+ *       unknown members anywhere in the document are problems.
+ *       Schema tags are resolved through a family/version registry:
+ *       an unknown *version* of a known family (e.g.
+ *       "uldma-spans-v2") is a hard error naming the versions this
+ *       tool knows, and a known version tag with trailing garbage
+ *       (e.g. "uldma-spans-v1x") is rejected, never treated as the
+ *       prefix it starts with.
  *
  * Exit status: 0 = clean, 1 = finding (regression / invalid document),
  * 2 = usage or I/O error.
@@ -320,9 +326,9 @@ validateWorkload(Problems &p, const Value &doc)
                 "streams[" + std::to_string(i) + "]";
             checkNoExtra(p, r,
                          {"name", "node", "protocol", "count",
-                          "adversarial", "initiations", "offered_bytes",
-                          "failures", "kernel_fallbacks",
-                          "adversarial_ops"},
+                          "adversarial", "queue_depth", "initiations",
+                          "offered_bytes", "failures",
+                          "kernel_fallbacks", "adversarial_ops"},
                          where);
             p.require(r["name"].isString(), where + ".name missing");
             p.require(r["protocol"].isString(),
@@ -330,8 +336,9 @@ validateWorkload(Problems &p, const Value &doc)
             p.require(r["adversarial"].isBool(),
                       where + ".adversarial missing");
             for (const char *f :
-                 {"node", "count", "initiations", "offered_bytes",
-                  "failures", "kernel_fallbacks", "adversarial_ops"})
+                 {"node", "count", "queue_depth", "initiations",
+                  "offered_bytes", "failures", "kernel_fallbacks",
+                  "adversarial_ops"})
                 p.require(r[f].isNumber(), where + "." + f + " missing");
         }
     }
@@ -388,18 +395,25 @@ validateSchedule(Problems &p, const Value &doc)
 {
     checkNoExtra(p, doc,
                  {"schema", "protocol", "faults", "weakened_recognizer",
-                  "boundary_space", "preempt_after", "outcome"},
+                  "weakened_ring", "boundary_space", "preempt_after",
+                  "outcome"},
                  "root");
     p.require(doc["protocol"].isString(), "protocol missing");
     if (doc["protocol"].isString()) {
         const std::string proto = doc["protocol"].asString();
         p.require(proto == "pal" || proto == "key-based" ||
-                      proto == "ext-shadow" || proto == "repeated",
+                      proto == "ext-shadow" || proto == "repeated" ||
+                      proto == "ring",
                   "unknown protocol '" + proto + "'");
     }
     p.require(doc["faults"].isBool(), "faults missing");
     p.require(doc["weakened_recognizer"].isBool(),
               "weakened_recognizer missing");
+    // Optional: absent in schedule files from before the ring engine
+    // (readers treat absent as false).
+    if (!doc["weakened_ring"].isNull())
+        p.require(doc["weakened_ring"].isBool(),
+                  "weakened_ring is not a bool");
     p.require(doc["boundary_space"].isNumber(), "boundary_space missing");
     p.require(doc["preempt_after"].isArray(), "preempt_after missing");
     if (doc["preempt_after"].isArray()) {
@@ -459,6 +473,96 @@ validateSchedule(Problems &p, const Value &doc)
     }
 }
 
+/** Strict uldma-ring-v1 check (bench_ring crossover curves). */
+void
+validateRing(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "benchmark", "wall_ns", "seed", "transfers",
+                  "transfer_bytes", "baselines", "depths",
+                  "crossover_depth", "crossover_baseline"},
+                 "root");
+    p.require(doc["benchmark"].isString(), "benchmark missing");
+    for (const char *f :
+         {"wall_ns", "seed", "transfers", "transfer_bytes"})
+        p.require(doc[f].isNumber(), std::string(f) + " missing");
+
+    p.require(doc["baselines"].isArray(), "baselines missing");
+    if (doc["baselines"].isArray()) {
+        const auto &rows = doc["baselines"].asArray();
+        p.require(!rows.empty(), "baselines is empty");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "baselines[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"protocol", "per_transfer_us",
+                          "instructions_per_transfer",
+                          "uncached_per_transfer",
+                          "includes_completion"},
+                         where);
+            p.require(r["protocol"].isString(),
+                      where + ".protocol missing");
+            p.require(r["includes_completion"].isBool(),
+                      where + ".includes_completion missing");
+            for (const char *f :
+                 {"per_transfer_us", "instructions_per_transfer",
+                  "uncached_per_transfer"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+        }
+    }
+
+    p.require(doc["depths"].isArray(), "depths missing");
+    if (doc["depths"].isArray()) {
+        const auto &rows = doc["depths"].asArray();
+        p.require(!rows.empty(), "depths is empty");
+        double last_depth = 0.0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "depths[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"depth", "batches", "amortized_us", "total_us",
+                          "instructions_per_transfer",
+                          "uncached_per_transfer", "initiations_started",
+                          "successes", "includes_completion"},
+                         where);
+            p.require(r["includes_completion"].isBool(),
+                      where + ".includes_completion missing");
+            for (const char *f :
+                 {"depth", "batches", "amortized_us", "total_us",
+                  "instructions_per_transfer", "uncached_per_transfer",
+                  "initiations_started", "successes"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+            if (r["depth"].isNumber()) {
+                const double d = r["depth"].asNumber();
+                p.require(d >= 1.0, where + ".depth below 1");
+                p.require(d > last_depth,
+                          where + ".depth breaks strictly increasing "
+                                  "order");
+                last_depth = d;
+            }
+        }
+    }
+
+    p.require(doc["crossover_depth"].isNumber(),
+              "crossover_depth missing");
+    p.require(doc["crossover_baseline"].isString(),
+              "crossover_baseline missing");
+    // A nonzero crossover must name one of the swept depths.
+    if (doc["crossover_depth"].isNumber() &&
+        doc["crossover_depth"].asNumber() != 0.0 &&
+        doc["depths"].isArray()) {
+        const double x = doc["crossover_depth"].asNumber();
+        bool found = false;
+        for (const Value &r : doc["depths"].asArray())
+            found = found ||
+                    (r["depth"].isNumber() && r["depth"].asNumber() == x);
+        p.require(found, "crossover_depth is not one of the swept "
+                         "depths");
+    }
+}
+
 void
 validateChromeTracing(Problems &p, const Value &doc)
 {
@@ -468,6 +572,67 @@ validateChromeTracing(Problems &p, const Value &doc)
         p.require(events[i]["ph"].isString(),
                   "traceEvents[" + std::to_string(i) + "].ph missing");
     }
+}
+
+/**
+ * The schema family/version registry: every `uldma-<family>-v<N>` tag
+ * this tool understands, with the one validated version per family.
+ * Resolution is by family first, so an unknown *version* of a known
+ * family is its own hard error (naming the supported version) instead
+ * of a generic "unknown schema" — a reader built for v1 must never
+ * quietly wave a v2 document through.
+ */
+struct SchemaEntry
+{
+    /** Family prefix without the version tag, e.g. "uldma-spans". */
+    const char *family;
+    /** The (only) version this tool validates. */
+    unsigned version;
+    void (*validate)(Problems &, const Value &);
+};
+
+const SchemaEntry schemaRegistry[] = {
+    {"uldma-spans", 1, validateSpans},
+    {"uldma-timeseries", 1, validateTimeseries},
+    {"uldma-stats", 1, validateStats},
+    {"uldma-bench", 1, validateBench},
+    {"uldma-workload", 1, validateWorkload},
+    {"uldma-schedule", 1, validateSchedule},
+    {"uldma-ring", 1, validateRing},
+};
+
+/** Resolve @p schema through the registry and run its validator. */
+void
+dispatchSchema(Problems &p, const std::string &schema, const Value &doc)
+{
+    for (const SchemaEntry &entry : schemaRegistry) {
+        // Family match: "<family>-v<suffix>".
+        const std::string prefix = std::string(entry.family) + "-v";
+        if (schema.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        const std::string suffix = schema.substr(prefix.size());
+        bool digits = !suffix.empty();
+        for (char c : suffix)
+            digits = digits && c >= '0' && c <= '9';
+        if (!digits) {
+            // "uldma-spans-v1x", "uldma-spans-vfoo": never treat a
+            // garbled tag as the version it starts with.
+            p.add("schema '" + schema + "' is not a valid version of "
+                  "family '" + entry.family + "'");
+            return;
+        }
+        const unsigned long version =
+            std::strtoul(suffix.c_str(), nullptr, 10);
+        if (version != entry.version) {
+            p.add("unsupported version v" + suffix + " of schema "
+                  "family '" + entry.family + "' (this tool validates "
+                  "v" + std::to_string(entry.version) + ")");
+            return;
+        }
+        entry.validate(p, doc);
+        return;
+    }
+    p.add("unknown schema '" + schema + "'");
 }
 
 /** @return true if the document validates. */
@@ -486,38 +651,7 @@ validateOne(const std::string &path)
     std::string schema;
     if (doc["schema"].isString()) {
         schema = doc["schema"].asString();
-        if (schema == "uldma-spans-v1")
-            validateSpans(p, doc);
-        else if (schema == "uldma-timeseries-v1")
-            validateTimeseries(p, doc);
-        else if (schema == "uldma-stats-v1")
-            validateStats(p, doc);
-        else if (schema == "uldma-bench-v1")
-            validateBench(p, doc);
-        else if (schema == "uldma-workload-v1")
-            validateWorkload(p, doc);
-        else if (schema == "uldma-schedule-v1")
-            validateSchedule(p, doc);
-        else {
-            // Exact matching only: catch version tags with trailing
-            // garbage explicitly so they are never mistaken for the
-            // known schema they start with.
-            bool garbled = false;
-            for (const char *known :
-                 {"uldma-spans-v1", "uldma-timeseries-v1",
-                  "uldma-stats-v1", "uldma-bench-v1", "uldma-workload-v1",
-                  "uldma-schedule-v1"}) {
-                if (schema.size() > std::strlen(known) &&
-                    schema.compare(0, std::strlen(known), known) == 0) {
-                    p.add("schema '" + schema +
-                          "' has trailing garbage after '" + known + "'");
-                    garbled = true;
-                    break;
-                }
-            }
-            if (!garbled)
-                p.add("unknown schema '" + schema + "'");
-        }
+        dispatchSchema(p, schema, doc);
     } else if (doc.has("traceEvents")) {
         schema = "chrome-tracing";
         validateChromeTracing(p, doc);
@@ -598,6 +732,49 @@ summarizeWorkload(const std::string &path, const Value &doc)
     return 0;
 }
 
+/** Crossover-curve table of one uldma-ring-v1 document. */
+int
+summarizeRing(const std::string &path, const Value &doc)
+{
+    std::printf("%s: %s, %.0f x %.0f B transfers, seed %.0f\n\n",
+                path.c_str(), doc["benchmark"].asString().c_str(),
+                doc["transfers"].asNumber(),
+                doc["transfer_bytes"].asNumber(),
+                doc["seed"].asNumber());
+
+    std::printf("%-14s %14s %12s %12s\n", "baseline", "per-xfer us",
+                "instr/xfer", "uncached");
+    for (const Value &b : doc["baselines"].asArray()) {
+        std::printf("%-14s %14.3f %12.1f %12.2f\n",
+                    b["protocol"].asString().c_str(),
+                    b["per_transfer_us"].asNumber(),
+                    b["instructions_per_transfer"].asNumber(),
+                    b["uncached_per_transfer"].asNumber());
+    }
+
+    std::printf("\n%-7s %8s %14s %12s %12s\n", "depth", "batches",
+                "amortized us", "instr/xfer", "uncached");
+    for (const Value &r : doc["depths"].asArray()) {
+        std::printf("%-7.0f %8.0f %14.3f %12.1f %12.2f\n",
+                    r["depth"].asNumber(), r["batches"].asNumber(),
+                    r["amortized_us"].asNumber(),
+                    r["instructions_per_transfer"].asNumber(),
+                    r["uncached_per_transfer"].asNumber());
+    }
+
+    const double x = doc["crossover_depth"].asNumber();
+    if (x != 0.0) {
+        std::printf("\ncrossover: amortized ring cost strictly below "
+                    "the %s baseline from queue depth %.0f\n",
+                    doc["crossover_baseline"].asString().c_str(), x);
+    } else {
+        std::printf("\nno crossover against the %s baseline at any "
+                    "swept depth\n",
+                    doc["crossover_baseline"].asString().c_str());
+    }
+    return 0;
+}
+
 int
 cmdSummarize(const std::string &path)
 {
@@ -606,10 +783,12 @@ cmdSummarize(const std::string &path)
         return 2;
     if (doc["schema"].asString() == "uldma-workload-v1")
         return summarizeWorkload(path, doc);
+    if (doc["schema"].asString() == "uldma-ring-v1")
+        return summarizeRing(path, doc);
     if (doc["schema"].asString() != "uldma-spans-v1") {
         std::fprintf(stderr,
-                     "%s: not a uldma-spans-v1 or uldma-workload-v1 "
-                     "document\n",
+                     "%s: not a uldma-spans-v1, uldma-workload-v1 or "
+                     "uldma-ring-v1 document\n",
                      path.c_str());
         return 2;
     }
@@ -727,7 +906,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: uldma_trace_tool summarize "
-                 "<spans.json | workload-report.json>\n"
+                 "<spans.json | workload-report.json | ring-sweep.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
                  "       uldma_trace_tool validate <file.json> [...]\n"
