@@ -18,7 +18,9 @@
  *
  * Unlike the other bench binaries, --json here writes schema
  * uldma-ring-v1 (the crossover curve consumed by CI as
- * BENCH_ring.json), not the generic uldma-bench-v1 record list.
+ * BENCH_ring.json), not the generic uldma-bench-v1 record list —
+ * installed via benchutil::setDocumentWriter so the binary still
+ * shares the standard benchMain() option surface.
  */
 
 #include "bench_common.hh"
@@ -306,42 +308,9 @@ registerBenchmarks()
 int
 main(int argc, char **argv)
 {
-    // Intercept --json before benchMain sees it: this binary's report
-    // is the uldma-ring-v1 crossover document, not the shared
-    // uldma-bench-v1 record list the common main would write.
-    std::string json_path;
-    std::vector<char *> args;
-    args.reserve(static_cast<std::size_t>(argc));
-    args.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--json" && i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (arg.rfind("--json=", 0) == 0) {
-            json_path = arg.substr(7);
-        } else {
-            args.push_back(argv[i]);
-        }
-    }
-
     registerBenchmarks();
-    const auto wall_start = std::chrono::steady_clock::now();
-    const int rc = uldma::benchutil::benchMain(
-        static_cast<int>(args.size()), args.data(), printExhibit);
-    if (rc != 0 || json_path.empty())
-        return rc;
-
-    const auto wall_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count());
-    std::ofstream os(json_path);
-    if (!os) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-    }
-    writeRingJson(os, wall_ns);
-    std::printf("\nwrote ring sweep (%zu depths) to %s\n",
-                g_sweep.size(), json_path.c_str());
-    return 0;
+    // This binary's --json report is the uldma-ring-v1 crossover
+    // document, not the shared uldma-bench-v1 record list.
+    uldma::benchutil::setDocumentWriter(writeRingJson);
+    return uldma::benchutil::benchMain(argc, argv, printExhibit);
 }

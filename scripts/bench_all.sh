@@ -2,7 +2,10 @@
 # Run every bench binary's paper exhibit with --json and collect the
 # machine-readable reports as BENCH_<name>.json at the repo root
 # (schema uldma-bench-v1, see docs/OBSERVABILITY.md), then smoke-run
-# the workload engine over the shipped scenarios.
+# the workload engine over the shipped scenarios.  The collected
+# reports are also merged into one BENCH_summary.json
+# (uldma-bench-summary-v1) so a CI artifact or a bench-diff baseline
+# refresh is a single file.
 #
 # Fails fast: the first failing bench or workload run stops the run
 # and is named, so CI logs point at the culprit instead of a generic
@@ -91,20 +94,24 @@ fi
 echo
 echo "bench_all.sh: wrote ${#written[@]} report(s):"
 
-# One-line-per-report summary table: report name, schema, and a key
-# metric pulled from the document (first record's first metric for
-# uldma-bench-v1; simulated duration for uldma-workload-v1).
-python3 - "${written[@]}" <<'PYEOF'
+# One-line-per-report summary table (report name, schema, and a key
+# metric pulled from the document), plus the merged
+# uldma-bench-summary-v1 document embedding every report verbatim.
+python3 - "$seed" "${written[@]}" <<'PYEOF'
 import json, sys
 
+seed = int(sys.argv[1])
 rows = []
-for path in sys.argv[1:]:
+summary = {"schema": "uldma-bench-summary-v1", "seed": seed,
+           "reports": []}
+for path in sys.argv[2:]:
     try:
         doc = json.load(open(path))
     except (OSError, ValueError) as err:
         rows.append((path, "?", f"unreadable: {err}"))
         continue
     schema = doc.get("schema", "?")
+    summary["reports"].append({"file": path, "document": doc})
     if schema == "uldma-bench-v1":
         records = doc.get("records", [])
         key = f"{len(records)} record(s)"
@@ -124,4 +131,10 @@ width = max(len(r[0]) for r in rows)
 swidth = max(len(r[1]) for r in rows)
 for path, schema, key in rows:
     print(f"  {path:<{width}}  {schema:<{swidth}}  {key}")
+
+with open("BENCH_summary.json", "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"  BENCH_summary.json{'':<{max(0, width - 18)}}  "
+      f"uldma-bench-summary-v1  {len(summary['reports'])} report(s)")
 PYEOF

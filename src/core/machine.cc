@@ -1,5 +1,6 @@
 #include "core/machine.hh"
 
+#include "prof/profiler.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -109,8 +110,16 @@ Machine::allFinished() const
 bool
 Machine::run(Tick limit)
 {
+    ULDMA_PROF_SCOPE("machine.run");
+    // While profiling, let scopes attribute simulated ticks as well as
+    // host time.  The guard restores the previous source on every
+    // return path below.
+    prof::TickSourceScope prof_ticks([this] { return now(); });
     while (eventq_.nextEventTick() <= limit) {
-        eventq_.step();
+        {
+            ULDMA_PROF_SCOPE("machine.step");
+            eventq_.step();
+        }
         // Sampling is driven from the run loop (not scheduled events,
         // which would keep the queue nonempty forever): the snapshot
         // for boundary k*interval is taken at the first event boundary

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "mem/physical_memory.hh"
+#include "prof/profiler.hh"
 #include "sim/event.hh"
+#include "sim/ticks.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -32,7 +34,8 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
             TransferTiming{params.bytesPerBusCycle,
                            params.transferStartupCycles},
             backend),
-      statsGroup_(name_)
+      statsGroup_(name_),
+      ringOccupancy_(0.0, 64.0, 16)
 {
     ULDMA_ASSERT(params_.numContexts >= 1 && params_.numContexts <= 8,
                  "numContexts must be in [1, 8]");
@@ -69,6 +72,10 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                           "ring fence descriptors retired");
     statsGroup_.addScalar("ring_interrupts", &ringInterrupts_,
                           "coalesced ring completion interrupts");
+    statsGroup_.addHistogram("ring_occupancy", &ringOccupancy_,
+                             "in-flight ring transfers after each drain");
+    statsGroup_.addAverage("doorbell_to_retire_us", &doorbellToRetireUs_,
+                           "doorbell to descriptor retirement (us)");
 }
 
 std::vector<AddrRange>
@@ -107,6 +114,7 @@ DmaEngine::pairLatchValid(unsigned ctx) const
 Tick
 DmaEngine::access(Packet &pkt)
 {
+    ULDMA_PROF_SCOPE("dma.access");
     const Addr a = pkt.paddr;
     if (a >= params_.kernelRegsBase &&
         a < params_.kernelRegsBase + kregs::blockSize) {
@@ -882,13 +890,18 @@ DmaEngine::ringDoorbell(Packet &pkt, unsigned ctx)
     }
 
     ++ringDoorbells_;
+    ring.lastDoorbell = xfer_.now();
     ULDMA_TRACE_EVENT(name_, xfer_.now(), "ring_doorbell", "ctx ", ctx);
     ringDrain(ctx, pkt.srcPid);
+    // Queueing depth the doorbell left behind: how many drained
+    // descriptors are now waiting on the serialized pipeline.
+    ringOccupancy_.sample(static_cast<double>(ring.outstanding));
 }
 
 void
 DmaEngine::ringDrain(unsigned ctx, Pid doorbell_pid)
 {
+    ULDMA_PROF_SCOPE("dma.ring_drain");
     RingContext &ring = rings_[ctx];
     unsigned drained = 0;
     // One doorbell drains every armed descriptor: walk from head until
@@ -1012,6 +1025,9 @@ DmaEngine::ringRetire(unsigned ctx, unsigned slot, std::uint64_t status,
 {
     RingContext &ring = rings_[ctx];
     ++ring.retired;
+    if (status == dmastatus::ok)
+        doorbellToRetireUs_.sample(
+            ticksToUs(xfer_.now() - ring.lastDoorbell));
     const Addr desc = ring.base + Addr(slot) * ringdesc::descBytes;
     const Addr cpl = ring.cplBase + Addr(slot) * ringdesc::cplBytes;
     const std::uint64_t ctrl =
@@ -1054,6 +1070,7 @@ DmaEngine::tryStartUser(Addr src, Addr dst, Addr size, unsigned ctx,
                         span::SpanId span, bool via_ring,
                         std::function<void()> on_complete)
 {
+    ULDMA_PROF_SCOPE("dma.initiate");
     if (size == 0 || size > params_.userMaxTransfer) {
         ++rejected_;
         if (span::captureOn())

@@ -98,6 +98,12 @@ class DmaEngine : public BusDevice
         ringCompletionHandler_ = std::move(handler);
     }
 
+    /** Number of register contexts (and descriptor rings). */
+    unsigned numContexts() const
+    {
+        return static_cast<unsigned>(contexts_.size());
+    }
+
     /** Outstanding (started, not yet completed) ring transfers. */
     unsigned ringOutstanding(unsigned ctx) const;
     /** Descriptors retired (completed or rejected) on @p ctx's ring. */
@@ -218,6 +224,7 @@ class DmaEngine : public BusDevice
         std::uint64_t retired = 0;     ///< descriptors retired
         unsigned outstanding = 0;      ///< transfers in flight
         unsigned coalesceCount = 0;    ///< completions since interrupt
+        Tick lastDoorbell = 0;         ///< observability only (latency)
 
         /** One kernel-authorized physical span [base, limit). */
         struct Frame
@@ -385,6 +392,8 @@ class DmaEngine : public BusDevice
     stats::Scalar ringRejects_;
     stats::Scalar ringFences_;
     stats::Scalar ringInterrupts_;
+    stats::Histogram ringOccupancy_;
+    stats::Average doorbellToRetireUs_;
 };
 
 } // namespace uldma

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/ticks.hh"
 #include "sim/trace.hh"
 #include "util/bitfield.hh"
@@ -23,8 +24,12 @@ TransferEngine::TransferEngine(EventQueue &eq, std::string name,
     statsGroup_.addScalar("transfers_completed", &completed_,
                           "DMA transfers finished");
     statsGroup_.addScalar("bytes_moved", &bytes_, "payload bytes moved");
+    statsGroup_.addScalar("busy_ticks", &busyTicks_,
+                          "ticks the pipeline was committed busy");
     statsGroup_.addHistogram("latency_us", &latencyUs_,
                              "transfer latency, queue to delivery (us)");
+    statsGroup_.addAverage("queue_wait_us", &queueWaitUs_,
+                           "time a transfer waited for the pipeline (us)");
 }
 
 TransferId
@@ -37,6 +42,8 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
     ULDMA_ASSERT(backend_.validEndpoint(dst, size),
                  name_, ": invalid transfer destination 0x", std::hex, dst);
 
+    ULDMA_PROF_SCOPE("dma.transfer_start");
+
     ++started_;
     bytes_ += size;
 
@@ -45,6 +52,10 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
         timing_.startupCycles + divCeil(size, timing_.bytesPerBusCycle);
     const Tick end = begin + clockDomain().cyclesToTicks(busy_cycles);
     busyUntil_ = end;
+    // Busy windows are serialized (begin >= the previous end), so the
+    // accumulated width is exact pipeline-occupied time.
+    busyTicks_ += end - begin;
+    queueWaitUs_.sample(ticksToUs(begin - std::max(now(), not_before)));
 
     const TransferId id = nextId_++;
     flights_.push_back(Flight{id, size, begin, end});
@@ -67,6 +78,7 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
         name_ + ".complete", end,
         [this, id, src, dst, size, span, queued_at = now(),
          cb = std::move(on_complete)]() {
+            ULDMA_PROF_SCOPE("dma.transfer_complete");
             const Tick extra = backend_.moveBytes(src, dst, size);
             ++completed_;
             latencyUs_.sample(ticksToUs(now() + extra - queued_at));

@@ -71,6 +71,14 @@ class TransferEngine : public Clocked
     std::uint64_t transfersStarted() const { return started_.value(); }
     std::uint64_t transfersCompleted() const { return completed_.value(); }
     std::uint64_t bytesMoved() const { return bytes_.value(); }
+
+    /**
+     * Total ticks the serialized pipeline has been (or is committed to
+     * be) busy.  Windows never overlap, so busyTicks() / now() is the
+     * engine's utilization fraction — the queueing metric the sampler
+     * turns into a busy/idle timeline.
+     */
+    std::uint64_t busyTicks() const { return busyTicks_.value(); }
     stats::Group &statsGroup() { return statsGroup_; }
     void registerStats(stats::Registry &r) { r.add(&statsGroup_); }
 
@@ -98,7 +106,9 @@ class TransferEngine : public Clocked
     stats::Scalar started_;
     stats::Scalar completed_;
     stats::Scalar bytes_;
+    stats::Scalar busyTicks_;
     stats::Histogram latencyUs_;
+    stats::Average queueWaitUs_;
 };
 
 } // namespace uldma

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
@@ -480,6 +481,7 @@ Kernel::authorizeRingDma(Process &process, Addr vaddr, Addr bytes)
 SyscallResult
 Kernel::syscall(ExecContext &ctx, std::uint64_t number)
 {
+    ULDMA_PROF_SCOPE("kernel.syscall");
     ++syscalls_;
     ULDMA_TRACE_EVENT(name_, cpu_.clockEdge(), "syscall",
                       "number ", number, " pid ", ctx.pid());
@@ -835,6 +837,7 @@ Kernel::reapGrants(Process &process)
 Tick
 Kernel::doContextSwitch()
 {
+    ULDMA_PROF_SCOPE("kernel.context_switch");
     ++switches_;
     ULDMA_TRACE_EVENT(name_, cpu_.clockEdge(), "context_switch", "n=",
                       switches_.value());

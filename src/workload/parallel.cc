@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <thread>
 
 #include "util/logging.hh"
@@ -62,6 +63,7 @@ runShard(const Shard &shard, std::uint64_t seed,
 {
     WorkloadOptions wl;
     wl.keepSpans = true;
+    wl.stallWindowUs = options.stallWindowUs;
     // Seed identity stays global: node n seeds as global id
     // shard.nodes[n], stream j as global index shard.streams[j] —
     // so a shard draws exactly the randomness its streams would draw
@@ -80,8 +82,18 @@ runShard(const Shard &shard, std::uint64_t seed,
 
     if (options.captureTrace)
         trace::eventRing().enable(options.traceCapacity);
+    if (options.captureProfile)
+        prof::profiler().enable();
 
-    out.result = runWorkload(shard.scenario, seed, wl);
+    {
+        ULDMA_PROF_SCOPE("workload.shard");
+        out.result = runWorkload(shard.scenario, seed, wl);
+    }
+
+    if (options.captureProfile) {
+        out.profile = prof::profiler().snapshot();
+        prof::profiler().disable();
+    }
 
     out.spans.shard = shard.id;
     out.spans.opened = span::tracker().opened();
@@ -120,6 +132,7 @@ mergeResults(const Scenario &scenario, std::uint64_t seed,
         const WorkloadResult &result = shards[k].result;
         merged.finished = merged.finished && result.finished;
         merged.durationUs = std::max(merged.durationUs, result.durationUs);
+        merged.stallWindows += result.stallWindows;
         ULDMA_ASSERT(result.streams.size() == shard.streams.size(),
                      "shard result / plan stream count mismatch");
         for (std::size_t j = 0; j < shard.streams.size(); ++j) {
@@ -227,6 +240,35 @@ ParallelResult::shardTraces() const
     return all;
 }
 
+prof::ProfileNode
+ParallelResult::mergedProfile() const
+{
+    std::vector<prof::ProfileNode> roots;
+    roots.reserve(shards.size());
+    for (const ShardOutput &shard : shards)
+        roots.push_back(shard.profile);
+    return prof::mergeProfiles(roots);
+}
+
+std::vector<ParallelResult::WorkerTimelineRow>
+ParallelResult::workerTimeline() const
+{
+    std::vector<WorkerTimelineRow> rows;
+    rows.reserve(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+        WorkerTimelineRow row;
+        row.shard = k < plan.shards.size() ? plan.shards[k].id
+                                           : static_cast<unsigned>(k);
+        row.worker = shards[k].worker;
+        row.startMs = shards[k].hostStartNs / 1e6;
+        row.endMs = shards[k].hostEndNs / 1e6;
+        row.simUs = shards[k].result.durationUs;
+        row.stallWindows = shards[k].result.stallWindows;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
 ParallelResult
 runParallelWorkload(const Scenario &scenario, std::uint64_t seed,
                     const ParallelOptions &options)
@@ -244,16 +286,27 @@ runParallelWorkload(const Scenario &scenario, std::uint64_t seed,
         1u, std::min(options.threads,
                      static_cast<unsigned>(count ? count : 1)));
     std::atomic<std::size_t> next{0};
-    auto drain = [&]() {
+    const auto epoch = std::chrono::steady_clock::now();
+    auto elapsed_ns = [epoch]() {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch)
+                .count());
+    };
+    auto drain = [&](unsigned worker) {
         for (std::size_t k = next.fetch_add(1); k < count;
-             k = next.fetch_add(1))
+             k = next.fetch_add(1)) {
+            out.shards[k].worker = worker;
+            out.shards[k].hostStartNs = elapsed_ns();
             runShard(out.plan.shards[k], seed, options, out.shards[k]);
+            out.shards[k].hostEndNs = elapsed_ns();
+        }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(pool_size);
     for (unsigned t = 0; t < pool_size; ++t)
-        pool.emplace_back(drain);
+        pool.emplace_back(drain, t);
     for (std::thread &t : pool)
         t.join();
 

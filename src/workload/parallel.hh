@@ -19,6 +19,7 @@
 #ifndef ULDMA_WORKLOAD_PARALLEL_HH
 #define ULDMA_WORKLOAD_PARALLEL_HH
 
+#include "prof/profiler.hh"
 #include "sim/span.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -45,6 +46,14 @@ struct ParallelOptions
 
     /** Per-shard event-ring capacity when captureTrace is set. */
     std::size_t traceCapacity = 1 << 16;
+
+    /** Capture each shard's scoped profile (prof::Profiler) for the
+     *  merged uldma-profile-v1 export. */
+    bool captureProfile = false;
+
+    /** Per-shard stall-watchdog window, simulated microseconds
+     *  (0 disables — see WorkloadOptions::stallWindowUs). */
+    double stallWindowUs = 0.0;
 };
 
 /** Everything one shard produced. */
@@ -60,6 +69,14 @@ struct ShardOutput
     std::vector<stats::GroupSnapshot> stats;
     /** Trace capture (captureTrace), component names rewritten. */
     trace::ShardTrace trace;
+    /** Profile capture (captureProfile): this shard's scope tree. */
+    prof::ProfileNode profile;
+    /** Worker-pool thread (0-based) that executed this shard. */
+    unsigned worker = 0;
+    /** Host-clock shard window relative to pool launch (ns).  For the
+     *  human busy/idle timeline only — never serialised. */
+    std::uint64_t hostStartNs = 0;
+    std::uint64_t hostEndNs = 0;
 };
 
 /** A parallel run: plan, per-shard outputs, deterministic aggregate. */
@@ -89,6 +106,26 @@ struct ParallelResult
      *  (exportMergedChromeTracing input); empty without
      *  captureTrace. */
     std::vector<trace::ShardTrace> shardTraces() const;
+
+    /** Shard profiles folded in plan order (writeProfileJson input);
+     *  an empty tree without captureProfile.  Deterministic for any
+     *  thread count. */
+    prof::ProfileNode mergedProfile() const;
+
+    /** One row of the per-shard worker busy/idle timeline. */
+    struct WorkerTimelineRow
+    {
+        unsigned shard = 0;
+        unsigned worker = 0;
+        double startMs = 0.0;  ///< host ms after pool launch
+        double endMs = 0.0;
+        double simUs = 0.0;    ///< simulated time the shard covered
+        std::uint64_t stallWindows = 0;
+    };
+
+    /** Host-clock shard schedule across the worker pool, shard order.
+     *  Human diagnostics only (wall clock!) — keep out of artifacts. */
+    std::vector<WorkerTimelineRow> workerTimeline() const;
 };
 
 /**

@@ -196,6 +196,39 @@ TEST(StatsPercentile, HistogramInterpolatesInsideBuckets)
     EXPECT_EQ(empty.percentile(50.0), 0.0);
 }
 
+TEST(StatsPercentile, DegenerateDistributionsStayInRange)
+{
+    // All-equal sorted samples: every percentile is that value, and
+    // interpolation between equal neighbours must not drift.
+    const std::vector<double> flat{3.0, 3.0, 3.0, 3.0, 3.0};
+    for (double p : {0.0, 12.5, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(stats::percentileOfSorted(flat, p), 3.0);
+
+    // Single histogram sample: the whole mass sits in one bucket, so
+    // every percentile interpolates within that bucket's bounds.
+    stats::Histogram one(0.0, 100.0, 10);
+    one.sample(42.0);
+    for (double p : {1.0, 50.0, 99.0}) {
+        const double v = one.percentile(p);
+        EXPECT_GE(v, 40.0);
+        EXPECT_LE(v, 50.0);
+    }
+
+    // All samples equal: same single-bucket containment, and the
+    // percentile curve is monotone.
+    stats::Histogram same(0.0, 10.0, 10);
+    for (int i = 0; i < 1000; ++i)
+        same.sample(7.5);
+    double prev = same.percentile(0.0);
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+        const double v = same.percentile(p);
+        EXPECT_GE(v, 7.0);
+        EXPECT_LE(v, 8.0);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
 TEST(StatsPercentile, TextDumpAndJsonExportAgree)
 {
     stats::Histogram hist(0.0, 50.0, 25);

@@ -23,6 +23,7 @@
 
 #include "core/machine.hh"
 #include "core/methods.hh"
+#include "prof/profiler.hh"
 #include "sim/span.hh"
 #include "sim/trace.hh"
 #include "util/options.hh"
@@ -104,6 +105,12 @@ main(int argc, char **argv)
     opts.addInt("sample-interval", 0,
                 "counter-snapshot interval in simulated microseconds "
                 "(0 = 100 us when --timeseries-json is given)");
+    opts.addString("profile-json", "",
+                   "profile the simulator's own hot paths and write a "
+                   "uldma-profile-v1 file ('-' for stdout)");
+    opts.addFlag("profile-host-time", false,
+                 "include host wall-time attribution in --profile-json "
+                 "(makes the file non-deterministic)");
     if (!opts.parse(argc, argv))
         return 0;
 
@@ -133,6 +140,9 @@ main(int argc, char **argv)
     }
     if (!spans_json_path.empty())
         span::tracker().enable();
+    const std::string profile_json_path = opts.getString("profile-json");
+    if (!profile_json_path.empty())
+        prof::profiler().enable();
 
     const DmaMethod method = parseMethod(opts.getString("method"));
     const unsigned iterations =
@@ -328,6 +338,15 @@ main(int argc, char **argv)
         io_ok &= writeTo(timeseries_json_path, [&](std::ostream &os) {
             machine.dumpTimeseriesJson(os);
         });
+    }
+    if (!profile_json_path.empty()) {
+        const prof::ProfileNode tree = prof::profiler().snapshot();
+        io_ok &= writeTo(profile_json_path, [&](std::ostream &os) {
+            prof::ProfileWriteOptions pw;
+            pw.includeHost = opts.getFlag("profile-host-time");
+            prof::writeProfileJson(os, tree, pw);
+        });
+        prof::profiler().disable();
     }
 
     return (failures == 0 && io_ok) ? 0 : 1;

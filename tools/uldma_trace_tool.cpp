@@ -18,6 +18,26 @@
  *       documents and flag protocols whose latency regressed by more
  *       than the threshold (default 10%).
  *
+ *   profile <profile.json> [--top=<n>]
+ *   profile <before.json> <after.json> [--top=<n>]
+ *       Render a uldma-profile-v1 scope tree with inclusive/exclusive
+ *       attribution and the top self-cost hotspots; with two files,
+ *       compare the flattened scope paths and rank the deltas.
+ *
+ *   bench-diff <baseline.json> <current.json> [--threshold=<pct>]
+ *       The perf-regression gate: compare two uldma-bench-v1 or two
+ *       uldma-ring-v1 reports metric by metric.  Metric direction is
+ *       classified by name (see metricDirection); host wall-time
+ *       metrics are never gated.  Exit 1 when any tracked metric
+ *       moved the wrong way past the threshold (default 10%) or a
+ *       baseline record/metric vanished; exit 2 when the reports are
+ *       not comparable (schema or seed mismatch).
+ *
+ *   bench-perturb <in.json> <out.json> [--factor=<f>]
+ *       Write a copy of a bench report with every lower-is-better
+ *       metric multiplied by the factor (default 1.5) — a synthetic
+ *       regression for exercising the bench-diff gate in tests.
+ *
  *   validate <file.json> [...]
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
@@ -37,10 +57,13 @@
  * 2 = usage or I/O error.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -563,6 +586,96 @@ validateRing(Problems &p, const Value &doc)
     }
 }
 
+/** Strict uldma-profile-v1 scope-tree node check (recursive). */
+void
+validateProfileNode(Problems &p, const Value &node, bool host_time,
+                    const std::string &where)
+{
+    if (host_time) {
+        checkNoExtra(p, node,
+                     {"name", "count", "inclusive_ticks",
+                      "exclusive_ticks", "inclusive_ns", "exclusive_ns",
+                      "children"},
+                     where);
+    } else {
+        checkNoExtra(p, node,
+                     {"name", "count", "inclusive_ticks",
+                      "exclusive_ticks", "children"},
+                     where);
+    }
+    p.require(node["name"].isString(), where + ".name missing");
+    for (const char *f : {"count", "inclusive_ticks", "exclusive_ticks"})
+        p.require(node[f].isNumber(), where + "." + f + " missing");
+    if (host_time) {
+        for (const char *f : {"inclusive_ns", "exclusive_ns"})
+            p.require(node[f].isNumber(), where + "." + f + " missing");
+    }
+    p.require(node["children"].isArray(), where + ".children missing");
+    if (node["children"].isArray()) {
+        const auto &kids = node["children"].asArray();
+        for (std::size_t i = 0; i < kids.size(); ++i)
+            validateProfileNode(p, kids[i], host_time,
+                                where + ".children[" + std::to_string(i) +
+                                    "]");
+    }
+}
+
+/** Strict uldma-profile-v1 check (scoped-profiler exports). */
+void
+validateProfile(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc, {"schema", "scopes", "host_time", "tree"},
+                 "root");
+    p.require(doc["scopes"].isNumber(), "scopes missing");
+    p.require(doc["host_time"].isBool(), "host_time missing");
+    p.require(doc["tree"].isArray(), "tree missing");
+    const bool host_time =
+        doc["host_time"].isBool() && doc["host_time"].asBool();
+    if (doc["tree"].isArray()) {
+        const auto &roots = doc["tree"].asArray();
+        for (std::size_t i = 0; i < roots.size(); ++i)
+            validateProfileNode(p, roots[i], host_time,
+                                "tree[" + std::to_string(i) + "]");
+    }
+}
+
+void dispatchSchema(Problems &p, const std::string &schema,
+                    const Value &doc);
+
+/**
+ * Strict uldma-bench-summary-v1 check: the bench_all.sh merge of one
+ * bench sweep.  Every embedded document revalidates through the
+ * registry and must carry the summary's seed.
+ */
+void
+validateBenchSummary(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc, {"schema", "seed", "reports"}, "root");
+    p.require(doc["seed"].isNumber(), "seed missing");
+    p.require(doc["reports"].isArray(), "reports missing");
+    if (!doc["reports"].isArray())
+        return;
+    const auto &reports = doc["reports"].asArray();
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const Value &r = reports[i];
+        const std::string where = "reports[" + std::to_string(i) + "]";
+        checkNoExtra(p, r, {"file", "document"}, where);
+        p.require(r["file"].isString(), where + ".file missing");
+        const Value &inner = r["document"];
+        p.require(inner.isObject(), where + ".document missing");
+        if (!inner.isObject())
+            continue;
+        p.require(inner["schema"].isString(),
+                  where + ".document.schema missing");
+        if (inner["schema"].isString())
+            dispatchSchema(p, inner["schema"].asString(), inner);
+        if (doc["seed"].isNumber() && inner["seed"].isNumber()) {
+            p.require(inner["seed"].asNumber() == doc["seed"].asNumber(),
+                      where + ".document.seed differs from summary seed");
+        }
+    }
+}
+
 void
 validateChromeTracing(Problems &p, const Value &doc)
 {
@@ -599,6 +712,8 @@ const SchemaEntry schemaRegistry[] = {
     {"uldma-workload", 1, validateWorkload},
     {"uldma-schedule", 1, validateSchedule},
     {"uldma-ring", 1, validateRing},
+    {"uldma-profile", 1, validateProfile},
+    {"uldma-bench-summary", 1, validateBenchSummary},
 };
 
 /** Resolve @p schema through the registry and run its validator. */
@@ -901,6 +1016,571 @@ cmdDiff(const std::string &before_path, const std::string &after_path,
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// profile
+// ---------------------------------------------------------------------
+
+/** One scope of a flattened uldma-profile-v1 tree (pre-order). */
+struct ProfRow
+{
+    std::string path;  ///< "a;b;c" — collapsed-stack spelling
+    std::string name;
+    int depth = 0;
+    double count = 0.0;
+    double inclTicks = 0.0;
+    double exclTicks = 0.0;
+    double inclNs = 0.0;
+    double exclNs = 0.0;
+};
+
+void
+flattenProfile(const Value &nodes, const std::string &prefix, int depth,
+               std::vector<ProfRow> &rows)
+{
+    if (!nodes.isArray())
+        return;
+    for (const Value &n : nodes.asArray()) {
+        ProfRow row;
+        row.name = n["name"].asString();
+        row.path = prefix.empty() ? row.name : prefix + ";" + row.name;
+        row.depth = depth;
+        row.count = n["count"].asNumber();
+        row.inclTicks = n["inclusive_ticks"].asNumber();
+        row.exclTicks = n["exclusive_ticks"].asNumber();
+        row.inclNs = n["inclusive_ns"].asNumber();
+        row.exclNs = n["exclusive_ns"].asNumber();
+        const std::string child_prefix = row.path;
+        rows.push_back(row);
+        flattenProfile(n["children"], child_prefix, depth + 1, rows);
+    }
+}
+
+bool
+loadProfile(const std::string &path, Value &doc, std::vector<ProfRow> &rows)
+{
+    if (!parseFile(path, doc))
+        return false;
+    if (doc["schema"].asString() != "uldma-profile-v1") {
+        std::fprintf(stderr, "%s: not a uldma-profile-v1 document\n",
+                     path.c_str());
+        return false;
+    }
+    flattenProfile(doc["tree"], "", 0, rows);
+    return true;
+}
+
+/** Indices of @p rows ranked by self cost (host ns when present and
+ *  nonzero, else exclusive ticks, else entry count). */
+std::vector<std::size_t>
+rankBySelfCost(const std::vector<ProfRow> &rows, bool host_time)
+{
+    double ns_total = 0.0, ticks_total = 0.0;
+    for (const ProfRow &r : rows) {
+        ns_total += r.exclNs;
+        ticks_total += r.exclTicks;
+    }
+    auto weight = [&](const ProfRow &r) {
+        if (host_time && ns_total > 0.0)
+            return r.exclNs;
+        return ticks_total > 0.0 ? r.exclTicks : r.count;
+    };
+    std::vector<std::size_t> order(rows.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (weight(rows[a]) != weight(rows[b]))
+                      return weight(rows[a]) > weight(rows[b]);
+                  if (rows[a].count != rows[b].count)
+                      return rows[a].count > rows[b].count;
+                  return rows[a].path < rows[b].path;
+              });
+    return order;
+}
+
+int
+cmdProfile(const std::string &path, unsigned top)
+{
+    Value doc;
+    std::vector<ProfRow> rows;
+    if (!loadProfile(path, doc, rows))
+        return 2;
+    const bool host_time = doc["host_time"].asBool();
+
+    std::printf("%s: %.0f scope entr%s, %s attribution\n\n", path.c_str(),
+                doc["scopes"].asNumber(),
+                doc["scopes"].asNumber() == 1 ? "y" : "ies",
+                host_time ? "ticks + host-time"
+                          : "deterministic (simulated ticks)");
+
+    if (host_time)
+        std::printf("%-44s %10s %14s %14s %10s %10s\n", "scope", "count",
+                    "incl-ticks", "excl-ticks", "incl-ms", "excl-ms");
+    else
+        std::printf("%-44s %10s %14s %14s\n", "scope", "count",
+                    "incl-ticks", "excl-ticks");
+    for (const ProfRow &r : rows) {
+        const std::string label =
+            std::string(static_cast<std::size_t>(r.depth) * 2, ' ') +
+            r.name;
+        if (host_time)
+            std::printf("%-44s %10.0f %14.0f %14.0f %10.3f %10.3f\n",
+                        label.c_str(), r.count, r.inclTicks, r.exclTicks,
+                        r.inclNs / 1e6, r.exclNs / 1e6);
+        else
+            std::printf("%-44s %10.0f %14.0f %14.0f\n", label.c_str(),
+                        r.count, r.inclTicks, r.exclTicks);
+    }
+
+    const std::vector<std::size_t> order = rankBySelfCost(rows, host_time);
+    std::printf("\ntop self-cost scopes:\n");
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+        const ProfRow &r = rows[order[i]];
+        if (host_time)
+            std::printf("%2zu. %-52s %10.3f ms %12.0f ticks x%.0f\n",
+                        i + 1, r.path.c_str(), r.exclNs / 1e6,
+                        r.exclTicks, r.count);
+        else
+            std::printf("%2zu. %-52s %14.0f ticks x%.0f\n", i + 1,
+                        r.path.c_str(), r.exclTicks, r.count);
+    }
+    return 0;
+}
+
+int
+cmdProfileDiff(const std::string &before_path,
+               const std::string &after_path, unsigned top)
+{
+    Value before_doc, after_doc;
+    std::vector<ProfRow> before, after;
+    if (!loadProfile(before_path, before_doc, before) ||
+        !loadProfile(after_path, after_doc, after))
+        return 2;
+
+    // Compare on the deterministic axis: exclusive ticks when either
+    // side has any, entry counts otherwise (host ns never diffs
+    // meaningfully across runs).
+    double ticks_total = 0.0;
+    for (const ProfRow &r : before)
+        ticks_total += r.exclTicks;
+    for (const ProfRow &r : after)
+        ticks_total += r.exclTicks;
+    const bool use_ticks = ticks_total > 0.0;
+    auto weight = [&](const ProfRow &r) {
+        return use_ticks ? r.exclTicks : r.count;
+    };
+
+    struct DiffRow
+    {
+        const ProfRow *b = nullptr;
+        const ProfRow *a = nullptr;
+    };
+    std::vector<std::pair<std::string, DiffRow>> joined;
+    auto slot = [&](const std::string &path) -> DiffRow & {
+        for (auto &[p, row] : joined) {
+            if (p == path)
+                return row;
+        }
+        joined.emplace_back(path, DiffRow{});
+        return joined.back().second;
+    };
+    for (const ProfRow &r : before)
+        slot(r.path).b = &r;
+    for (const ProfRow &r : after)
+        slot(r.path).a = &r;
+
+    std::vector<std::size_t> order(joined.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    auto delta = [&](const DiffRow &row) {
+        const double wb = row.b ? weight(*row.b) : 0.0;
+        const double wa = row.a ? weight(*row.a) : 0.0;
+        return wa - wb;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) {
+                  const double dx = delta(joined[x].second);
+                  const double dy = delta(joined[y].second);
+                  if ((dx < 0 ? -dx : dx) != (dy < 0 ? -dy : dy))
+                      return (dx < 0 ? -dx : dx) > (dy < 0 ? -dy : dy);
+                  return joined[x].first < joined[y].first;
+              });
+
+    std::printf("comparing exclusive %s (%s -> %s), largest deltas "
+                "first:\n\n",
+                use_ticks ? "ticks" : "entry counts",
+                before_path.c_str(), after_path.c_str());
+    std::printf("%-56s %14s %14s %14s\n", "scope path", "before", "after",
+                "delta");
+    for (std::size_t i = 0; i < order.size() && i < top; ++i) {
+        const auto &[path, row] = joined[order[i]];
+        const double wb = row.b ? weight(*row.b) : 0.0;
+        const double wa = row.a ? weight(*row.a) : 0.0;
+        std::string note;
+        if (row.b == nullptr)
+            note = " (new)";
+        else if (row.a == nullptr)
+            note = " (gone)";
+        std::printf("%-56s %14.0f %14.0f %+14.0f%s\n", path.c_str(), wb,
+                    wa, wa - wb, note.c_str());
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// bench-diff / bench-perturb
+// ---------------------------------------------------------------------
+
+/**
+ * Classify one uldma-bench-v1 metric by name: -1 lower-is-better,
+ * +1 higher-is-better, 0 untracked.  Untracked covers host wall time
+ * and host-derived ratios (gating those would flake run to run) and
+ * counters with no quality direction.  The classification is by
+ * naming convention — docs/PERFORMANCE.md documents the rules for
+ * bench authors.
+ */
+int
+metricDirection(const std::string &name)
+{
+    auto contains = [&](const char *s) {
+        return name.find(s) != std::string::npos;
+    };
+    auto endsWith = [&](const char *s) {
+        const std::size_t n = std::strlen(s);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, s) == 0;
+    };
+    // Host-dependent: never gate.
+    if (contains("wall") || contains("host") || endsWith("_ms") ||
+        name == "speedup" || name == "speedup_x" || name == "efficiency")
+        return 0;
+    if (endsWith("per_sec") || contains("throughput") ||
+        contains("successes") || contains("completed") || name == "ok" ||
+        name == "granted")
+        return 1;
+    if (endsWith("_us") || endsWith("_ns") || endsWith("_ticks") ||
+        endsWith("_cycles") || name == "ticks" || name == "cycle_equiv" ||
+        contains("instruction") || contains("uncached") ||
+        contains("fallback") || contains("violation") ||
+        contains("deceived") || contains("attacker") ||
+        contains("wrong") || contains("overhead") ||
+        contains("ni_accesses") || contains("fail") ||
+        contains("reject") || contains("stall"))
+        return -1;
+    return 0;
+}
+
+/** Running totals of one bench-diff run. */
+struct BenchDiffStats
+{
+    unsigned compared = 0;
+    unsigned regressions = 0;
+    unsigned missing = 0;
+};
+
+/** Compare one tracked metric and print its row. */
+void
+compareMetric(BenchDiffStats &st, const std::string &row,
+              const std::string &metric, int dir, double base,
+              double cur, double threshold_pct)
+{
+    ++st.compared;
+    bool bad = false;
+    char delta[32];
+    if (base == 0.0) {
+        // A lower-is-better metric appearing from zero is an infinite
+        // relative regression; a higher-is-better one can only improve.
+        bad = dir < 0 && cur > 0.0;
+        std::snprintf(delta, sizeof(delta), "%s",
+                      cur == 0.0 ? "+0.00%" : (dir < 0 ? "inf" : "n/a"));
+    } else {
+        const double pct = (cur - base) / base * 100.0;
+        bad = dir < 0 ? pct > threshold_pct : -pct > threshold_pct;
+        std::snprintf(delta, sizeof(delta), "%+.2f%%", pct);
+    }
+    if (bad)
+        ++st.regressions;
+    std::printf("%-30s %-30s %14.4f %14.4f %9s%s\n", row.c_str(),
+                metric.c_str(), base, cur, delta,
+                bad ? "  REGRESSION" : "");
+}
+
+void
+reportMissing(BenchDiffStats &st, const std::string &row,
+              const std::string &what)
+{
+    ++st.missing;
+    std::printf("%-30s %-30s %*s  MISSING\n", row.c_str(), what.c_str(),
+                39, "-");
+}
+
+/** Exact equality of two record config blocks (flat string maps). */
+bool
+sameConfig(const Value &a, const Value &b)
+{
+    if (!a.isObject() || !b.isObject())
+        return a.isObject() == b.isObject();
+    if (a.asObject().size() != b.asObject().size())
+        return false;
+    for (const auto &[k, v] : a.asObject()) {
+        const Value &other = b[k];
+        if (!v.isString() || !other.isString() ||
+            v.asString() != other.asString())
+            return false;
+    }
+    return true;
+}
+
+void
+benchDiffRecords(BenchDiffStats &st, const Value &base, const Value &cur,
+                 double threshold_pct)
+{
+    const auto &brecs = base["records"].asArray();
+    for (std::size_t i = 0; i < brecs.size(); ++i) {
+        const Value &b = brecs[i];
+        const std::string name = b["name"].asString();
+        // Records may legally share a name (one row per config point):
+        // match on name + exact config, and disambiguate the printed
+        // row by ordinal among the baseline's same-name records.
+        unsigned ordinal = 0, same_name = 0;
+        for (std::size_t j = 0; j < brecs.size(); ++j) {
+            if (brecs[j]["name"].asString() == name) {
+                ++same_name;
+                if (j < i)
+                    ++ordinal;
+            }
+        }
+        std::string row = name;
+        if (same_name > 1)
+            row += "#" + std::to_string(ordinal);
+        const Value *c = nullptr;
+        for (const Value &cand : cur["records"].asArray()) {
+            if (cand["name"].asString() == name &&
+                sameConfig(b["config"], cand["config"])) {
+                c = &cand;
+                break;
+            }
+        }
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole record)");
+            continue;
+        }
+        for (const auto &[metric, bv] : b["metrics"].asObject()) {
+            const int dir = metricDirection(metric);
+            if (dir == 0 || !bv.isNumber())
+                continue;
+            const Value &cv = (*c)["metrics"][metric];
+            if (!cv.isNumber()) {
+                reportMissing(st, row, metric);
+                continue;
+            }
+            compareMetric(st, row, metric, dir, bv.asNumber(),
+                          cv.asNumber(), threshold_pct);
+        }
+    }
+}
+
+void
+benchDiffRing(BenchDiffStats &st, const Value &base, const Value &cur,
+              double threshold_pct)
+{
+    for (const Value &b : base["baselines"].asArray()) {
+        const std::string protocol = b["protocol"].asString();
+        const Value *c = nullptr;
+        for (const Value &cand : cur["baselines"].asArray()) {
+            if (cand["protocol"].asString() == protocol) {
+                c = &cand;
+                break;
+            }
+        }
+        const std::string row = "baseline/" + protocol;
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole baseline)");
+            continue;
+        }
+        for (const char *metric :
+             {"per_transfer_us", "instructions_per_transfer",
+              "uncached_per_transfer"}) {
+            compareMetric(st, row, metric, -1, b[metric].asNumber(),
+                          (*c)[metric].asNumber(), threshold_pct);
+        }
+    }
+
+    for (const Value &b : base["depths"].asArray()) {
+        const double depth = b["depth"].asNumber();
+        const Value *c = nullptr;
+        for (const Value &cand : cur["depths"].asArray()) {
+            if (cand["depth"].asNumber() == depth) {
+                c = &cand;
+                break;
+            }
+        }
+        char rowbuf[32];
+        std::snprintf(rowbuf, sizeof(rowbuf), "depth/%.0f", depth);
+        const std::string row = rowbuf;
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole depth)");
+            continue;
+        }
+        for (const char *metric :
+             {"amortized_us", "instructions_per_transfer",
+              "uncached_per_transfer"}) {
+            compareMetric(st, row, metric, -1, b[metric].asNumber(),
+                          (*c)[metric].asNumber(), threshold_pct);
+        }
+    }
+
+    // The crossover depth is the exhibit's headline claim: batching
+    // must keep beating the cheapest per-transfer baseline no later
+    // than it used to.  Any worsening gates, threshold-free.
+    const double x0 = base["crossover_depth"].asNumber();
+    const double x1 = cur["crossover_depth"].asNumber();
+    ++st.compared;
+    const bool bad = x0 != 0.0 && (x1 == 0.0 || x1 > x0);
+    if (bad)
+        ++st.regressions;
+    std::printf("%-30s %-30s %14.0f %14.0f %9s%s\n", "crossover",
+                "crossover_depth", x0, x1, x1 == x0 ? "+0.00%" : "moved",
+                bad ? "  REGRESSION" : "");
+}
+
+int
+cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
+             double threshold_pct)
+{
+    Value base, cur;
+    if (!parseFile(base_path, base) || !parseFile(cur_path, cur))
+        return 2;
+    const std::string schema = base["schema"].asString();
+    if (schema != cur["schema"].asString()) {
+        std::fprintf(stderr,
+                     "schema mismatch: %s is '%s', %s is '%s'\n",
+                     base_path.c_str(), schema.c_str(), cur_path.c_str(),
+                     cur["schema"].asString().c_str());
+        return 2;
+    }
+    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1") {
+        std::fprintf(stderr,
+                     "%s: bench-diff compares uldma-bench-v1 or "
+                     "uldma-ring-v1 documents, not '%s'\n",
+                     base_path.c_str(), schema.c_str());
+        return 2;
+    }
+    if (base["seed"].asNumber() != cur["seed"].asNumber()) {
+        std::fprintf(stderr,
+                     "seed mismatch (%.0f vs %.0f): reports are not "
+                     "comparable\n",
+                     base["seed"].asNumber(), cur["seed"].asNumber());
+        return 2;
+    }
+
+    std::printf("%-30s %-30s %14s %14s %9s\n", "record", "metric",
+                "baseline", "current", "delta");
+    BenchDiffStats st;
+    if (schema == "uldma-bench-v1")
+        benchDiffRecords(st, base, cur, threshold_pct);
+    else
+        benchDiffRing(st, base, cur, threshold_pct);
+
+    std::printf("\n%u tracked metric(s) compared, %u missing, %u "
+                "regression(s) above %.2f%% threshold\n",
+                st.compared, st.missing, st.regressions, threshold_pct);
+    return (st.regressions > 0 || st.missing > 0) ? 1 : 0;
+}
+
+/** Re-serialise @p v, mapping every number through @p tf (keyed by the
+ *  object-member path down to it; array hops add no path segment). */
+void
+writeValueTransformed(
+    uldma::json::Writer &w, const Value &v,
+    std::vector<std::string> &keypath,
+    const std::function<double(const std::vector<std::string> &, double)>
+        &tf)
+{
+    switch (v.type()) {
+      case Value::Type::Null:
+        w.valueNull();
+        break;
+      case Value::Type::Bool:
+        w.value(v.asBool());
+        break;
+      case Value::Type::String:
+        w.value(v.asString());
+        break;
+      case Value::Type::Number:
+        w.value(tf(keypath, v.asNumber()));
+        break;
+      case Value::Type::Array:
+        w.beginArray();
+        for (const Value &e : v.asArray())
+            writeValueTransformed(w, e, keypath, tf);
+        w.endArray();
+        break;
+      case Value::Type::Object:
+        w.beginObject();
+        for (const auto &[k, e] : v.asObject()) {
+            w.key(k);
+            keypath.push_back(k);
+            writeValueTransformed(w, e, keypath, tf);
+            keypath.pop_back();
+        }
+        w.endObject();
+        break;
+    }
+}
+
+int
+cmdBenchPerturb(const std::string &in_path, const std::string &out_path,
+                double factor)
+{
+    Value doc;
+    if (!parseFile(in_path, doc))
+        return 2;
+    const std::string schema = doc["schema"].asString();
+    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1") {
+        std::fprintf(stderr,
+                     "%s: bench-perturb handles uldma-bench-v1 or "
+                     "uldma-ring-v1 documents, not '%s'\n",
+                     in_path.c_str(), schema.c_str());
+        return 2;
+    }
+
+    auto transform = [factor](const std::vector<std::string> &path,
+                              double v) {
+        if (path.size() < 2)
+            return v;
+        const std::string &parent = path[path.size() - 2];
+        const std::string &key = path.back();
+        if (parent == "metrics" && metricDirection(key) < 0)
+            return v * factor;
+        if ((parent == "baselines" || parent == "depths") &&
+            (key == "per_transfer_us" || key == "amortized_us" ||
+             key == "total_us" || key == "instructions_per_transfer" ||
+             key == "uncached_per_transfer"))
+            return v * factor;
+        return v;
+    };
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (out_path != "-") {
+        file.open(out_path);
+        if (!file) {
+            std::fprintf(stderr, "cannot open '%s' for writing\n",
+                         out_path.c_str());
+            return 2;
+        }
+        os = &file;
+    }
+    {
+        uldma::json::Writer w(*os, /*pretty=*/true);
+        std::vector<std::string> keypath;
+        writeValueTransformed(w, doc, keypath, transform);
+    }
+    *os << "\n";
+    return os->good() ? 0 : 2;
+}
+
 int
 usage()
 {
@@ -909,6 +1589,12 @@ usage()
                  "<spans.json | workload-report.json | ring-sweep.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
+                 "       uldma_trace_tool profile <profile.json> "
+                 "[<after.json>] [--top=<n>]\n"
+                 "       uldma_trace_tool bench-diff <baseline.json> "
+                 "<current.json> [--threshold=<pct>]\n"
+                 "       uldma_trace_tool bench-perturb <in.json> "
+                 "<out.json> [--factor=<f>]\n"
                  "       uldma_trace_tool validate <file.json> [...]\n"
                  "schemas: docs/SCHEMAS.md\n");
     return 2;
@@ -943,6 +1629,57 @@ main(int argc, char **argv)
         if (paths.size() != 2)
             return usage();
         return cmdDiff(paths[0], paths[1], threshold);
+    }
+
+    if (cmd == "profile") {
+        unsigned top = 10;
+        std::vector<std::string> paths;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--top=", 0) == 0)
+                top = static_cast<unsigned>(
+                    std::strtoul(arg.c_str() + std::strlen("--top="),
+                                 nullptr, 10));
+            else
+                paths.push_back(arg);
+        }
+        if (paths.size() == 1)
+            return cmdProfile(paths[0], top);
+        if (paths.size() == 2)
+            return cmdProfileDiff(paths[0], paths[1], top);
+        return usage();
+    }
+
+    if (cmd == "bench-diff") {
+        double threshold = 10.0;
+        std::vector<std::string> paths;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--threshold=", 0) == 0)
+                threshold = std::atof(arg.c_str() + std::strlen(
+                                          "--threshold="));
+            else
+                paths.push_back(arg);
+        }
+        if (paths.size() != 2)
+            return usage();
+        return cmdBenchDiff(paths[0], paths[1], threshold);
+    }
+
+    if (cmd == "bench-perturb") {
+        double factor = 1.5;
+        std::vector<std::string> paths;
+        for (int i = 2; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.rfind("--factor=", 0) == 0)
+                factor = std::atof(arg.c_str() + std::strlen(
+                                       "--factor="));
+            else
+                paths.push_back(arg);
+        }
+        if (paths.size() != 2)
+            return usage();
+        return cmdBenchPerturb(paths[0], paths[1], factor);
     }
 
     if (cmd == "validate") {

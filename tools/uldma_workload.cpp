@@ -26,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "prof/profiler.hh"
 #include "sim/span.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -59,6 +60,18 @@ main(int argc, char **argv)
     opts.addString("trace-json", "",
                    "capture structured events and write the merged "
                    "chrome://tracing file ('-' for stdout)");
+    opts.addString("profile-json", "",
+                   "profile the simulator's own hot paths and write the "
+                   "merged uldma-profile-v1 file ('-' for stdout)");
+    opts.addString("profile-collapsed", "",
+                   "also write the merged profile as collapsed-stack "
+                   "text for flamegraph tools ('-' for stdout)");
+    opts.addFlag("profile-host-time", false,
+                 "include host wall-time attribution in the profile "
+                 "exports (makes them non-deterministic)");
+    opts.addInt("stall-watchdog-us", 0,
+                "simulated-us window of the per-shard stall watchdog; "
+                "0 disables.  Diagnostics go to stderr only");
     opts.addFlag("check", false,
                  "parse and validate the scenario, then exit without "
                  "running");
@@ -97,10 +110,20 @@ main(int argc, char **argv)
         return 2;
     }
 
+    const long stall_us = opts.getInt("stall-watchdog-us");
+    if (stall_us < 0) {
+        std::fprintf(stderr,
+                     "uldma_workload: --stall-watchdog-us must be >= 0\n");
+        return 2;
+    }
+
     ParallelOptions par;
     par.threads = static_cast<unsigned>(threads_arg);
     par.captureStats = !opts.getString("stats-json").empty();
     par.captureTrace = !opts.getString("trace-json").empty();
+    par.captureProfile = !opts.getString("profile-json").empty() ||
+                         !opts.getString("profile-collapsed").empty();
+    par.stallWindowUs = static_cast<double>(stall_us);
 
     const auto wall_start = std::chrono::steady_clock::now();
     const ParallelResult run = runParallelWorkload(scenario, seed, par);
@@ -160,6 +183,24 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(row.aborted),
                         p50);
         }
+        if (result.stallWindows > 0) {
+            std::printf("\nWARNING: stall watchdog flagged %llu "
+                        "no-progress window(s); diagnostics on stderr\n",
+                        static_cast<unsigned long long>(
+                            result.stallWindows));
+        }
+        // Worker busy/idle timeline: which pool thread ran which shard
+        // and when (host clock — human diagnostics only, never
+        // serialised into artifacts).
+        if (run.plan.shards.size() > 1) {
+            std::printf("\n%-6s %-6s %12s %12s %12s\n", "shard", "worker",
+                        "start-ms", "busy-ms", "sim-us");
+            for (const auto &row : run.workerTimeline()) {
+                std::printf("%-6u %-6u %12.3f %12.3f %12.1f\n", row.shard,
+                            row.worker, row.startMs,
+                            row.endMs - row.startMs, row.simUs);
+            }
+        }
     }
 
     auto writeTo = [](const std::string &path, auto &&emit) -> bool {
@@ -203,6 +244,25 @@ main(int argc, char **argv)
         io_ok &= writeTo(trace_path, [&](std::ostream &os) {
             trace::exportMergedChromeTracing(os, run.shardTraces());
         });
+    }
+    const bool profile_host = opts.getFlag("profile-host-time");
+    const std::string profile_path = opts.getString("profile-json");
+    const std::string collapsed_path = opts.getString("profile-collapsed");
+    if (!profile_path.empty() || !collapsed_path.empty()) {
+        const prof::ProfileNode merged_profile = run.mergedProfile();
+        if (!profile_path.empty()) {
+            io_ok &= writeTo(profile_path, [&](std::ostream &os) {
+                prof::ProfileWriteOptions pw;
+                pw.includeHost = profile_host;
+                prof::writeProfileJson(os, merged_profile, pw);
+            });
+        }
+        if (!collapsed_path.empty()) {
+            io_ok &= writeTo(collapsed_path, [&](std::ostream &os) {
+                prof::writeCollapsedProfile(os, merged_profile,
+                                            profile_host);
+            });
+        }
     }
 
     if (!io_ok)
