@@ -34,19 +34,33 @@ if [ ! -d "$build_dir/bench" ]; then
     exit 1
 fi
 
+trace_tool="$build_dir/tools/uldma_trace_tool"
+
 written=()
+walls=()
 for bench in "$build_dir"/bench/bench_*; do
     [ -x "$bench" ] || continue
     name="$(basename "$bench")"
     suffix="${name#bench_}"
     out="BENCH_${suffix}.json"
     echo "== $name -> $out"
+    t0=$(date +%s%N)
     if ! "$bench" --exhibit-only --json "$out" --seed "$seed"; then
         echo "bench_all.sh: FAILED: $name;" \
              "stopping before remaining benches" >&2
         exit 1
     fi
+    t1=$(date +%s%N)
+    # Every report must carry a schema the trace tool knows: an
+    # unregistered schema is a hard failure naming the culprit file,
+    # not a silently-unvalidated artifact.
+    if [ -x "$trace_tool" ] && ! "$trace_tool" validate "$out"; then
+        echo "bench_all.sh: FAILED: $out does not validate" \
+             "(unknown or malformed bench schema from $name)" >&2
+        exit 1
+    fi
     written+=("$out")
+    walls+=("$(( (t1 - t0) / 1000000 ))e-3")
 done
 
 if [ "${#written[@]}" -eq 0 ]; then
@@ -67,12 +81,21 @@ if [ -x "$workload" ]; then
         fi
     done
     echo "== uldma_workload smoke -> BENCH_workload_smoke.json"
+    t0=$(date +%s%N)
     if ! "$workload" --scenario scenarios/contended_4proc.json \
             --seed "$seed" --quiet --report BENCH_workload_smoke.json; then
         echo "bench_all.sh: FAILED: workload smoke run" >&2
         exit 1
     fi
+    t1=$(date +%s%N)
+    if [ -x "$trace_tool" ] \
+       && ! "$trace_tool" validate BENCH_workload_smoke.json; then
+        echo "bench_all.sh: FAILED: BENCH_workload_smoke.json does" \
+             "not validate" >&2
+        exit 1
+    fi
     written+=("BENCH_workload_smoke.json")
+    walls+=("$(( (t1 - t0) / 1000000 ))e-3")
 
     # Sharded-execution determinism smoke: the 4-shard scenario at
     # --threads 4 must reproduce the --threads 1 report byte for byte.
@@ -94,47 +117,66 @@ fi
 echo
 echo "bench_all.sh: wrote ${#written[@]} report(s):"
 
-# One-line-per-report summary table (report name, schema, and a key
-# metric pulled from the document), plus the merged
-# uldma-bench-summary-v1 document embedding every report verbatim.
-python3 - "$seed" "${written[@]}" <<'PYEOF'
+# One-line-per-report summary table (report name, schema, wall time,
+# and a key metric pulled from the document), plus the merged
+# uldma-bench-summary-v1 document embedding every report verbatim with
+# the wall-clock seconds its producer took.
+python3 - "$seed" "${#written[@]}" "${written[@]}" "${walls[@]}" <<'PYEOF'
 import json, sys
 
 seed = int(sys.argv[1])
+count = int(sys.argv[2])
+paths = sys.argv[3:3 + count]
+walls = [float(w) for w in sys.argv[3 + count:3 + 2 * count]]
 rows = []
 summary = {"schema": "uldma-bench-summary-v1", "seed": seed,
            "reports": []}
-for path in sys.argv[2:]:
+for path, wall_s in zip(paths, walls):
     try:
         doc = json.load(open(path))
     except (OSError, ValueError) as err:
-        rows.append((path, "?", f"unreadable: {err}"))
+        rows.append((path, "?", 0.0, f"unreadable: {err}"))
         continue
     schema = doc.get("schema", "?")
-    summary["reports"].append({"file": path, "document": doc})
+    summary["reports"].append({"file": path, "document": doc,
+                               "wall_s": wall_s})
     if schema == "uldma-bench-v1":
         records = doc.get("records", [])
         key = f"{len(records)} record(s)"
         if records and records[0].get("metrics"):
             name, value = next(iter(records[0]["metrics"].items()))
             key += f", {records[0].get('name', '?')}: {name}={value:g}"
-        rows.append((path, schema, key))
+        rows.append((path, schema, wall_s, key))
     elif schema == "uldma-workload-v1":
         key = (f"{doc.get('scenario', '?')}: "
                f"duration_us={doc.get('duration_us', 0):g}, "
                f"{len(doc.get('per_protocol', []))} protocol row(s)")
-        rows.append((path, schema, key))
+        rows.append((path, schema, wall_s, key))
+    elif schema == "uldma-iommu-v1":
+        key = (f"{len(doc.get('points', []))} point(s), "
+               f"walk_penalty_us={doc.get('walk_penalty_us', 0):g}")
+        rows.append((path, schema, wall_s, key))
     else:
-        rows.append((path, schema, f"{len(doc)} top-level member(s)"))
+        rows.append((path, schema, wall_s,
+                     f"{len(doc)} top-level member(s)"))
 
 width = max(len(r[0]) for r in rows)
 swidth = max(len(r[1]) for r in rows)
-for path, schema, key in rows:
-    print(f"  {path:<{width}}  {schema:<{swidth}}  {key}")
+for path, schema, wall_s, key in rows:
+    print(f"  {path:<{width}}  {schema:<{swidth}}  {wall_s:7.3f}s  "
+          f"{key}")
 
 with open("BENCH_summary.json", "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")
+total = sum(walls)
 print(f"  BENCH_summary.json{'':<{max(0, width - 18)}}  "
-      f"uldma-bench-summary-v1  {len(summary['reports'])} report(s)")
+      f"uldma-bench-summary-v1  {total:7.3f}s  "
+      f"{len(summary['reports'])} report(s)")
 PYEOF
+
+# The merged summary must itself validate (wall_s rows included).
+if [ -x "$trace_tool" ] && ! "$trace_tool" validate BENCH_summary.json; then
+    echo "bench_all.sh: FAILED: BENCH_summary.json does not validate" >&2
+    exit 1
+fi

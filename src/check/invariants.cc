@@ -96,19 +96,42 @@ checkInvariants(const RunArtifacts &a)
         // frames the kernel authorized for its context, and the ring's
         // context belongs to the process that rang the doorbell.
         if (rec.viaRing) {
-            auto ring_it = a.ringFrames.find(rec.ctx);
-            const std::vector<FrameSpan> &ring_spans =
-                ring_it != a.ringFrames.end() ? ring_it->second : empty;
-            if (!withinRights(ring_spans, rec.src, rec.size,
-                              /*need_write=*/false) ||
-                !withinRights(ring_spans, rec.dst, rec.size,
-                              /*need_write=*/true)) {
-                std::ostringstream d;
-                d << "ring transfer #" << i << " ("
-                  << describeTransfer(rec)
-                  << ") escapes ctx " << rec.ctx
-                  << "'s authorized ring frames";
-                out.push_back({"ring-isolation", d.str()});
+            if (a.iommuEnabled) {
+                // iommu-isolation: the engine translated the descriptor's
+                // virtual addresses, so the recorded physical endpoints
+                // must lie inside the frames mapped (with matching
+                // rights) into this context's I/O page table.  A weak
+                // engine that bypasses a translation fault records the
+                // raw untranslated address, which no table entry covers.
+                auto io_it = a.iommuFrames.find(rec.ctx);
+                const std::vector<FrameSpan> &io_spans =
+                    io_it != a.iommuFrames.end() ? io_it->second : empty;
+                if (!withinRights(io_spans, rec.src, rec.size,
+                                  /*need_write=*/false) ||
+                    !withinRights(io_spans, rec.dst, rec.size,
+                                  /*need_write=*/true)) {
+                    std::ostringstream d;
+                    d << "ring transfer #" << i << " ("
+                      << describeTransfer(rec)
+                      << ") escapes ctx " << rec.ctx
+                      << "'s I/O page table";
+                    out.push_back({"iommu-isolation", d.str()});
+                }
+            } else {
+                auto ring_it = a.ringFrames.find(rec.ctx);
+                const std::vector<FrameSpan> &ring_spans =
+                    ring_it != a.ringFrames.end() ? ring_it->second : empty;
+                if (!withinRights(ring_spans, rec.src, rec.size,
+                                  /*need_write=*/false) ||
+                    !withinRights(ring_spans, rec.dst, rec.size,
+                                  /*need_write=*/true)) {
+                    std::ostringstream d;
+                    d << "ring transfer #" << i << " ("
+                      << describeTransfer(rec)
+                      << ") escapes ctx " << rec.ctx
+                      << "'s authorized ring frames";
+                    out.push_back({"ring-isolation", d.str()});
+                }
             }
             auto ring_owner = a.ctxOwner.find(rec.ctx);
             if (ring_owner != a.ctxOwner.end() &&

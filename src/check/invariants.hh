@@ -76,6 +76,14 @@ struct RunArtifacts
     /// for ring DMA (Kernel::authorizeRingDma), page granular.
     std::map<unsigned, std::vector<FrameSpan>> ringFrames;
 
+    /// Ring descriptors carry virtual addresses translated through the
+    /// engine's IOMMU (docs/IOMMU.md); audit with "iommu-isolation".
+    bool iommuEnabled = false;
+
+    /// IOMMU context id -> physical frame spans mapped into that
+    /// context's I/O page table (Kernel::iommuMapRange), page granular.
+    std::map<unsigned, std::vector<FrameSpan>> iommuFrames;
+
     Pid victimPid = 1;
     bool machineFinished = false;
     bool victimFinished = false;
@@ -103,6 +111,10 @@ struct RunArtifacts
  *    process does not own (docs/RING.md) — a process must never
  *    enqueue into, arm, or observe completions from another context's
  *    ring;
+ *  - "iommu-isolation": with the IOMMU enabled, a ring transfer's
+ *    physical endpoints lie outside the frames mapped into its
+ *    context's I/O page table (docs/IOMMU.md) — a translation fault
+ *    must abort or trap, never let the device touch unmapped memory;
  *  - "no-progress": the machine failed to run every process to
  *    completion.
  */

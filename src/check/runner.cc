@@ -77,6 +77,20 @@ runSchedule(const RunnerConfig &config,
     mconfig.node.dma.weakRecognizer = config.weakRecognizer;
     mconfig.node.dma.weakRing = config.weakRing;
 
+    // IOMMU mode (weakIommu implies it): descriptors carry virtual
+    // addresses and the engine translates them.  A deliberately tiny
+    // IOTLB keeps walks on the explored paths; aborting faults keep
+    // every schedule finite.
+    const bool iommuOn = config.useIommu || config.weakIommu;
+    if (iommuOn) {
+        mconfig.node.dma.iommu.enabled = true;
+        mconfig.node.dma.iommu.iotlbEntries = 8;
+        mconfig.node.dma.iommu.iotlbWays = 2;
+        mconfig.node.dma.iommu.faultPolicy = IommuFaultPolicy::Abort;
+        mconfig.node.dma.iommu.pinPolicy = PinPolicy::OnMap;
+        mconfig.node.dma.weakIommu = config.weakIommu;
+    }
+
     const std::uint64_t gap = burstLength(method, config.faults);
     PreemptionScheduler *sched = nullptr;
     mconfig.node.makeScheduler = [&]() {
@@ -110,7 +124,15 @@ runSchedule(const RunnerConfig &config,
     const Addr adst = kernel.allocate(adversary, pageSize, Rights::ReadWrite);
     kernel.createShadowMappings(adversary, asrc, pageSize);
     kernel.createShadowMappings(adversary, adst, pageSize);
-    if (method == DmaMethod::Ring) {
+    if (method == DmaMethod::Ring && iommuOn) {
+        // IOMMU mode: descriptors carry virtual addresses, so the I/O
+        // page table (not the kernel frame table) confines them — map
+        // each process's own buffers into its own context, pinned.
+        kernel.iommuMapRange(victim, vsrc, pageSize, /*pin=*/true);
+        kernel.iommuMapRange(victim, vdst, pageSize, /*pin=*/true);
+        kernel.iommuMapRange(adversary, asrc, pageSize, /*pin=*/true);
+        kernel.iommuMapRange(adversary, adst, pageSize, /*pin=*/true);
+    } else if (method == DmaMethod::Ring) {
         // Ring descriptors name physical addresses, so the kernel's
         // frame table (not the MMU) is what confines them: authorize
         // each process's own buffers for its own ring.
@@ -160,8 +182,14 @@ runSchedule(const RunnerConfig &config,
             const Addr own_dst = p == &victim ? vdst_p : adst_p;
             spans.push_back({pageAlignDown(own_src), pageSize, true, true});
             spans.push_back({pageAlignDown(own_dst), pageSize, true, true});
+            // In IOMMU mode the same pages are what got mapped into
+            // this context's I/O page table (setupRing mapped the ring
+            // regions, iommuMapRange above mapped the buffers).
+            if (iommuOn)
+                art.iommuFrames[*g.keyContext] = spans;
         }
     }
+    art.iommuEnabled = iommuOn;
 
     // Victim: one DMA initiation, then capture the status register.
     std::uint64_t status = 0;

@@ -35,6 +35,14 @@ struct RunnerConfig
     bool weakRecognizer = false;
     /** Engine fault injection: ring frame check disabled. */
     bool weakRing = false;
+    /** Route ring descriptors through the IOMMU: descriptors carry
+     *  virtual addresses, the engine translates via its I/O page table
+     *  (docs/IOMMU.md). */
+    bool useIommu = false;
+    /** Engine fault injection: on a translation fault the engine uses
+     *  the raw untranslated address instead of aborting (implies
+     *  useIommu). */
+    bool weakIommu = false;
 };
 
 /** Everything one run produced. */

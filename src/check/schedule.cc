@@ -78,6 +78,8 @@ writeScheduleJson(std::ostream &os, const Schedule &schedule,
     w.member("faults", schedule.faults);
     w.member("weakened_recognizer", schedule.weakRecognizer);
     w.member("weakened_ring", schedule.weakRing);
+    w.member("iommu", schedule.iommu);
+    w.member("weakened_iommu", schedule.weakIommu);
     w.member("boundary_space", schedule.boundarySpace);
     w.key("preempt_after");
     w.beginArray();
@@ -141,6 +143,12 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
     // ring omit it); when present it must be a boolean.
     if (!doc["weakened_ring"].isNull() && !doc["weakened_ring"].isBool())
         return fail(error, "weakened_ring must be a boolean");
+    // iommu/weakened_iommu likewise postdate the original schema and
+    // parse as false when absent.
+    if (!doc["iommu"].isNull() && !doc["iommu"].isBool())
+        return fail(error, "iommu must be a boolean");
+    if (!doc["weakened_iommu"].isNull() && !doc["weakened_iommu"].isBool())
+        return fail(error, "weakened_iommu must be a boolean");
     if (!doc["boundary_space"].isNumber())
         return fail(error, "boundary_space must be a number");
     if (!doc["preempt_after"].isArray())
@@ -152,6 +160,12 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
     schedule.weakRing = doc["weakened_ring"].isBool()
                             ? doc["weakened_ring"].asBool()
                             : false;
+    schedule.iommu = doc["iommu"].isBool() ? doc["iommu"].asBool() : false;
+    schedule.weakIommu = doc["weakened_iommu"].isBool()
+                             ? doc["weakened_iommu"].asBool()
+                             : false;
+    if (schedule.weakIommu)
+        schedule.iommu = true;
     schedule.boundarySpace =
         static_cast<std::uint64_t>(doc["boundary_space"].asNumber());
     schedule.preemptAfter.clear();

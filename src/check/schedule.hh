@@ -48,6 +48,14 @@ struct Schedule
     /** Test-only fault injection: disable the engine's ring frame
      *  check (absent in old schedule files, parsed as false). */
     bool weakRing = false;
+    /** Ring descriptors carry virtual addresses translated by the
+     *  engine's IOMMU (absent in old schedule files, parsed as
+     *  false; docs/IOMMU.md). */
+    bool iommu = false;
+    /** Test-only fault injection: the engine uses the raw untranslated
+     *  address on an IOMMU fault (absent in old files, parsed as
+     *  false; implies iommu). */
+    bool weakIommu = false;
     /** Number of distinct preemption positions (0..initiation length). */
     std::uint64_t boundarySpace = 0;
     /** Non-decreasing absolute victim instruction counts; a repeated

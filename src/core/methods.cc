@@ -325,22 +325,31 @@ emitRingBatch(Program &program, Kernel &kernel, Process &process,
             const Addr cpl =
                 grant.ringCplVaddr + Addr(slot) * ringdesc::cplBytes;
 
-            // Descriptors carry physical addresses: the user computed
-            // them once at setup time (shadow(v) - shadowVirtualBase,
-            // resolved here at program-build time, uncosted like every
-            // other method's shadowVaddrFor math).
-            const Translation src_x =
-                kernel.translateFor(process, t.vsrc, Rights::Read);
-            const Translation dst_x =
-                kernel.translateFor(process, t.vdst, Rights::Write);
-            ULDMA_ASSERT(src_x.ok() && dst_x.ok(),
-                         "ring batch: transfer buffers not mapped");
+            // IOMMU mode (docs/IOMMU.md): descriptors carry the raw
+            // user virtual addresses — no translation at enqueue time
+            // at all, the engine translates per segment.  Classic
+            // mode: descriptors carry physical addresses the user
+            // computed once at setup time (shadow(v) -
+            // shadowVirtualBase, resolved here at program-build time,
+            // uncosted like every other method's shadowVaddrFor math).
+            Addr desc_src = t.vsrc;
+            Addr desc_dst = t.vdst;
+            if (!grant.ringIommu) {
+                const Translation src_x =
+                    kernel.translateFor(process, t.vsrc, Rights::Read);
+                const Translation dst_x =
+                    kernel.translateFor(process, t.vdst, Rights::Write);
+                ULDMA_ASSERT(src_x.ok() && dst_x.ok(),
+                             "ring batch: transfer buffers not mapped");
+                desc_src = src_x.paddr;
+                desc_dst = dst_x.paddr;
+            }
 
             program.store(cpl, 0);
             program.withLabel("ring: clear completion record");
-            program.store(desc + ringdesc::srcOff, src_x.paddr);
+            program.store(desc + ringdesc::srcOff, desc_src);
             program.withLabel("ring: store desc.src");
-            program.store(desc + ringdesc::dstOff, dst_x.paddr);
+            program.store(desc + ringdesc::dstOff, desc_dst);
             program.withLabel("ring: store desc.dst");
             program.store(desc + ringdesc::sizeOff, t.size);
             program.withLabel("ring: store desc.size");
@@ -397,11 +406,22 @@ void
 DmaSession::mapForDma(Addr vaddr, Addr bytes)
 {
     kernel_.createShadowMappings(process_, vaddr, bytes);
-    // Ring descriptors name physical addresses directly, so the
-    // engine's authorization is a frame table, not the MMU: register
-    // the buffer's frames for this context.
-    if (method_ == DmaMethod::Ring && ready_)
-        kernel_.authorizeRingDma(process_, vaddr, bytes);
+    if (method_ == DmaMethod::Ring && ready_) {
+        if (process_.dmaGrant().ringIommu) {
+            // IOMMU mode: the buffer enters the context's I/O page
+            // table instead of the frame table; pinning follows the
+            // engine's policy.
+            DmaEngine *engine = kernel_.dmaEngine();
+            const bool pin = engine->iommu()->params().pinPolicy ==
+                             PinPolicy::OnMap;
+            kernel_.iommuMapRange(process_, vaddr, bytes, pin);
+        } else {
+            // Classic ring: descriptors name physical addresses
+            // directly, so the engine's authorization is a frame
+            // table, not the MMU: register the buffer's frames.
+            kernel_.authorizeRingDma(process_, vaddr, bytes);
+        }
+    }
 }
 
 } // namespace uldma

@@ -46,6 +46,11 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
     contexts_.resize(params_.numContexts);
     rings_.resize(params_.numContexts);
 
+    if (params_.iommu.enabled) {
+        iommu_ = std::make_unique<Iommu>(name_ + ".iommu", params_.iommu,
+                                         params_.numContexts);
+    }
+
     statsGroup_.addScalar("shadow_stores", &shadowStores_,
                           "stores decoded in the shadow window");
     statsGroup_.addScalar("shadow_loads", &shadowLoads_,
@@ -76,6 +81,23 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                              "in-flight ring transfers after each drain");
     statsGroup_.addAverage("doorbell_to_retire_us", &doorbellToRetireUs_,
                            "doorbell to descriptor retirement (us)");
+    // IOMMU-path scalars join the group only when the unit exists, so
+    // the stats document of a non-IOMMU engine is byte-identical to
+    // the pre-IOMMU model.
+    if (iommu_) {
+        statsGroup_.addScalar("iommu_segments", &iommuSegments_,
+                              "per-page scatter-gather segments issued");
+        statsGroup_.addScalar("iommu_faults", &iommuTransFaults_,
+                              "descriptor translation faults seen");
+        statsGroup_.addScalar("iommu_traps", &iommuTraps_,
+                              "faults parked for kernel fix-up");
+        statsGroup_.addScalar("iommu_resumes", &iommuResumes_,
+                              "parked descriptors resumed mid-transfer");
+        statsGroup_.addScalar("iommu_aborts", &iommuAborts_,
+                              "descriptors aborted on a fault");
+        statsGroup_.addScalar("iommu_bypasses", &iommuBypasses_,
+                              "weak-model translation bypasses");
+    }
 }
 
 std::vector<AddrRange>
@@ -195,6 +217,9 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
                 // The ring dies with its context: a re-granted context
                 // must not inherit the old owner's ring or rights.
                 rings_[pkt.data].reset();
+                // So do its device-visible mappings and pins.
+                if (iommu_)
+                    iommu_->resetContext(static_cast<unsigned>(pkt.data));
             }
             break;
           case kregs::startDelay:
@@ -248,6 +273,49 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
                 }
             }
             break;
+          case kregs::iommuCtxSelect:
+            iommuCtxSelect_ = pkt.data;
+            break;
+          case kregs::iommuIova:
+            iommuIovaStage_ = pkt.data;
+            break;
+          case kregs::iommuMapEntry:
+            // Commit iommuIova -> frame for the selected context.  The
+            // kernel reads iommuStatus back to learn about pin-budget
+            // exhaustion (docs/IOMMU.md).
+            if (iommu_ && iommuCtxSelect_ < contexts_.size()) {
+                Rights rights = Rights::None;
+                if (pkt.data & iommumap::read)
+                    rights = rights | Rights::Read;
+                if (pkt.data & iommumap::write)
+                    rights = rights | Rights::Write;
+                const bool ok = iommu_->mapPage(
+                    static_cast<unsigned>(iommuCtxSelect_),
+                    iommuIovaStage_, pkt.data & ~iommumap::flagMask,
+                    rights, pkt.data & iommumap::pin);
+                iommuLastStatus_ = ok ? dmastatus::ok : dmastatus::failure;
+            } else {
+                iommuLastStatus_ = dmastatus::failure;
+            }
+            break;
+          case kregs::iommuUnmap:
+            if (iommu_ && iommuCtxSelect_ < contexts_.size()) {
+                iommu_->unmapPage(static_cast<unsigned>(iommuCtxSelect_),
+                                  pkt.data);
+                iommuLastStatus_ = dmastatus::ok;
+            } else {
+                iommuLastStatus_ = dmastatus::failure;
+            }
+            break;
+          case kregs::iommuPin:
+            if (iommu_ && iommuCtxSelect_ < contexts_.size()) {
+                const bool ok = iommu_->pinPage(
+                    static_cast<unsigned>(iommuCtxSelect_), pkt.data);
+                iommuLastStatus_ = ok ? dmastatus::ok : dmastatus::failure;
+            } else {
+                iommuLastStatus_ = dmastatus::failure;
+            }
+            break;
           default:
             ULDMA_WARN(name_, ": write to unknown kernel register 0x",
                        std::hex, offset);
@@ -275,6 +343,9 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
         break;
       case kregs::osProcessTag:
         pkt.data = osTag_;
+        break;
+      case kregs::iommuStatus:
+        pkt.data = iommuLastStatus_;
         break;
       default:
         pkt.data = 0;
@@ -919,6 +990,10 @@ bool
 DmaEngine::ringConsume(unsigned ctx, Pid doorbell_pid)
 {
     RingContext &ring = rings_[ctx];
+    // A descriptor parked on an IOMMU fault stalls the whole ring:
+    // descriptors retire in FIFO order, and the parked one isn't done.
+    if (ring.park.active)
+        return false;
     const unsigned slot = ring.head;
     const Addr desc = ring.base + Addr(slot) * ringdesc::descBytes;
     if (desc + ringdesc::descBytes > localMemory_->size())
@@ -969,6 +1044,11 @@ DmaEngine::ringConsume(unsigned ctx, Pid doorbell_pid)
             Event::DevicePrio);
         return true;
     }
+
+    // IOMMU mode: descriptors carry user virtual addresses and may
+    // span pages; translation (not the frame table) is the protection.
+    if (iommu_)
+        return ringConsumeIommu(ctx, slot, src, dst, size, doorbell_pid);
 
     span::SpanId sid = span::invalidSpan;
     if (span::captureOn())
@@ -1057,6 +1137,219 @@ DmaEngine::ringTransferDone(unsigned ctx, unsigned slot)
         ring.coalesceCount = 0;
         ++ringInterrupts_;
         ringCompletionHandler_(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// IOMMU scatter-gather path (docs/IOMMU.md).
+// ---------------------------------------------------------------------
+
+bool
+DmaEngine::ringConsumeIommu(unsigned ctx, unsigned slot, Addr src,
+                            Addr dst, Addr size, Pid doorbell_pid)
+{
+    RingContext &ring = rings_[ctx];
+    if (size == 0 || size > params_.iommu.maxSgBytes) {
+        ++ringRejects_;
+        ++rejected_;
+        if (span::captureOn()) {
+            auto &t = span::tracker();
+            t.reject(t.open(name_, "ring", xfer_.now()), xfer_.now());
+        }
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "ring_reject",
+                          "ctx ", ctx, " bad sg size ", size);
+        ringRetire(ctx, slot, dmastatus::failure, ringdesc::ctrl::error);
+        return true;
+    }
+    // Descriptor-level occupancy: one descriptor in flight no matter
+    // how many per-page segments it scatters into.
+    ring.sg[slot] = RingContext::SlotSg{};
+    ++ring.outstanding;
+    return ringIssueSegments(ctx, slot, src, dst, size, /*done=*/0,
+                             doorbell_pid);
+}
+
+bool
+DmaEngine::ringIssueSegments(unsigned ctx, unsigned slot, Addr src,
+                             Addr dst, Addr size, Addr done, Pid pid)
+{
+    ULDMA_PROF_SCOPE("dma.iommu_sg");
+    RingContext &ring = rings_[ctx];
+    RingContext::SlotSg &sg = ring.sg[slot];
+    sg.issuing = true;
+    while (done < size) {
+        // Segments never cross a page at either endpoint: each one is
+        // a plain single-page user transfer once translated.
+        const Addr seg = std::min(
+            {size - done, pageSize - pageOffset(src + done),
+             pageSize - pageOffset(dst + done), params_.userMaxTransfer});
+        const Addr sv = src + done;
+        const Addr dv = dst + done;
+        Iommu::Result rs = iommu_->translate(ctx, sv, Rights::Read);
+        Iommu::Result rd = iommu_->translate(ctx, dv, Rights::Write);
+        // Translation latency is charged to the access that triggered
+        // the drain (or accumulates onto the next engine access after
+        // a trap resume) — deterministic either way.
+        pendingExtraCycles_ += rs.cycles + rd.cycles;
+        if (!rs.ok() || !rd.ok()) {
+            const Addr fault_iova = !rs.ok() ? sv : dv;
+            const bool fault_write = rs.ok();
+            ++iommuTransFaults_;
+            ULDMA_TRACE_EVENT(name_, xfer_.now(), "iommu_fault",
+                              "ctx ", ctx, " iova 0x", std::hex,
+                              fault_iova);
+            if (params_.weakIommu) {
+                // Fault injection (model checker): trust the
+                // descriptor's raw address as physical — the bypass an
+                // IOMMU exists to rule out.
+                ++iommuBypasses_;
+                if (!rs.ok())
+                    rs.paddr = sv;
+                if (!rd.ok())
+                    rd.paddr = dv;
+            } else if (params_.iommu.faultPolicy ==
+                           IommuFaultPolicy::Trap &&
+                       iommuFaultHandler_) {
+                // Park the descriptor mid-transfer and ask the kernel
+                // to repair the mapping; iommuResume continues from
+                // byte `done` once the fix-up cost has elapsed.
+                sg.issuing = false;
+                ring.park = RingContext::IommuPark{
+                    true, slot, src, dst, size, done, pid, fault_iova,
+                    fault_write};
+                ++iommuTraps_;
+                scheduleIommuFaultFixup(ctx);
+                return false;
+            } else {
+                sg.error = true;
+                ++iommuAborts_;
+                ++ringRejects_;
+                break;
+            }
+        }
+        span::SpanId sid = span::invalidSpan;
+        if (span::captureOn()) {
+            sid = span::tracker().open(name_, "ring", xfer_.now());
+            // Stamp the modeled end of translation (the cycles above
+            // are charged to the triggering access, not simulated
+            // inline), so the span's translation phase carries the
+            // IOTLB hit-vs-walk cost.
+            span::tracker().translated(
+                sid, xfer_.now() + xfer_.clockDomain().cyclesToTicks(
+                                       rs.cycles + rd.cycles));
+        }
+        const TransferId id = tryStartUser(
+            rs.paddr, rd.paddr, seg, ctx, {pid}, sid, /*via_ring=*/true,
+            [this, ctx, slot]() { ringSegmentDone(ctx, slot); });
+        if (id == invalidTransfer) {
+            sg.error = true;
+            break;
+        }
+        ++iommuSegments_;
+        ++sg.remaining;
+        done += seg;
+    }
+    sg.issuing = false;
+    maybeFinishSgSlot(ctx, slot);
+    return true;
+}
+
+void
+DmaEngine::ringSegmentDone(unsigned ctx, unsigned slot)
+{
+    RingContext &ring = rings_[ctx];
+    auto it = ring.sg.find(slot);
+    if (it == ring.sg.end())
+        return;
+    if (it->second.remaining > 0)
+        --it->second.remaining;
+    maybeFinishSgSlot(ctx, slot);
+}
+
+void
+DmaEngine::maybeFinishSgSlot(unsigned ctx, unsigned slot)
+{
+    RingContext &ring = rings_[ctx];
+    auto it = ring.sg.find(slot);
+    if (it == ring.sg.end())
+        return;
+    const RingContext::SlotSg &sg = it->second;
+    if (sg.remaining > 0 || sg.issuing)
+        return;
+    // Parked mid-descriptor: earlier segments may drain while the
+    // kernel repairs the mapping, but the slot retires only after the
+    // resumed tail finishes.
+    if (ring.park.active && ring.park.slot == slot)
+        return;
+    const bool err = sg.error;
+    ring.sg.erase(it);
+    ringRetire(ctx, slot, err ? dmastatus::failure : dmastatus::ok,
+               err ? ringdesc::ctrl::error : ringdesc::ctrl::done);
+    ringTransferDone(ctx, slot);
+}
+
+void
+DmaEngine::scheduleIommuFaultFixup(unsigned ctx)
+{
+    // Deferred past the current bus access: the kernel's fix-up
+    // programs the engine over the bus and must not reenter the
+    // access being processed.
+    const Tick when = std::max(xfer_.busyUntil(), xfer_.now());
+    eq_.scheduleLambda(
+        name_ + ".iommuFixup", when,
+        [this, ctx]() {
+            RingContext &ring = rings_[ctx];
+            if (!ring.park.active)
+                return;
+            std::uint64_t cost = ~std::uint64_t(0);
+            if (iommuFaultHandler_)
+                cost = iommuFaultHandler_(ctx, ring.park.faultIova,
+                                          ring.park.faultWrite);
+            if (cost == ~std::uint64_t(0)) {
+                abortParked(ctx);
+                return;
+            }
+            eq_.scheduleLambda(
+                name_ + ".iommuResume", xfer_.now() + cost,
+                [this, ctx]() { iommuResume(ctx); }, Event::DevicePrio);
+        },
+        Event::DevicePrio);
+}
+
+void
+DmaEngine::abortParked(unsigned ctx)
+{
+    RingContext &ring = rings_[ctx];
+    if (!ring.park.active)
+        return;
+    const unsigned slot = ring.park.slot;
+    const Pid pid = ring.park.pid;
+    ring.park = RingContext::IommuPark{};
+    ring.sg[slot].error = true;
+    ++iommuAborts_;
+    ++ringRejects_;
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "iommu_abort", "ctx ", ctx,
+                      " slot ", slot);
+    maybeFinishSgSlot(ctx, slot);
+    // Descriptors enqueued behind the aborted one drain now.
+    ringDrain(ctx, pid);
+}
+
+void
+DmaEngine::iommuResume(unsigned ctx)
+{
+    RingContext &ring = rings_[ctx];
+    if (!ring.park.active)
+        return;
+    const RingContext::IommuPark park = ring.park;
+    ring.park = RingContext::IommuPark{};
+    ++iommuResumes_;
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "iommu_resume", "ctx ", ctx,
+                      " slot ", park.slot, " done ", park.done);
+    if (ringIssueSegments(ctx, park.slot, park.src, park.dst, park.size,
+                          park.done, park.pid)) {
+        // Drain descriptors that queued up behind the parked one.
+        ringDrain(ctx, park.pid);
     }
 }
 
@@ -1204,6 +1497,25 @@ DmaEngine::stateHash() const
             f.mix(frame.base);
             f.mix(frame.limit);
         }
+    }
+
+    // IOMMU: translation tables, pins, IOTLB and scatter-gather
+    // progress.  Mixed only when the unit exists, so non-IOMMU hashes
+    // are unchanged from the pre-IOMMU model.
+    if (iommu_) {
+        f.mix(iommu_->stateHash());
+        for (const RingContext &r : rings_) {
+            f.mix(r.sg.size());
+            f.mix(r.park.active);
+            f.mix(r.park.slot);
+            f.mix(r.park.done);
+        }
+        f.mix(iommuSegments_.value());
+        f.mix(iommuTransFaults_.value());
+        f.mix(iommuTraps_.value());
+        f.mix(iommuResumes_.value());
+        f.mix(iommuAborts_.value());
+        f.mix(iommuBypasses_.value());
     }
 
     // Kernel channel.

@@ -25,12 +25,14 @@
 #define ULDMA_DMA_DMA_ENGINE_HH
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "dma/dma_params.hh"
 #include "dma/transfer_engine.hh"
+#include "iommu/iommu.hh"
 #include "mem/bus.hh"
 #include "sim/span.hh"
 #include "sim/stats.hh"
@@ -97,6 +99,25 @@ class DmaEngine : public BusDevice
     {
         ringCompletionHandler_ = std::move(handler);
     }
+
+    /**
+     * Kernel fix-up hook for IOMMU translation faults under
+     * IommuFaultPolicy::Trap: called with (ctx, faulting IOVA,
+     * is-write).  Returns the fix-up cost in ticks when the kernel
+     * repaired the mapping (the parked descriptor resumes that much
+     * later, mid-transfer), or ~0 to signal failure (the descriptor
+     * aborts with the error bit).
+     */
+    void
+    setIommuFaultHandler(
+        std::function<std::uint64_t(unsigned, Addr, bool)> handler)
+    {
+        iommuFaultHandler_ = std::move(handler);
+    }
+
+    /** The address-translation unit, or nullptr when not enabled. */
+    const Iommu *iommu() const { return iommu_.get(); }
+    Iommu *iommu() { return iommu_.get(); }
 
     /** Number of register contexts (and descriptor rings). */
     unsigned numContexts() const
@@ -165,6 +186,8 @@ class DmaEngine : public BusDevice
     registerStats(stats::Registry &r)
     {
         r.add(&statsGroup_);
+        if (iommu_)
+            r.add(&iommu_->statsGroup());
         transferEngine().registerStats(r);
     }
 
@@ -184,6 +207,23 @@ class DmaEngine : public BusDevice
     std::uint64_t numRingInterrupts() const
     {
         return ringInterrupts_.value();
+    }
+    std::uint64_t numIommuSegments() const
+    {
+        return iommuSegments_.value();
+    }
+    std::uint64_t numIommuFaults() const
+    {
+        return iommuTransFaults_.value();
+    }
+    std::uint64_t numIommuTraps() const { return iommuTraps_.value(); }
+    std::uint64_t numIommuResumes() const
+    {
+        return iommuResumes_.value();
+    }
+    std::uint64_t numIommuBypasses() const
+    {
+        return iommuBypasses_.value();
     }
     /// @}
 
@@ -234,6 +274,33 @@ class DmaEngine : public BusDevice
         };
         std::vector<Frame> frames;
         Addr stagedFrameBase = 0;
+
+        /** Scatter-gather progress of one virtually-addressed
+         *  descriptor (IOMMU mode): per-page segments in flight. */
+        struct SlotSg
+        {
+            unsigned remaining = 0;  ///< segments started, not done
+            bool issuing = false;    ///< inside the issue loop
+            bool error = false;      ///< any segment faulted/rejected
+        };
+        std::unordered_map<unsigned, SlotSg> sg;
+
+        /** A descriptor parked on an IOMMU translation fault awaiting
+         *  kernel fix-up (IommuFaultPolicy::Trap).  While active, the
+         *  ring drain is stalled to preserve FIFO order. */
+        struct IommuPark
+        {
+            bool active = false;
+            unsigned slot = 0;
+            Addr src = 0;
+            Addr dst = 0;
+            Addr size = 0;
+            Addr done = 0;        ///< bytes issued before the fault
+            Pid pid = invalidPid;
+            Addr faultIova = 0;
+            bool faultWrite = false;
+        };
+        IommuPark park;
 
         void
         reset()
@@ -298,6 +365,28 @@ class DmaEngine : public BusDevice
     void ringTransferDone(unsigned ctx, unsigned slot);
     /// @}
 
+    /// @name IOMMU scatter-gather path (docs/IOMMU.md).
+    /// @{
+    /** Consume one virtually-addressed descriptor (IOMMU mode). */
+    bool ringConsumeIommu(unsigned ctx, unsigned slot, Addr src,
+                          Addr dst, Addr size, Pid doorbell_pid);
+    /** Translate + issue per-page segments from byte @p done on.
+     *  @return false when the descriptor parked on a fault (drain
+     *  must stop). */
+    bool ringIssueSegments(unsigned ctx, unsigned slot, Addr src,
+                           Addr dst, Addr size, Addr done, Pid pid);
+    /** Segment-completion callback; retires the slot when last. */
+    void ringSegmentDone(unsigned ctx, unsigned slot);
+    /** Retire the slot if no segments remain in flight. */
+    void maybeFinishSgSlot(unsigned ctx, unsigned slot);
+    /** Defer the kernel fault fix-up call past the current access. */
+    void scheduleIommuFaultFixup(unsigned ctx);
+    /** Abort the parked descriptor (fix-up failed / no handler). */
+    void abortParked(unsigned ctx);
+    /** Resume the parked descriptor after a successful fix-up. */
+    void iommuResume(unsigned ctx);
+    /// @}
+
     /** Start (or reject) a kernel-channel transfer. */
     void kernelStart();
 
@@ -332,6 +421,16 @@ class DmaEngine : public BusDevice
     std::uint64_t ringCtxSelect_ = 0;
     Addr ringBaseStage_ = 0;
     Addr ringCplStage_ = 0;
+
+    /// Address-translation unit (nullptr unless params_.iommu.enabled).
+    std::unique_ptr<Iommu> iommu_;
+    /// IOMMU-management staging registers (kernel block).
+    std::uint64_t iommuCtxSelect_ = 0;
+    Addr iommuIovaStage_ = 0;
+    /// Status of the last IOMMU management op, readable at iommuStatus.
+    std::uint64_t iommuLastStatus_ = 0;
+    /// Kernel translation-fault fix-up hook (see the setter).
+    std::function<std::uint64_t(unsigned, Addr, bool)> iommuFaultHandler_;
 
     /// Extra device cycles charged to the access that caused a ring
     /// drain (descriptor fetch + control writeback per slot).
@@ -394,6 +493,14 @@ class DmaEngine : public BusDevice
     stats::Scalar ringInterrupts_;
     stats::Histogram ringOccupancy_;
     stats::Average doorbellToRetireUs_;
+    /// IOMMU-path counters (registered only when iommu.enabled, so the
+    /// stats document is unchanged for non-IOMMU configurations).
+    stats::Scalar iommuSegments_;
+    stats::Scalar iommuTransFaults_;
+    stats::Scalar iommuTraps_;
+    stats::Scalar iommuResumes_;
+    stats::Scalar iommuAborts_;
+    stats::Scalar iommuBypasses_;
 };
 
 } // namespace uldma

@@ -17,6 +17,7 @@
 #ifndef ULDMA_DMA_DMA_PARAMS_HH
 #define ULDMA_DMA_DMA_PARAMS_HH
 
+#include "iommu/iommu_params.hh"
 #include "mem/addr_range.hh"
 #include "util/bitfield.hh"
 #include "util/logging.hh"
@@ -180,8 +181,29 @@ inline constexpr Addr ringCplBase = 0x70;
 inline constexpr Addr ringConfig = 0x78;
 inline constexpr Addr ringFrameBase = 0x80;
 inline constexpr Addr ringFrameLimit = 0x88;
+/** IOMMU management (docs/IOMMU.md): the OS selects a context and an
+ *  IOVA, then commits a mapping / unmap / pin.  iommuMapEntry carries
+ *  the physical frame address with permission bits in the low bits
+ *  (see iommumap below); iommuStatus reads back whether the last
+ *  operation succeeded (dmastatus::ok / dmastatus::failure), which is
+ *  how the kernel learns about pin-budget exhaustion. */
+inline constexpr Addr iommuCtxSelect = 0x90;
+inline constexpr Addr iommuIova = 0x98;
+inline constexpr Addr iommuMapEntry = 0xA0;
+inline constexpr Addr iommuUnmap = 0xA8;
+inline constexpr Addr iommuPin = 0xB0;
+inline constexpr Addr iommuStatus = 0xB8;
 inline constexpr Addr blockSize = 0x100;
 } // namespace kregs
+
+/** Bit layout of the kregs::iommuMapEntry payload.  Pages are 8 KiB,
+ *  so the low 13 bits of the frame address are free for flags. */
+namespace iommumap {
+inline constexpr std::uint64_t read = 1 << 0;
+inline constexpr std::uint64_t write = 1 << 1;
+inline constexpr std::uint64_t pin = 1 << 2;
+inline constexpr std::uint64_t flagMask = read | write | pin;
+} // namespace iommumap
 
 /** Full engine configuration. */
 struct DmaEngineParams
@@ -220,6 +242,22 @@ struct DmaEngineParams
      * invariant exists to catch; never set outside tests.
      */
     bool weakRing = false;
+
+    /**
+     * Fault injection for the model checker (src/check): on an IOMMU
+     * translation fault, fall back to interpreting the descriptor's
+     * address as a raw physical address instead of faulting.  This is
+     * the translation bypass an IOMMU exists to rule out; never set
+     * outside tests.
+     */
+    bool weakIommu = false;
+
+    /** Address-translation unit between the engine and the bus.  When
+     *  iommu.enabled, ring descriptors carry user virtual addresses
+     *  (IOVAs) and the engine scatter-gathers them into per-page
+     *  physical segments (docs/IOMMU.md).  Disabled by default: the
+     *  engine is then byte-identical to the pre-IOMMU model. */
+    IommuParams iommu;
 
     /** Device-side latency of a register/shadow access in bus cycles
      *  (the FPGA of the prototype board). */

@@ -1,0 +1,97 @@
+#include "iommu/iotlb.hh"
+
+#include <algorithm>
+
+namespace uldma {
+
+IoTlb::IoTlb(unsigned entries, unsigned ways)
+{
+    ways_ = std::max(1u, ways);
+    sets_ = std::max(1u, entries / ways_);
+    entries_.resize(std::size_t(sets_) * ways_);
+}
+
+unsigned
+IoTlb::setOf(unsigned ctx, Addr vpn) const
+{
+    return static_cast<unsigned>((vpn ^ (Addr(ctx) * 0x9E37)) % sets_);
+}
+
+const PageTableEntry *
+IoTlb::lookup(unsigned ctx, Addr vpn, std::uint64_t gen)
+{
+    Entry *base = &entries_[std::size_t(setOf(ctx, vpn)) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (!e.valid || e.ctx != ctx || e.vpn != vpn)
+            continue;
+        if (e.gen != gen) {
+            // Stale: the context's table changed since the fill.
+            e.valid = false;
+            return nullptr;
+        }
+        e.lastUse = ++useClock_;
+        return &e.pte;
+    }
+    return nullptr;
+}
+
+void
+IoTlb::insert(unsigned ctx, Addr vpn, const PageTableEntry &pte,
+              std::uint64_t gen)
+{
+    Entry *base = &entries_[std::size_t(setOf(ctx, vpn)) * ways_];
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.ctx == ctx && e.vpn == vpn) {
+            victim = &e;   // re-insert in place, never duplicate
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->ctx = ctx;
+    victim->vpn = vpn;
+    victim->pte = pte;
+    victim->gen = gen;
+    victim->lastUse = ++useClock_;
+}
+
+void
+IoTlb::invalidateContext(unsigned ctx)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.ctx == ctx)
+            e.valid = false;
+    }
+}
+
+std::uint64_t
+IoTlb::stateHash() const
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const Entry &e : entries_) {
+        if (!e.valid)
+            continue;
+        mix(e.ctx);
+        mix(e.vpn);
+        mix(e.pte.pfn);
+        mix(static_cast<std::uint64_t>(e.pte.rights));
+        mix(e.gen);
+    }
+    return h;
+}
+
+} // namespace uldma

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Set-associative IOTLB: the device-side analogue of vm::Tlb.  Where
+ * the CPU TLB is fully associative and caches one process's table at
+ * a time, the IOTLB serves every DMA context at once, so entries are
+ * tagged with (ctx, vpn) and each carries the generation of its
+ * context's I/O page table — an unmap bumps the generation and stale
+ * entries die lazily on the next lookup, no flush loop on the fast
+ * path.
+ *
+ * Replacement is LRU within a set, driven by a monotonic use counter
+ * so behaviour is deterministic across runs and platforms.
+ */
+
+#ifndef ULDMA_IOMMU_IOTLB_HH
+#define ULDMA_IOMMU_IOTLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/page_table.hh"
+
+namespace uldma {
+
+class IoTlb
+{
+  public:
+    /** @p entries total, @p ways per set (clamped to >= 1; entries is
+     *  rounded down to a multiple of ways). */
+    IoTlb(unsigned entries, unsigned ways);
+
+    /** Cached translation of (ctx, vpn), or nullptr on miss.  @p gen
+     *  is the current generation of ctx's I/O page table: an entry
+     *  from an older generation is stale and misses. */
+    const PageTableEntry *lookup(unsigned ctx, Addr vpn,
+                                 std::uint64_t gen);
+
+    /** Install (ctx, vpn) -> @p pte, evicting the set's LRU way. */
+    void insert(unsigned ctx, Addr vpn, const PageTableEntry &pte,
+                std::uint64_t gen);
+
+    /** Drop every entry of @p ctx (context reset / teardown). */
+    void invalidateContext(unsigned ctx);
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** FNV-1a mix of the valid entries (engine stateHash input). */
+    std::uint64_t stateHash() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        unsigned ctx = 0;
+        Addr vpn = 0;
+        PageTableEntry pte;
+        std::uint64_t gen = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setOf(unsigned ctx, Addr vpn) const;
+
+    unsigned sets_ = 1;
+    unsigned ways_ = 1;
+    std::vector<Entry> entries_;   // sets_ * ways_, set-major
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_IOMMU_IOTLB_HH

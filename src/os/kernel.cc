@@ -48,6 +48,20 @@ Kernel::setDmaEngine(DmaEngine *engine)
     // blocked in sys::ringWait on that ring's context.
     engine_->setRingCompletionHandler(
         [this](unsigned ctx) { onRingDmaInterrupt(ctx); });
+    if (engine_->iommu() != nullptr) {
+        // Translation-fault fix-up under IommuFaultPolicy::Trap.  The
+        // kernel-side counters join the stats group only when the
+        // engine has an IOMMU, keeping non-IOMMU stats documents
+        // byte-identical.
+        engine_->setIommuFaultHandler(
+            [this](unsigned ctx, Addr iova, bool is_write) {
+                return onIommuFault(ctx, iova, is_write);
+            });
+        statsGroup_.addScalar("iommu_maps", &iommuMaps_,
+                              "pages mapped into I/O page tables");
+        statsGroup_.addScalar("iommu_fixups", &iommuFixups_,
+                              "IOMMU faults repaired and resumed");
+    }
     // Tell the engine how long after a trap its SIZE write physically
     // lands (kernel entry + two software translations), so
     // kernel-channel transfers start at the honest wall-clock time.
@@ -419,12 +433,23 @@ Kernel::setupRing(Process &process, unsigned slots, std::uint64_t policy,
     grant.ringPolicy = policy;
     grant.ringCoalesce = std::max(1u, coalesce);
     grant.ringEnqueueSeq = 0;
+    grant.ringIommu = engine_->iommu() != nullptr;
 
     // The ring's own pages are legal DMA endpoints (a chained
     // descriptor may stage data through them in tests).
     authorizeRingDma(process, desc_vaddr,
                      Addr(slots) * ringdesc::descBytes);
     authorizeRingDma(process, cpl_vaddr, Addr(slots) * ringdesc::cplBytes);
+    if (grant.ringIommu) {
+        // Same courtesy through the IOMMU: the ring's own pages are
+        // translatable endpoints for chained descriptors.
+        const bool pin = engine_->iommu()->params().pinPolicy ==
+                         PinPolicy::OnMap;
+        iommuMapRange(process, desc_vaddr,
+                      Addr(slots) * ringdesc::descBytes, pin);
+        iommuMapRange(process, cpl_vaddr,
+                      Addr(slots) * ringdesc::cplBytes, pin);
+    }
     return true;
 }
 
@@ -475,6 +500,113 @@ Kernel::authorizeRingDma(Process &process, Addr vaddr, Addr bytes)
 }
 
 // ---------------------------------------------------------------------
+// IOMMU services (docs/IOMMU.md).
+// ---------------------------------------------------------------------
+
+bool
+Kernel::iommuMapRange(Process &process, Addr vaddr, Addr bytes, bool pin)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    ULDMA_ASSERT(engine_->iommu() != nullptr,
+                 "iommuMapRange: engine has no IOMMU");
+    auto &grant = process.dmaGrant();
+    ULDMA_ASSERT(grant.keyContext.has_value(),
+                 "iommuMapRange: no register context granted");
+    ULDMA_ASSERT(bytes > 0, "iommuMapRange: empty range");
+    const unsigned ctx = *grant.keyContext;
+    const Addr base = engine_->params().kernelRegsBase;
+
+    Packet sel = Packet::makeWrite(base + kregs::iommuCtxSelect, ctx);
+    cpu_.kernelBusAccess(sel);
+
+    // IOVA space is the process's own virtual address space: the same
+    // pointer a process passes to the engine in a descriptor is the
+    // one the kernel maps here, so user code needs no address
+    // arithmetic at all.
+    bool ok = true;
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    for (Addr page = first; page <= last; page += pageSize) {
+        const auto pte = process.pageTable().lookup(page);
+        if (!pte.has_value()) {
+            ok = false;
+            continue;
+        }
+        std::uint64_t entry = pte->pfn << pageShift;
+        if (allows(pte->rights, Rights::Read))
+            entry |= iommumap::read;
+        if (allows(pte->rights, Rights::Write))
+            entry |= iommumap::write;
+        if (pin)
+            entry |= iommumap::pin;
+        Packet iv = Packet::makeWrite(base + kregs::iommuIova, page);
+        cpu_.kernelBusAccess(iv);
+        Packet me = Packet::makeWrite(base + kregs::iommuMapEntry, entry);
+        cpu_.kernelBusAccess(me);
+        // Read the status back: a failed map-time pin (budget
+        // exhaustion) must reach the caller.
+        Packet st = Packet::makeRead(base + kregs::iommuStatus);
+        cpu_.kernelBusAccess(st);
+        if (st.data != dmastatus::ok)
+            ok = false;
+        ++iommuMaps_;
+    }
+    return ok;
+}
+
+void
+Kernel::iommuUnmapRange(Process &process, Addr vaddr, Addr bytes)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    ULDMA_ASSERT(engine_->iommu() != nullptr,
+                 "iommuUnmapRange: engine has no IOMMU");
+    auto &grant = process.dmaGrant();
+    ULDMA_ASSERT(grant.keyContext.has_value(),
+                 "iommuUnmapRange: no register context granted");
+    ULDMA_ASSERT(bytes > 0, "iommuUnmapRange: empty range");
+    const unsigned ctx = *grant.keyContext;
+    const Addr base = engine_->params().kernelRegsBase;
+
+    Packet sel = Packet::makeWrite(base + kregs::iommuCtxSelect, ctx);
+    cpu_.kernelBusAccess(sel);
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    for (Addr page = first; page <= last; page += pageSize) {
+        Packet un = Packet::makeWrite(base + kregs::iommuUnmap, page);
+        cpu_.kernelBusAccess(un);
+    }
+}
+
+bool
+Kernel::iommuPinRange(Process &process, Addr vaddr, Addr bytes)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    ULDMA_ASSERT(engine_->iommu() != nullptr,
+                 "iommuPinRange: engine has no IOMMU");
+    auto &grant = process.dmaGrant();
+    ULDMA_ASSERT(grant.keyContext.has_value(),
+                 "iommuPinRange: no register context granted");
+    ULDMA_ASSERT(bytes > 0, "iommuPinRange: empty range");
+    const unsigned ctx = *grant.keyContext;
+    const Addr base = engine_->params().kernelRegsBase;
+
+    Packet sel = Packet::makeWrite(base + kregs::iommuCtxSelect, ctx);
+    cpu_.kernelBusAccess(sel);
+    bool ok = true;
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    for (Addr page = first; page <= last; page += pageSize) {
+        Packet pin = Packet::makeWrite(base + kregs::iommuPin, page);
+        cpu_.kernelBusAccess(pin);
+        Packet st = Packet::makeRead(base + kregs::iommuStatus);
+        cpu_.kernelBusAccess(st);
+        if (st.data != dmastatus::ok)
+            ok = false;
+    }
+    return ok;
+}
+
+// ---------------------------------------------------------------------
 // OsCallbacks: traps and scheduling.
 // ---------------------------------------------------------------------
 
@@ -503,6 +635,12 @@ Kernel::syscall(ExecContext &ctx, std::uint64_t number)
         return sysDmaWait(ctx);
       case sys::ringWait:
         return sysRingWait(ctx);
+      case sys::iommuMap:
+        return sysIommuMap(ctx);
+      case sys::iommuUnmap:
+        return sysIommuUnmap(ctx);
+      case sys::iommuPin:
+        return sysIommuPin(ctx);
       default: {
         ULDMA_WARN(name_, ": unknown syscall ", number);
         SyscallResult r;
@@ -699,6 +837,99 @@ Kernel::sysRingWait(ExecContext &ctx)
     return r;
 }
 
+SyscallResult
+Kernel::sysIommuMap(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->iommu() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const Addr vaddr = ctx.reg(reg::a0);
+    const Addr bytes = ctx.reg(reg::a1);
+    if (bytes == 0 || !proc.dmaGrant().keyContext)
+        return r;
+    // One software translation per page, like check_size().
+    const Addr npages =
+        pageNumber(vaddr + bytes - 1) - pageNumber(vaddr) + 1;
+    r.cost += cyclesToTicks(params_.translateCycles * npages);
+    const bool pin = engine_->iommu()->params().pinPolicy ==
+                     PinPolicy::OnMap;
+    if (iommuMapRange(proc, vaddr, bytes, pin))
+        r.retval = 0;
+    return r;
+}
+
+SyscallResult
+Kernel::sysIommuUnmap(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->iommu() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const Addr vaddr = ctx.reg(reg::a0);
+    const Addr bytes = ctx.reg(reg::a1);
+    if (bytes == 0 || !proc.dmaGrant().keyContext)
+        return r;
+    iommuUnmapRange(proc, vaddr, bytes);
+    r.retval = 0;
+    return r;
+}
+
+SyscallResult
+Kernel::sysIommuPin(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->iommu() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const Addr vaddr = ctx.reg(reg::a0);
+    const Addr bytes = ctx.reg(reg::a1);
+    if (bytes == 0 || !proc.dmaGrant().keyContext)
+        return r;
+    if (iommuPinRange(proc, vaddr, bytes))
+        r.retval = 0;
+    return r;
+}
+
+std::uint64_t
+Kernel::onIommuFault(unsigned ctx, Addr iova, bool is_write)
+{
+    (void)is_write;
+    if (engine_ == nullptr || engine_->iommu() == nullptr)
+        return ~std::uint64_t(0);
+    // Find the process owning the faulting register context.
+    Process *owner = nullptr;
+    for (auto &p : processes_) {
+        const auto &grant = p->dmaGrant();
+        if (grant.keyContext && *grant.keyContext == ctx) {
+            owner = p.get();
+            break;
+        }
+    }
+    if (owner == nullptr || owner->finished())
+        return ~std::uint64_t(0);
+    // Repairable only if the page really is mapped in the process —
+    // an IOVA outside the address space stays a hard fault.
+    const Addr page = pageAlignDown(iova);
+    if (!owner->pageTable().lookup(page).has_value())
+        return ~std::uint64_t(0);
+    // Map and pin the one faulting page; the engine resumes the
+    // parked descriptor after the fault-handling cost.
+    if (!iommuMapRange(*owner, page, pageSize, /*pin=*/true))
+        return ~std::uint64_t(0);
+    ++iommuFixups_;
+    ULDMA_TRACE("Kernel", cpu_.clockEdge(), name_, ": iommu fix-up ctx ",
+                ctx, " iova 0x", std::hex, iova);
+    return cyclesToTicks(params_.faultHandlingCycles +
+                         params_.translateCycles);
+}
+
 void
 Kernel::onKernelDmaInterrupt()
 {
@@ -814,6 +1045,7 @@ Kernel::reapGrants(Process &process)
         grant.ringPolicy = 0;
         grant.ringCoalesce = 1;
         grant.ringEnqueueSeq = 0;
+        grant.ringIommu = false;
     }
     if (process.dmaGrant().keyContext) {
         const Tick before = cpu_.clockEdge();

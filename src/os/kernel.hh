@@ -220,6 +220,28 @@ class Kernel : public OsCallbacks
      * authorized frames are rejected by the engine.
      */
     void authorizeRingDma(Process &process, Addr vaddr, Addr bytes);
+
+    /// @name IOMMU services (docs/IOMMU.md; engine must have an IOMMU).
+    /// @{
+    /**
+     * Map [vaddr, vaddr+bytes) of @p process into its I/O page table,
+     * page by page, mirroring the rights of the user mapping; @p pin
+     * requests map-time pins.  Programmed through the engine's
+     * privileged kregs::iommu* registers.  @return false if any page
+     * was unmapped in the process or a requested pin failed
+     * (pin-budget exhaustion) — already-mapped pages stay mapped.
+     */
+    bool iommuMapRange(Process &process, Addr vaddr, Addr bytes,
+                       bool pin);
+
+    /** Remove [vaddr, vaddr+bytes) from @p process's I/O page table
+     *  (stale IOTLB entries die via the generation tag). */
+    void iommuUnmapRange(Process &process, Addr vaddr, Addr bytes);
+
+    /** Pin already-iommu-mapped [vaddr, vaddr+bytes).  @return false
+     *  when a page is unmapped or the pin budget is full. */
+    bool iommuPinRange(Process &process, Addr vaddr, Addr bytes);
+    /// @}
     /// @}
 
     /**
@@ -280,6 +302,18 @@ class Kernel : public OsCallbacks
     SyscallResult sysDmaWait(ExecContext &ctx);
     SyscallResult sysRingWait(ExecContext &ctx);
     SyscallResult sysAtomic(ExecContext &ctx);
+    SyscallResult sysIommuMap(ExecContext &ctx);
+    SyscallResult sysIommuUnmap(ExecContext &ctx);
+    SyscallResult sysIommuPin(ExecContext &ctx);
+
+    /**
+     * IOMMU translation-fault fix-up (IommuFaultPolicy::Trap): the
+     * engine parked a descriptor on @p iova of register context
+     * @p ctx.  Map (and pin) the page from the owning process's page
+     * table; @return the fix-up cost in ticks, or ~0 when the page is
+     * genuinely unmapped in the process too (the descriptor aborts).
+     */
+    std::uint64_t onIommuFault(unsigned ctx, Addr iova, bool is_write);
 
     /** Completion interrupt from the engine's kernel channel. */
     void onKernelDmaInterrupt();
@@ -332,6 +366,8 @@ class Kernel : public OsCallbacks
     stats::Scalar dmaInterrupts_;
     stats::Scalar ringWaits_;
     stats::Scalar ringInterrupts_;
+    stats::Scalar iommuMaps_;
+    stats::Scalar iommuFixups_;
 };
 
 } // namespace uldma

@@ -44,6 +44,12 @@ struct DmaGrant
      *  allocator; not runtime state). */
     std::uint64_t ringEnqueueSeq = 0;
     /// @}
+
+    /** IOMMU mode (docs/IOMMU.md): ring descriptors carry the user's
+     *  virtual addresses instead of kernel-translated physical ones —
+     *  the engine translates through its I/O page table.  Set by
+     *  Kernel::setupRing when the engine has an IOMMU. */
+    bool ringIommu = false;
 };
 
 /**

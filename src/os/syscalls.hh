@@ -56,6 +56,22 @@ inline constexpr std::uint64_t dmaWait = 5;
  */
 inline constexpr std::uint64_t ringWait = 6;
 
+/**
+ * Map [a0, a0+a1) of the caller's address space into the DMA engine's
+ * I/O page table (docs/IOMMU.md) with the rights of the user mapping.
+ * Under PinPolicy::OnMap the pages are pinned too; pin-budget
+ * exhaustion fails the call.  Returns 0 on success, ~0 on failure.
+ */
+inline constexpr std::uint64_t iommuMap = 7;
+
+/** Remove [a0, a0+a1) from the caller's I/O page table (and drop the
+ *  pins).  Returns 0 on success, ~0 on failure. */
+inline constexpr std::uint64_t iommuUnmap = 8;
+
+/** Pin already-iommu-mapped [a0, a0+a1) for device access.  Returns 0
+ *  on success, ~0 when a page is unmapped or the budget is full. */
+inline constexpr std::uint64_t iommuPin = 9;
+
 } // namespace uldma::sys
 
 #endif // ULDMA_OS_SYSCALLS_HH

@@ -99,6 +99,13 @@ Tracker::recognize(SpanId id, Tick when, unsigned ctx, bool via_kernel,
 }
 
 void
+Tracker::translated(SpanId id, Tick when)
+{
+    if (Span *s = find(id))
+        s->translated = when;
+}
+
+void
 Tracker::reject(SpanId id, Tick when, Outcome why)
 {
     if (Span *s = find(id)) {
@@ -166,6 +173,7 @@ namespace {
 struct Phases
 {
     double initiation;
+    double translation;  ///< 0 unless the span went through an IOMMU
     double queue;
     double bus;
     double delivery;
@@ -183,6 +191,7 @@ phasesOf(const Span &s)
     };
     Phases p;
     p.initiation = us(s.recognized, s.firstAccess);
+    p.translation = s.translated ? us(s.translated, s.firstAccess) : 0.0;
     p.queue = us(s.busStart, s.queued);
     p.bus = us(s.busEnd, s.busStart);
     p.delivery = us(s.completed, s.busEnd);
@@ -199,6 +208,9 @@ struct ProtocolSummary
     std::uint64_t aborted = 0;
     std::uint64_t inFlight = 0;
     std::vector<double> initiation, queue, bus, delivery, total;
+    /** IOMMU translation samples; empty unless spans carry the
+     *  translated tick, so non-IOMMU documents are unchanged. */
+    std::vector<double> translation;
 };
 
 void
@@ -251,6 +263,8 @@ writeSpansDocument(std::ostream &os, bool pretty,
         if (s.outcome == Outcome::Completed) {
             const Phases p = phasesOf(s);
             ps.initiation.push_back(p.initiation);
+            if (s.translated)
+                ps.translation.push_back(p.translation);
             ps.queue.push_back(p.queue);
             ps.bus.push_back(p.bus);
             ps.delivery.push_back(p.delivery);
@@ -281,6 +295,10 @@ writeSpansDocument(std::ostream &os, bool pretty,
         w.key("ticks");
         w.beginObject();
         w.member("first_access", s.firstAccess);
+        // Emitted only for IOMMU-translated spans, so documents from
+        // non-IOMMU runs are byte-identical to the pre-IOMMU schema.
+        if (s.translated)
+            w.member("translated", s.translated);
         w.member("recognized", s.recognized);
         w.member("queued", s.queued);
         w.member("bus_start", s.busStart);
@@ -292,6 +310,8 @@ writeSpansDocument(std::ostream &os, bool pretty,
             w.key("phases_us");
             w.beginObject();
             w.member("initiation", p.initiation);
+            if (s.translated)
+                w.member("translation", p.translation);
             w.member("queue", p.queue);
             w.member("bus", p.bus);
             w.member("delivery", p.delivery);
@@ -321,6 +341,10 @@ writeSpansDocument(std::ostream &os, bool pretty,
         w.beginObject();
         w.key("initiation");
         writeQuantiles(w, ps.initiation);
+        if (!ps.translation.empty()) {
+            w.key("translation");
+            writeQuantiles(w, ps.translation);
+        }
         w.key("queue");
         writeQuantiles(w, ps.queue);
         w.key("bus");

@@ -74,6 +74,7 @@ struct Span
     Outcome outcome = Outcome::InFlight;
 
     Tick firstAccess = 0;  ///< first engine-visible access / trap entry
+    Tick translated = 0;   ///< IOMMU translation done (0 = no IOMMU)
     Tick recognized = 0;   ///< argument sequence accepted by the engine
     Tick queued = 0;       ///< handed to the transfer engine
     Tick busStart = 0;     ///< transfer begins streaming on the bus
@@ -112,6 +113,8 @@ class Tracker
     /// @{
     void recognize(SpanId id, Tick when, unsigned ctx, bool via_kernel,
                    Addr size);
+    /** IOMMU: the segment's addresses finished translating. */
+    void translated(SpanId id, Tick when);
     void reject(SpanId id, Tick when, Outcome why = Outcome::Rejected);
     void abort(SpanId id, Tick when);
     void queue(SpanId id, Tick when);

@@ -114,6 +114,22 @@ runWorkload(const Scenario &scenario, std::uint64_t seed,
                     nc.dma.flashTagCheck = true;
             }
         }
+        if (scenario.iotlb.enabled) {
+            nc.dma.iommu.enabled = true;
+            nc.dma.iommu.iotlbEntries = scenario.iotlb.entries;
+            nc.dma.iommu.iotlbWays = scenario.iotlb.ways;
+            nc.dma.iommu.iotlbHitCycles = scenario.iotlb.hitCycles;
+            nc.dma.iommu.iotlbMissCycles = scenario.iotlb.missCycles;
+            nc.dma.iommu.walkCycles = scenario.iotlb.walkCycles;
+            nc.dma.iommu.pinPolicy = scenario.iotlb.pinning == "on-demand"
+                                         ? PinPolicy::OnDemand
+                                         : PinPolicy::OnMap;
+            nc.dma.iommu.pinBudgetPages =
+                static_cast<unsigned>(scenario.iotlb.pinBudgetPages);
+            nc.dma.iommu.faultPolicy = scenario.iotlb.fault == "trap"
+                                           ? IommuFaultPolicy::Trap
+                                           : IommuFaultPolicy::Abort;
+        }
         if (scenario.scheduler.kind == SchedulerSpec::Kind::Random) {
             const std::uint64_t seed_node =
                 options.nodeSeedIds.empty() ? n

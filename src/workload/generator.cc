@@ -33,7 +33,9 @@ buildWorker(Machine &machine, const Scenario &scenario,
         ++runtime.kernelFallbacks;
     }
 
-    const Addr region = Addr(spec.slots) * pageSize;
+    // Slot stride: sg streams cycle through multi-page buffers.
+    const Addr stride = Addr(spec.sgPages) * pageSize;
+    const Addr region = Addr(spec.slots) * stride;
     const Addr src = kernel.allocate(proc, region, Rights::ReadWrite);
     kernel.createShadowMappings(proc, src, region);
 
@@ -51,8 +53,20 @@ buildWorker(Machine &machine, const Scenario &scenario,
     kernel.createShadowMappings(proc, dst, region);
 
     if (method == DmaMethod::Ring) {
-        kernel.authorizeRingDma(proc, src, region);
-        kernel.authorizeRingDma(proc, dst, region);
+        const DmaEngine &engine = machine.node(spec.node).dmaEngine();
+        if (engine.iommu() != nullptr) {
+            // IOMMU mode: descriptors carry virtual addresses, so the
+            // buffers go into the process's I/O page table instead of
+            // the kernel's physical-frame table.  Under on-demand
+            // pinning the first device access pins (docs/IOMMU.md).
+            const bool pin = engine.iommu()->params().pinPolicy ==
+                             PinPolicy::OnMap;
+            kernel.iommuMapRange(proc, src, region, pin);
+            kernel.iommuMapRange(proc, dst, region, pin);
+        } else {
+            kernel.authorizeRingDma(proc, src, region);
+            kernel.authorizeRingDma(proc, dst, region);
+        }
     }
 
     if (method == DmaMethod::Shrimp1) {
@@ -82,8 +96,8 @@ buildWorker(Machine &machine, const Scenario &scenario,
         if (method == DmaMethod::Ring) {
             // Ring streams batch queueDepth descriptors per doorbell;
             // the wait + status check happen once per batch.
-            batch.push_back({src + Addr(s) * pageSize,
-                             dst + Addr(s) * pageSize, size});
+            batch.push_back({src + Addr(s) * stride,
+                             dst + Addr(s) * stride, size});
             ++runtime.issued;
             runtime.offeredBytes += size;
             if (batch.size() < spec.queueDepth &&

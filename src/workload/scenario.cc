@@ -80,8 +80,8 @@ getString(const Value &obj, const char *key, std::string &out,
 }
 
 bool
-parseSize(const Value &v, SizeDist &out, const std::string &where,
-          std::string *error)
+parseSize(const Value &v, SizeDist &out, Addr cap,
+          const std::string &where, std::string *error)
 {
     if (v.isNull())
         return true;    // keep the fixed-8-bytes default
@@ -99,9 +99,9 @@ parseSize(const Value &v, SizeDist &out, const std::string &where,
         std::uint64_t bytes = 0;
         if (!getUint(v, "bytes", bytes, true, where, error))
             return false;
-        if (bytes < 1 || bytes > maxTransferBytes)
+        if (bytes < 1 || bytes > cap)
             return fail(error, where + ".bytes must be in [1, " +
-                                   std::to_string(maxTransferBytes) + "]");
+                                   std::to_string(cap) + "]");
         out.kind = SizeDist::Kind::Fixed;
         out.fixedBytes = bytes;
         return true;
@@ -111,9 +111,9 @@ parseSize(const Value &v, SizeDist &out, const std::string &where,
         if (!getUint(v, "min", lo, true, where, error) ||
             !getUint(v, "max", hi, true, where, error))
             return false;
-        if (lo < 1 || hi > maxTransferBytes || lo > hi)
+        if (lo < 1 || hi > cap || lo > hi)
             return fail(error, where + ": need 1 <= min <= max <= " +
-                                   std::to_string(maxTransferBytes));
+                                   std::to_string(cap));
         out.kind = SizeDist::Kind::Uniform;
         out.minBytes = lo;
         out.maxBytes = hi;
@@ -128,11 +128,11 @@ parseSize(const Value &v, SizeDist &out, const std::string &where,
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             const Value &s = sizes[i];
             if (!s.isNumber() || s.asNumber() < 1 ||
-                s.asNumber() > static_cast<double>(maxTransferBytes) ||
+                s.asNumber() > static_cast<double>(cap) ||
                 s.asNumber() != std::floor(s.asNumber())) {
                 return fail(error, where + ".sizes[" + std::to_string(i) +
                                        "] must be an integer in [1, " +
-                                       std::to_string(maxTransferBytes) +
+                                       std::to_string(cap) +
                                        "]");
             }
             out.zipfSizes.push_back(static_cast<Addr>(s.asNumber()));
@@ -236,15 +236,60 @@ parseScheduler(const Value &v, SchedulerSpec &out,
 }
 
 bool
-parseStream(const Value &v, unsigned num_nodes, StreamSpec &out,
-            const std::string &where, std::string *error)
+parseIotlb(const Value &v, IotlbSpec &out, const std::string &where,
+           std::string *error)
+{
+    if (v.isNull())
+        return true;    // no IOMMU (the byte-identical baseline)
+    if (!v.isObject())
+        return fail(error, where + " must be an object");
+    if (!checkKeys(v,
+                   {"entries", "ways", "hit_cycles", "miss_cycles",
+                    "walk_cycles", "pinning", "pin_budget_pages", "fault"},
+                   where, error))
+        return false;
+
+    std::uint64_t entries = out.entries, ways = out.ways;
+    if (!getUint(v, "entries", entries, false, where, error) ||
+        !getUint(v, "ways", ways, false, where, error))
+        return false;
+    if (entries < 1 || entries > 4096)
+        return fail(error, where + ".entries must be in [1, 4096]");
+    if (ways < 1 || ways > entries)
+        return fail(error, where + ".ways must be in [1, entries]");
+    out.entries = static_cast<unsigned>(entries);
+    out.ways = static_cast<unsigned>(ways);
+
+    if (!getUint(v, "hit_cycles", out.hitCycles, false, where, error) ||
+        !getUint(v, "miss_cycles", out.missCycles, false, where, error) ||
+        !getUint(v, "walk_cycles", out.walkCycles, false, where, error) ||
+        !getUint(v, "pin_budget_pages", out.pinBudgetPages, false, where,
+                 error))
+        return false;
+
+    if (!getString(v, "pinning", out.pinning, false, where, error))
+        return false;
+    if (out.pinning != "on-map" && out.pinning != "on-demand")
+        return fail(error, where + ".pinning must be on-map|on-demand");
+    if (!getString(v, "fault", out.fault, false, where, error))
+        return false;
+    if (out.fault != "abort" && out.fault != "trap")
+        return fail(error, where + ".fault must be abort|trap");
+
+    out.enabled = true;
+    return true;
+}
+
+bool
+parseStream(const Value &v, unsigned num_nodes, bool iommu,
+            StreamSpec &out, const std::string &where, std::string *error)
 {
     if (!v.isObject())
         return fail(error, where + " must be an object");
     if (!checkKeys(v,
                    {"name", "count", "node", "protocol", "adversarial",
                     "initiations", "ops", "size", "pacing", "slots",
-                    "remote_node", "queue_depth"},
+                    "remote_node", "queue_depth", "sg_buffer"},
                    where, error))
         return false;
 
@@ -321,7 +366,28 @@ parseStream(const Value &v, unsigned num_nodes, StreamSpec &out,
         out.queueDepth = static_cast<unsigned>(depth);
     }
 
-    if (!parseSize(v["size"], out.size, where + ".size", error) ||
+    if (v.has("sg_buffer")) {
+        if (out.method != DmaMethod::Ring)
+            return fail(error, where + ".sg_buffer only valid on a "
+                                       "ring-protocol stream");
+        if (!iommu)
+            return fail(error, where + ".sg_buffer needs the scenario's "
+                                       "'iotlb' member (the engine "
+                                       "scatter-gathers only through the "
+                                       "IOMMU)");
+        std::uint64_t pages = 1;
+        if (!getUint(v, "sg_buffer", pages, true, where, error))
+            return false;
+        if (pages < 1 || pages > 8)
+            return fail(error, where + ".sg_buffer must be in [1, 8]");
+        out.sgPages = static_cast<unsigned>(pages);
+    }
+
+    // The engine caps one user transfer at a page; a scatter-gather
+    // buffer lifts the cap to its page count (docs/IOMMU.md).
+    const Addr size_cap = Addr(out.sgPages) * maxTransferBytes;
+    if (!parseSize(v["size"], out.size, size_cap, where + ".size",
+                   error) ||
         !parsePacing(v["pacing"], out.pacing, where + ".pacing", error))
         return false;
 
@@ -389,8 +455,8 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
         return fail(error, "scenario root must be an object");
     if (!checkKeys(doc,
                    {"schema", "name", "description", "nodes", "bus",
-                    "cpu_mhz", "syscall_cycles", "scheduler", "limit_us",
-                    "streams"},
+                    "cpu_mhz", "syscall_cycles", "scheduler", "iotlb",
+                    "limit_us", "streams"},
                    "scenario", error))
         return false;
 
@@ -442,6 +508,10 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
                         "scenario.scheduler", error))
         return false;
 
+    if (!parseIotlb(doc["iotlb"], scenario.iotlb, "scenario.iotlb",
+                    error))
+        return false;
+
     if (!getUint(doc, "limit_us", scenario.limitUs, false, "scenario",
                  error))
         return false;
@@ -453,7 +523,8 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
         return fail(error, "scenario.streams must be a non-empty array");
     for (std::size_t i = 0; i < streams.size(); ++i) {
         StreamSpec spec;
-        if (!parseStream(streams[i], scenario.nodes, spec,
+        if (!parseStream(streams[i], scenario.nodes,
+                         scenario.iotlb.enabled, spec,
                          "streams[" + std::to_string(i) + "]", error))
             return false;
         for (const StreamSpec &prior : scenario.streams) {

@@ -90,9 +90,33 @@ struct StreamSpec
     /** Ring streams only: descriptors enqueued per doorbell (the ring
      *  is sized to match, docs/RING.md).  1 = one-by-one. */
     unsigned queueDepth = 1;
+    /** Ring streams under an "iotlb" scenario only: pages per transfer
+     *  buffer ("sg_buffer").  > 1 lets the size distribution span
+     *  multiple pages, which the engine scatter-gathers into per-page
+     *  bus transactions (docs/IOMMU.md). */
+    unsigned sgPages = 1;
     /** >= 0: destinations live on that node, reached through a remote
      *  window (multi-node traffic).  -1 = local destinations. */
     int remoteNode = -1;
+};
+
+/** Engine IOMMU/IOTLB configuration (the "iotlb" scenario member,
+ *  docs/IOMMU.md).  When present, every node's DMA engine gets an
+ *  IOMMU and ring streams carry virtual-address descriptors. */
+struct IotlbSpec
+{
+    bool enabled = false;
+    unsigned entries = 16;       ///< total IOTLB entries
+    unsigned ways = 4;           ///< set associativity
+    std::uint64_t hitCycles = 1;
+    std::uint64_t missCycles = 6;
+    std::uint64_t walkCycles = 60;
+    /** "on-map" | "on-demand" (PinPolicy). */
+    std::string pinning = "on-map";
+    /** Max pinned pages per context; 0 = unlimited. */
+    std::uint64_t pinBudgetPages = 0;
+    /** "abort" | "trap" (IommuFaultPolicy). */
+    std::string fault = "abort";
 };
 
 /** Scheduler every node runs. */
@@ -119,6 +143,8 @@ struct Scenario
     std::uint64_t cpuMhz = 150;
     Cycles syscallCycles = 2300;
     SchedulerSpec scheduler;
+    /** Engine IOMMU (absent = no IOMMU, byte-identical baseline). */
+    IotlbSpec iotlb;
     /** Simulated-time cap; a run hitting it reports finished=false. */
     std::uint64_t limitUs = 60 * 1000 * 1000;
     std::vector<StreamSpec> streams;

@@ -76,6 +76,7 @@ planShards(const Scenario &scenario)
         sub.cpuMhz = scenario.cpuMhz;
         sub.syscallCycles = scenario.syscallCycles;
         sub.scheduler = scenario.scheduler;
+        sub.iotlb = scenario.iotlb;
         sub.limitUs = scenario.limitUs;
     }
 

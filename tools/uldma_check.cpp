@@ -76,6 +76,8 @@ replayMode(const std::string &path, const std::string &report)
     config.faults = schedule.faults;
     config.weakRecognizer = schedule.weakRecognizer;
     config.weakRing = schedule.weakRing;
+    config.useIommu = schedule.iommu;
+    config.weakIommu = schedule.weakIommu;
     const RunResult r = runSchedule(config, schedule.preemptAfter);
     const Outcome reproduced = outcomeOf(r);
 
@@ -119,6 +121,12 @@ main(int argc, char **argv)
                  "fault-inject a weakened sequence recognizer");
     opts.addFlag("weaken-ring", false,
                  "fault-inject a disabled ring frame check");
+    opts.addFlag("iommu", false,
+                 "route ring descriptors through the engine's IOMMU "
+                 "(virtual-address descriptors)");
+    opts.addFlag("weaken-iommu", false,
+                 "fault-inject raw-address bypass on IOMMU faults "
+                 "(implies --iommu)");
     opts.addFlag("no-prune", false, "disable state-hash prefix pruning");
     opts.addInt("max-runs", 0, "cap on schedule executions (0 = none)");
     opts.addString("replay", "", "re-execute a uldma-schedule-v1 file");
@@ -152,6 +160,11 @@ main(int argc, char **argv)
     config.runner.faults = opts.getFlag("faults");
     config.runner.weakRecognizer = opts.getFlag("weaken");
     config.runner.weakRing = opts.getFlag("weaken-ring");
+    config.runner.weakIommu = opts.getFlag("weaken-iommu");
+    config.runner.useIommu =
+        opts.getFlag("iommu") || config.runner.weakIommu;
+    if (config.runner.useIommu && *method != DmaMethod::Ring)
+        return usageError("--iommu/--weaken-iommu require --protocol=ring");
     config.depth = static_cast<unsigned>(opts.getInt("depth"));
     config.prune = !opts.getFlag("no-prune");
     config.maxRuns = static_cast<std::uint64_t>(opts.getInt("max-runs"));
@@ -180,6 +193,8 @@ main(int argc, char **argv)
             schedule.faults = config.runner.faults;
             schedule.weakRecognizer = config.runner.weakRecognizer;
             schedule.weakRing = config.runner.weakRing;
+            schedule.iommu = config.runner.useIommu;
+            schedule.weakIommu = config.runner.weakIommu;
             schedule.boundarySpace = result.boundarySpace;
             schedule.preemptAfter = cex.preemptAfter;
             if (!writeReport(report, schedule, outcomeOf(cex.result)))

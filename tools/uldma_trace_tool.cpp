@@ -156,6 +156,15 @@ validateSpans(Problems &p, const Value &doc)
             p.require(s["ticks"][f].isNumber(),
                       where + ".ticks." + f + " missing");
         }
+        // IOMMU-translated spans only (docs/IOMMU.md): optional, but
+        // when present they must be numbers.
+        if (!s["ticks"]["translated"].isNull())
+            p.require(s["ticks"]["translated"].isNumber(),
+                      where + ".ticks.translated is not a number");
+        if (s["phases_us"].isObject() &&
+            !s["phases_us"]["translation"].isNull())
+            p.require(s["phases_us"]["translation"].isNumber(),
+                      where + ".phases_us.translation is not a number");
         if (s["outcome"].asString() == "completed") {
             p.require(s["phases_us"].isObject(),
                       where + ".phases_us missing on completed span");
@@ -184,6 +193,9 @@ validateSpans(Problems &p, const Value &doc)
             checkQuantileBlock(p, ps["phases_us"][f],
                                where + ".phases_us." + f);
         }
+        if (!ps["phases_us"]["translation"].isNull())
+            checkQuantileBlock(p, ps["phases_us"]["translation"],
+                               where + ".phases_us.translation");
     }
 }
 
@@ -418,8 +430,8 @@ validateSchedule(Problems &p, const Value &doc)
 {
     checkNoExtra(p, doc,
                  {"schema", "protocol", "faults", "weakened_recognizer",
-                  "weakened_ring", "boundary_space", "preempt_after",
-                  "outcome"},
+                  "weakened_ring", "iommu", "weakened_iommu",
+                  "boundary_space", "preempt_after", "outcome"},
                  "root");
     p.require(doc["protocol"].isString(), "protocol missing");
     if (doc["protocol"].isString()) {
@@ -437,6 +449,12 @@ validateSchedule(Problems &p, const Value &doc)
     if (!doc["weakened_ring"].isNull())
         p.require(doc["weakened_ring"].isBool(),
                   "weakened_ring is not a bool");
+    // Optional likewise: absent before the IOMMU subsystem.
+    if (!doc["iommu"].isNull())
+        p.require(doc["iommu"].isBool(), "iommu is not a bool");
+    if (!doc["weakened_iommu"].isNull())
+        p.require(doc["weakened_iommu"].isBool(),
+                  "weakened_iommu is not a bool");
     p.require(doc["boundary_space"].isNumber(), "boundary_space missing");
     p.require(doc["preempt_after"].isArray(), "preempt_after missing");
     if (doc["preempt_after"].isArray()) {
@@ -586,6 +604,69 @@ validateRing(Problems &p, const Value &doc)
     }
 }
 
+/** Strict uldma-iommu-v1 check (bench_iommu IOTLB/pinning sweeps). */
+void
+validateIommu(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "benchmark", "wall_ns", "seed", "transfers",
+                  "transfer_bytes", "iotlb_entries", "iotlb_ways",
+                  "points", "hot_us", "cold_us", "walk_penalty_us"},
+                 "root");
+    p.require(doc["benchmark"].isString(), "benchmark missing");
+    for (const char *f :
+         {"wall_ns", "seed", "transfers", "transfer_bytes",
+          "iotlb_entries", "iotlb_ways", "hot_us", "cold_us",
+          "walk_penalty_us"})
+        p.require(doc[f].isNumber(), std::string(f) + " missing");
+
+    p.require(doc["points"].isArray(), "points missing");
+    if (doc["points"].isArray()) {
+        const auto &rows = doc["points"].asArray();
+        p.require(!rows.empty(), "points is empty");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where = "points[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"pinning", "slots", "hits", "misses", "walks",
+                          "hit_rate", "amortized_us",
+                          "translation_p50_us", "demand_pins",
+                          "pin_evictions"},
+                         where);
+            p.require(r["pinning"].isString(), where + ".pinning missing");
+            if (r["pinning"].isString()) {
+                const std::string &pin = r["pinning"].asString();
+                p.require(pin == "on-map" || pin == "on-demand",
+                          where + ".pinning must be on-map|on-demand");
+            }
+            for (const char *f :
+                 {"slots", "hits", "misses", "walks", "hit_rate",
+                  "amortized_us", "translation_p50_us", "demand_pins",
+                  "pin_evictions"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+            if (r["hit_rate"].isNumber()) {
+                const double hr = r["hit_rate"].asNumber();
+                p.require(hr >= 0.0 && hr <= 1.0,
+                          where + ".hit_rate outside [0, 1]");
+            }
+            if (r["slots"].isNumber())
+                p.require(r["slots"].asNumber() >= 1.0,
+                          where + ".slots below 1");
+            // One row per (pinning, slots) sweep point.
+            for (std::size_t j = 0; j < i; ++j) {
+                const Value &o = rows[j];
+                const bool dup =
+                    o["pinning"].isString() && r["pinning"].isString() &&
+                    o["pinning"].asString() == r["pinning"].asString() &&
+                    o["slots"].isNumber() && r["slots"].isNumber() &&
+                    o["slots"].asNumber() == r["slots"].asNumber();
+                p.require(!dup, where + " duplicates points[" +
+                                    std::to_string(j) + "]");
+            }
+        }
+    }
+}
+
 /** Strict uldma-profile-v1 scope-tree node check (recursive). */
 void
 validateProfileNode(Problems &p, const Value &node, bool host_time,
@@ -659,8 +740,14 @@ validateBenchSummary(Problems &p, const Value &doc)
     for (std::size_t i = 0; i < reports.size(); ++i) {
         const Value &r = reports[i];
         const std::string where = "reports[" + std::to_string(i) + "]";
-        checkNoExtra(p, r, {"file", "document"}, where);
+        checkNoExtra(p, r, {"file", "document", "wall_s"}, where);
         p.require(r["file"].isString(), where + ".file missing");
+        // Host wall time of the producing bench run; optional (older
+        // summaries predate it), never gated.
+        if (!r["wall_s"].isNull())
+            p.require(r["wall_s"].isNumber() &&
+                          r["wall_s"].asNumber() >= 0.0,
+                      where + ".wall_s is not a non-negative number");
         const Value &inner = r["document"];
         p.require(inner.isObject(), where + ".document missing");
         if (!inner.isObject())
@@ -712,6 +799,7 @@ const SchemaEntry schemaRegistry[] = {
     {"uldma-workload", 1, validateWorkload},
     {"uldma-schedule", 1, validateSchedule},
     {"uldma-ring", 1, validateRing},
+    {"uldma-iommu", 1, validateIommu},
     {"uldma-profile", 1, validateProfile},
     {"uldma-bench-summary", 1, validateBenchSummary},
 };
@@ -890,6 +978,43 @@ summarizeRing(const std::string &path, const Value &doc)
     return 0;
 }
 
+/** IOTLB sweep table of one uldma-iommu-v1 document. */
+int
+summarizeIommu(const std::string &path, const Value &doc)
+{
+    std::printf("%s: %s, %.0f x %.0f B transfers, %.0f-entry "
+                "%.0f-way IOTLB, seed %.0f\n\n",
+                path.c_str(), doc["benchmark"].asString().c_str(),
+                doc["transfers"].asNumber(),
+                doc["transfer_bytes"].asNumber(),
+                doc["iotlb_entries"].asNumber(),
+                doc["iotlb_ways"].asNumber(), doc["seed"].asNumber());
+
+    std::printf("%-10s %6s %8s %8s %8s %9s %14s %10s %7s %9s\n",
+                "pinning", "slots", "hits", "misses", "walks",
+                "hit rate", "amortized us", "xlate p50", "pins",
+                "evictions");
+    for (const Value &r : doc["points"].asArray()) {
+        std::printf("%-10s %6.0f %8.0f %8.0f %8.0f %9.3f %14.3f "
+                    "%10.3f %7.0f %9.0f\n",
+                    r["pinning"].asString().c_str(),
+                    r["slots"].asNumber(), r["hits"].asNumber(),
+                    r["misses"].asNumber(), r["walks"].asNumber(),
+                    r["hit_rate"].asNumber(),
+                    r["amortized_us"].asNumber(),
+                    r["translation_p50_us"].asNumber(),
+                    r["demand_pins"].asNumber(),
+                    r["pin_evictions"].asNumber());
+    }
+
+    std::printf("\nhot (IOTLB-resident) %.3f us/transfer, cold "
+                "(walk-bound) %.3f us/transfer: %.3f us walk "
+                "penalty\n",
+                doc["hot_us"].asNumber(), doc["cold_us"].asNumber(),
+                doc["walk_penalty_us"].asNumber());
+    return 0;
+}
+
 int
 cmdSummarize(const std::string &path)
 {
@@ -900,10 +1025,12 @@ cmdSummarize(const std::string &path)
         return summarizeWorkload(path, doc);
     if (doc["schema"].asString() == "uldma-ring-v1")
         return summarizeRing(path, doc);
+    if (doc["schema"].asString() == "uldma-iommu-v1")
+        return summarizeIommu(path, doc);
     if (doc["schema"].asString() != "uldma-spans-v1") {
         std::fprintf(stderr,
-                     "%s: not a uldma-spans-v1, uldma-workload-v1 or "
-                     "uldma-ring-v1 document\n",
+                     "%s: not a uldma-spans-v1, uldma-workload-v1, "
+                     "uldma-ring-v1 or uldma-iommu-v1 document\n",
                      path.c_str());
         return 2;
     }
@@ -1444,6 +1571,47 @@ benchDiffRing(BenchDiffStats &st, const Value &base, const Value &cur,
                 bad ? "  REGRESSION" : "");
 }
 
+void
+benchDiffIommu(BenchDiffStats &st, const Value &base, const Value &cur,
+               double threshold_pct)
+{
+    for (const Value &b : base["points"].asArray()) {
+        const std::string pinning = b["pinning"].asString();
+        const double slots = b["slots"].asNumber();
+        const Value *c = nullptr;
+        for (const Value &cand : cur["points"].asArray()) {
+            if (cand["pinning"].asString() == pinning &&
+                cand["slots"].asNumber() == slots) {
+                c = &cand;
+                break;
+            }
+        }
+        char rowbuf[48];
+        std::snprintf(rowbuf, sizeof(rowbuf), "%s/%.0f",
+                      pinning.c_str(), slots);
+        const std::string row = rowbuf;
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole point)");
+            continue;
+        }
+        // Latency and walk count must not grow; the hit rate must not
+        // shrink (direction +1 inverts the regression test).
+        compareMetric(st, row, "amortized_us", -1,
+                      b["amortized_us"].asNumber(),
+                      (*c)["amortized_us"].asNumber(), threshold_pct);
+        compareMetric(st, row, "walks", -1, b["walks"].asNumber(),
+                      (*c)["walks"].asNumber(), threshold_pct);
+        compareMetric(st, row, "hit_rate", +1, b["hit_rate"].asNumber(),
+                      (*c)["hit_rate"].asNumber(), threshold_pct);
+    }
+
+    for (const char *metric : {"hot_us", "cold_us"}) {
+        compareMetric(st, "headline", metric, -1,
+                      base[metric].asNumber(), cur[metric].asNumber(),
+                      threshold_pct);
+    }
+}
+
 int
 cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
              double threshold_pct)
@@ -1459,10 +1627,12 @@ cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
                      cur["schema"].asString().c_str());
         return 2;
     }
-    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1") {
+    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1" &&
+        schema != "uldma-iommu-v1") {
         std::fprintf(stderr,
-                     "%s: bench-diff compares uldma-bench-v1 or "
-                     "uldma-ring-v1 documents, not '%s'\n",
+                     "%s: bench-diff compares uldma-bench-v1, "
+                     "uldma-ring-v1 or uldma-iommu-v1 documents, "
+                     "not '%s'\n",
                      base_path.c_str(), schema.c_str());
         return 2;
     }
@@ -1479,6 +1649,8 @@ cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
     BenchDiffStats st;
     if (schema == "uldma-bench-v1")
         benchDiffRecords(st, base, cur, threshold_pct);
+    else if (schema == "uldma-iommu-v1")
+        benchDiffIommu(st, base, cur, threshold_pct);
     else
         benchDiffRing(st, base, cur, threshold_pct);
 
@@ -1537,10 +1709,12 @@ cmdBenchPerturb(const std::string &in_path, const std::string &out_path,
     if (!parseFile(in_path, doc))
         return 2;
     const std::string schema = doc["schema"].asString();
-    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1") {
+    if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1" &&
+        schema != "uldma-iommu-v1") {
         std::fprintf(stderr,
-                     "%s: bench-perturb handles uldma-bench-v1 or "
-                     "uldma-ring-v1 documents, not '%s'\n",
+                     "%s: bench-perturb handles uldma-bench-v1, "
+                     "uldma-ring-v1 or uldma-iommu-v1 documents, "
+                     "not '%s'\n",
                      in_path.c_str(), schema.c_str());
         return 2;
     }
@@ -1557,6 +1731,9 @@ cmdBenchPerturb(const std::string &in_path, const std::string &out_path,
             (key == "per_transfer_us" || key == "amortized_us" ||
              key == "total_us" || key == "instructions_per_transfer" ||
              key == "uncached_per_transfer"))
+            return v * factor;
+        if (parent == "points" &&
+            (key == "amortized_us" || key == "translation_p50_us"))
             return v * factor;
         return v;
     };
@@ -1585,8 +1762,9 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: uldma_trace_tool summarize "
-                 "<spans.json | workload-report.json | ring-sweep.json>\n"
+                 "usage: uldma_trace_tool summarize <spans.json | "
+                 "workload-report.json | ring-sweep.json | "
+                 "iommu-sweep.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
                  "       uldma_trace_tool profile <profile.json> "
