@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Capability-gated initiation exhibit (docs/CAPABILITIES.md).  Two
+ * parts:
+ *
+ * 1. Table-1-style initiation cost: the per-operation wall time of
+ *    the capability presentation (three argument stores, the capword
+ *    commit, and the status wait) next to key-based DMA, the paper
+ *    protocol sharing the same engine mode.  The delta is the price
+ *    of the table lookup plus the arbiter hop.
+ *
+ * 2. A tenant-sharing storm: 128 concurrent tenants — 32 per rate
+ *    class — each holding one capability slot and pushing fixed-size
+ *    transfers through one engine.  The weighted round-robin arbiter
+ *    (class c carries weight 1<<c) shapes per-class throughput; the
+ *    exhibit reports per-class shares, the per-tenant min/max share,
+ *    the worst queue wait any request saw, and the Jain fairness
+ *    index over all tenants.
+ *
+ * Like bench_ring/bench_iommu, --json writes a dedicated document
+ * (schema uldma-cap-v1, consumed by CI as BENCH_cap.json) instead of
+ * the generic uldma-bench-v1 record list.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace uldma;
+
+/** Initiations averaged over in the Table-1-style comparison. */
+constexpr unsigned kInitIterations = 1000;
+
+/** Tenant-storm shape: kClasses rate classes x kTenantsPerClass
+ *  tenants, each issuing kTransfersPerTenant transfers of
+ *  kStormBytes.  Full pages keep the engine bandwidth-bound, so the
+ *  arbiter — not the CPU — decides the shares. */
+constexpr unsigned kClasses = 4;
+constexpr unsigned kTenantsPerClass = 32;
+constexpr unsigned kTenants = kClasses * kTenantsPerClass;
+constexpr unsigned kTransfersPerTenant = 64;
+constexpr Addr kStormBytes = pageSize;
+/** CPU quantum of the storm: short slices interleave the tenants'
+ *  presentations, so the arbiter queues actually build depth. */
+constexpr std::uint64_t kStormQuantumUs = 20;
+/** Observation horizon.  Demand (kTenants x kTransfersPerTenant
+ *  pages) deliberately outlasts it: shares are read mid-backlog,
+ *  where the weighted round-robin — not run-to-completion — decides
+ *  who moved how much. */
+constexpr std::uint64_t kStormHorizonUs = 200 * 1000;
+
+struct ClassShare
+{
+    unsigned rateClass = 0;
+    unsigned tenants = 0;
+    std::uint64_t bytes = 0;
+    double share = 0.0;
+};
+
+struct StormMeasurement
+{
+    std::uint64_t totalBytes = 0;
+    double durationUs = 0.0;
+    double jainIndex = 0.0;
+    double maxStarvationUs = 0.0;
+    double minTenantShare = 0.0;
+    double maxTenantShare = 0.0;
+    std::uint64_t presentations = 0;
+    std::uint64_t rejects = 0;
+    std::vector<ClassShare> classes;
+};
+
+/**
+ * Run the 128-tenant storm: every tenant gets one slot at its rate
+ * class over a private src/dst page pair, then pushes
+ * kTransfersPerTenant page-sized transfers closed-loop.
+ */
+StormMeasurement
+measureStorm()
+{
+    MachineConfig mc;
+    mc.node.bus = BusParams::turboChannel();
+    mc.node.cpu = calibration::alpha3000Model300();
+    mc.node.kernel = calibration::osf1Class();
+    configureNode(mc.node, DmaMethod::Cap);
+    mc.node.dma.cap.numSlots = 256;
+    mc.node.dma.cap.rateClasses = kClasses;
+    mc.node.makeScheduler = []() {
+        return std::make_unique<RoundRobinScheduler>(kStormQuantumUs *
+                                                     tickPerUs);
+    };
+
+    Machine machine(mc);
+    Node &node = machine.node(0);
+    Kernel &kernel = node.kernel();
+
+    std::vector<int> tenant_slot(kTenants, -1);
+    std::vector<unsigned> tenant_class(kTenants, 0);
+
+    for (unsigned t = 0; t < kTenants; ++t) {
+        const unsigned rate = t / kTenantsPerClass;
+        tenant_class[t] = rate;
+        kernel.spawn("tenant." + std::to_string(t), [&](Process &proc) {
+            const Addr src =
+                kernel.allocate(proc, pageSize, Rights::ReadWrite);
+            const Addr dst =
+                kernel.allocate(proc, pageSize, Rights::ReadWrite);
+            kernel.createShadowMappings(proc, src, pageSize);
+            kernel.createShadowMappings(proc, dst, pageSize);
+            const int slot = kernel.capGrant(proc, src, pageSize, rate);
+            ULDMA_ASSERT(slot >= 0, "storm tenant without a slot");
+            ULDMA_ASSERT(kernel.capExtend(proc,
+                                          static_cast<unsigned>(slot),
+                                          dst, pageSize),
+                         "storm tenant could not span its destination");
+            tenant_slot[t] = slot;
+
+            Program prog;
+            for (unsigned i = 0; i < kTransfersPerTenant; ++i)
+                emitInitiation(prog, kernel, proc, DmaMethod::Cap, src,
+                               dst, kStormBytes);
+            prog.exit();
+            return prog;
+        });
+    }
+
+    machine.start();
+    const bool finished = machine.run(kStormHorizonUs * tickPerUs);
+    ULDMA_ASSERT(!finished,
+                 "storm demand ran dry before the horizon — raise "
+                 "kTransfersPerTenant");
+
+    const DmaEngine &engine = node.dmaEngine();
+    const CapTable *table = engine.cap();
+    const CapArbiter *arbiter = engine.capArbiter();
+    ULDMA_ASSERT(table != nullptr && arbiter != nullptr,
+                 "storm engine lost its capability unit");
+
+    StormMeasurement m;
+    m.durationUs = ticksToUs(machine.now());
+    m.classes.resize(kClasses);
+    std::vector<std::uint64_t> tenant_bytes(kTenants, 0);
+    for (unsigned t = 0; t < kTenants; ++t) {
+        ULDMA_ASSERT(tenant_slot[t] >= 0, "tenant never got its slot");
+        const std::uint64_t bytes =
+            table->slotBytes(static_cast<unsigned>(tenant_slot[t]));
+        tenant_bytes[t] = bytes;
+        m.totalBytes += bytes;
+        ClassShare &cls = m.classes[tenant_class[t]];
+        cls.rateClass = tenant_class[t];
+        ++cls.tenants;
+        cls.bytes += bytes;
+    }
+    ULDMA_ASSERT(m.totalBytes > 0, "storm moved no bytes");
+    for (ClassShare &cls : m.classes)
+        cls.share = static_cast<double>(cls.bytes) /
+                    static_cast<double>(m.totalBytes);
+
+    const auto [lo, hi] =
+        std::minmax_element(tenant_bytes.begin(), tenant_bytes.end());
+    m.minTenantShare =
+        static_cast<double>(*lo) / static_cast<double>(m.totalBytes);
+    m.maxTenantShare =
+        static_cast<double>(*hi) / static_cast<double>(m.totalBytes);
+    m.jainIndex = table->jainIndex();
+    m.maxStarvationUs =
+        ticksToUs(static_cast<Tick>(arbiter->maxStarvationTicks()));
+    m.presentations = engine.numCapPresentations();
+    m.rejects = engine.numCapRejects();
+    return m;
+}
+
+/** Results stashed by the exhibit for the uldma-cap-v1 document. */
+InitiationMeasurement g_cap;
+InitiationMeasurement g_keyBased;
+StormMeasurement g_storm;
+
+void
+printExhibit()
+{
+    {
+        MeasureConfig config;
+        config.method = DmaMethod::Cap;
+        config.iterations = kInitIterations;
+        g_cap = measureInitiation(config);
+        config.method = DmaMethod::KeyBased;
+        g_keyBased = measureInitiation(config);
+    }
+
+    benchutil::header("Capability-gated DMA: initiation cost and "
+                      "multi-tenant fairness");
+    std::printf("initiation (%u x %u B, Table-1 conditions):\n\n",
+                kInitIterations, 8u);
+    std::printf("%-28s %10s %10s %10s %8s\n", "method", "avg us",
+                "min us", "max us", "instrs");
+    benchutil::rule(70);
+    for (const InitiationMeasurement *m : {&g_cap, &g_keyBased}) {
+        std::printf("%-28s %10.2f %10.2f %10.2f %8.1f\n",
+                    toString(m->method), m->avgUs, m->minUs, m->maxUs,
+                    m->instructions);
+    }
+    std::printf("\ncapability premium over key-based: %.2f us "
+                "(table check + arbiter hop + completion wait)\n",
+                g_cap.avgUs - g_keyBased.avgUs);
+
+    g_storm = measureStorm();
+    std::printf("\ntenant storm: %u tenants (%u per class), %u x %llu B "
+                "each, %.1f us simulated\n\n",
+                kTenants, kTenantsPerClass, kTransfersPerTenant,
+                static_cast<unsigned long long>(kStormBytes),
+                g_storm.durationUs);
+    std::printf("%-12s %-8s %-14s %-8s %s\n", "rate class", "weight",
+                "bytes", "share", "share/tenant");
+    benchutil::rule(60);
+    for (const ClassShare &cls : g_storm.classes) {
+        std::printf("%-12u %-8u %-14llu %-8.3f %.5f\n", cls.rateClass,
+                    CapArbiter::weightOf(cls.rateClass),
+                    static_cast<unsigned long long>(cls.bytes),
+                    cls.share, cls.share / cls.tenants);
+    }
+    std::printf("\njain index %.4f over %u tenants; per-tenant share "
+                "min %.5f max %.5f;\nworst queue wait %.1f us; %llu "
+                "presentation(s), %llu reject(s)\n",
+                g_storm.jainIndex, kTenants, g_storm.minTenantShare,
+                g_storm.maxTenantShare, g_storm.maxStarvationUs,
+                static_cast<unsigned long long>(g_storm.presentations),
+                static_cast<unsigned long long>(g_storm.rejects));
+}
+
+void
+writeCapJson(std::ostream &os, std::uint64_t wall_ns)
+{
+    json::Writer w(os, /*pretty=*/true);
+    w.beginObject();
+    w.member("schema", "uldma-cap-v1");
+    w.member("benchmark", "bench_cap");
+    w.member("wall_ns", wall_ns);
+    w.member("seed", benchutil::seedBase());
+
+    w.key("initiation");
+    w.beginArray();
+    for (const InitiationMeasurement *m : {&g_cap, &g_keyBased}) {
+        w.beginObject();
+        w.member("method",
+                 m->method == DmaMethod::Cap ? "cap" : "key-based");
+        w.member("iterations", std::uint64_t{m->iterations});
+        w.member("avg_us", m->avgUs);
+        w.member("min_us", m->minUs);
+        w.member("max_us", m->maxUs);
+        w.member("instructions_per_initiation", m->instructions);
+        w.member("uncached_accesses_per_initiation",
+                 m->uncachedAccesses);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("fairness");
+    w.beginObject();
+    w.member("tenants", std::uint64_t{kTenants});
+    w.member("transfers_per_tenant", std::uint64_t{kTransfersPerTenant});
+    w.member("transfer_bytes", std::uint64_t{kStormBytes});
+    w.member("duration_us", g_storm.durationUs);
+    w.member("total_bytes", g_storm.totalBytes);
+    w.member("presentations", g_storm.presentations);
+    w.member("rejects", g_storm.rejects);
+    w.key("classes");
+    w.beginArray();
+    for (const ClassShare &cls : g_storm.classes) {
+        w.beginObject();
+        w.member("rate_class", std::uint64_t{cls.rateClass});
+        w.member("weight",
+                 std::uint64_t{CapArbiter::weightOf(cls.rateClass)});
+        w.member("tenants", std::uint64_t{cls.tenants});
+        w.member("bytes", cls.bytes);
+        w.member("share", cls.share);
+        w.endObject();
+    }
+    w.endArray();
+    w.member("jain_index", g_storm.jainIndex);
+    w.member("min_tenant_share", g_storm.minTenantShare);
+    w.member("max_tenant_share", g_storm.maxTenantShare);
+    w.member("max_starvation_us", g_storm.maxStarvationUs);
+    w.endObject();
+
+    w.member("cap_avg_us", g_cap.avgUs);
+    w.member("key_based_avg_us", g_keyBased.avgUs);
+    w.member("cap_premium_us", g_cap.avgUs - g_keyBased.avgUs);
+    w.endObject();
+    os << "\n";
+}
+
+void
+registerBenchmarks()
+{
+    benchmark::RegisterBenchmark(
+        "cap/initiation",
+        [](benchmark::State &state) {
+            double us = 0;
+            for (auto _ : state) {
+                MeasureConfig config;
+                config.method = DmaMethod::Cap;
+                config.iterations = 200;
+                us = measureInitiation(config).avgUs;
+            }
+            state.counters["sim_us_per_initiation"] = us;
+        })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        "cap/storm",
+        [](benchmark::State &state) {
+            StormMeasurement m;
+            for (auto _ : state)
+                m = measureStorm();
+            state.counters["jain_index"] = m.jainIndex;
+        })
+        ->Unit(benchmark::kMillisecond);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerBenchmarks();
+    // This binary's --json report is the uldma-cap-v1 document, not
+    // the shared uldma-bench-v1 record list.
+    uldma::benchutil::setDocumentWriter(writeCapJson);
+    return uldma::benchutil::benchMain(argc, argv, printExhibit);
+}

@@ -121,16 +121,20 @@ echo "bench_all.sh: wrote ${#written[@]} report(s):"
 # and a key metric pulled from the document), plus the merged
 # uldma-bench-summary-v1 document embedding every report verbatim with
 # the wall-clock seconds its producer took.
-python3 - "$seed" "${#written[@]}" "${written[@]}" "${walls[@]}" <<'PYEOF'
+python3 - "$seed" "$(nproc)" "${#written[@]}" "${written[@]}" "${walls[@]}" <<'PYEOF'
 import json, sys
 
 seed = int(sys.argv[1])
-count = int(sys.argv[2])
-paths = sys.argv[3:3 + count]
-walls = [float(w) for w in sys.argv[3 + count:3 + 2 * count]]
+host_cores = int(sys.argv[2])
+count = int(sys.argv[3])
+paths = sys.argv[4:4 + count]
+walls = [float(w) for w in sys.argv[4 + count:4 + 2 * count]]
 rows = []
+# host_cores records the producing machine's parallelism so a
+# bench-summary artifact is interpretable off-box (wall_s rows are
+# host-dependent); the validator treats it as informational.
 summary = {"schema": "uldma-bench-summary-v1", "seed": seed,
-           "reports": []}
+           "host_cores": host_cores, "reports": []}
 for path, wall_s in zip(paths, walls):
     try:
         doc = json.load(open(path))
@@ -155,6 +159,12 @@ for path, wall_s in zip(paths, walls):
     elif schema == "uldma-iommu-v1":
         key = (f"{len(doc.get('points', []))} point(s), "
                f"walk_penalty_us={doc.get('walk_penalty_us', 0):g}")
+        rows.append((path, schema, wall_s, key))
+    elif schema == "uldma-cap-v1":
+        fair = doc.get("fairness", {})
+        key = (f"{fair.get('tenants', 0)} tenant(s), "
+               f"jain_index={fair.get('jain_index', 0):g}, "
+               f"cap_premium_us={doc.get('cap_premium_us', 0):g}")
         rows.append((path, schema, wall_s, key))
     else:
         rows.append((path, schema, wall_s,

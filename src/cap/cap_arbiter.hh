@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The engine's multi-tenant arbiter (docs/CAPABILITIES.md).  Every
+ * validated capability presentation is enqueued here instead of going
+ * straight to the transfer pipeline; the engine asks for the next
+ * request each time the pipeline frees up.  Dispatch is weighted
+ * round-robin over rate classes (class c carries weight 1<<c), with
+ * per-request starvation accounting so a saturating tenant cannot
+ * silently park everyone else: queue-wait ticks are recorded per
+ * dispatch and the worst case is exported as a stat.
+ */
+
+#ifndef ULDMA_CAP_CAP_ARBITER_HH
+#define ULDMA_CAP_CAP_ARBITER_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/** One validated presentation waiting for bandwidth. */
+struct CapRequest
+{
+    unsigned slot = 0;
+    Addr src = 0;
+    Addr dst = 0;
+    Addr size = 0;
+    Tick enqueued = 0;
+    /** Transfer span opened at commit (sim/span.hh id). */
+    std::uint64_t spanId = 0;
+    /** Pids that wrote the presentation (checker oracle input). */
+    std::vector<Pid> contributors;
+};
+
+class CapArbiter
+{
+  public:
+    CapArbiter(std::string name, unsigned num_classes);
+
+    /** Weight of @p rate_class in the round-robin schedule. */
+    static unsigned weightOf(unsigned rate_class)
+    {
+        return 1u << rate_class;
+    }
+
+    void enqueue(unsigned rate_class, CapRequest req);
+
+    bool empty() const;
+    std::size_t depth() const;
+
+    /**
+     * Pick the next request by weighted round-robin.  A class keeps
+     * the grant while it has both credit and queued work; exhausted
+     * credits refill only once every backlogged class has spent
+     * its round.  @return false when every queue is empty.
+     */
+    bool dispatch(Tick now, CapRequest &out);
+
+    /** Drop every queued request of @p slot (revocation / teardown);
+     *  returns the dropped requests so the engine can fail their
+     *  presentations closed. */
+    std::vector<CapRequest> purgeSlot(unsigned slot);
+
+    stats::Group &statsGroup() { return statsGroup_; }
+    std::uint64_t enqueues() const { return enqueues_.value(); }
+    std::uint64_t dispatches() const { return dispatches_.value(); }
+    std::uint64_t purged() const { return purged_.value(); }
+    /** Worst queue wait any dispatched request saw, in ticks. */
+    std::uint64_t maxStarvationTicks() const
+    {
+        return static_cast<std::uint64_t>(queueWait_.max());
+    }
+
+    /** FNV-1a mix of queues, credits and cursor (engine stateHash). */
+    std::uint64_t stateHash() const;
+
+  private:
+    void refill();
+
+    std::string name_;
+    std::vector<std::deque<CapRequest>> queues_;
+    std::vector<unsigned> credits_;
+    unsigned cursor_ = 0;
+
+    stats::Group statsGroup_;
+    stats::Scalar enqueues_;
+    stats::Scalar dispatches_;
+    stats::Scalar purged_;
+    stats::Scalar refills_;
+    stats::Average queueWait_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CAP_CAP_ARBITER_HH

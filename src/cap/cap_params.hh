@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Configuration of the capability-gated initiation family
+ * (docs/CAPABILITIES.md).  Like the IOMMU, the unit is strictly
+ * opt-in: with enabled=false no CapTable or CapArbiter is
+ * constructed, no capability window is decoded, no stats group is
+ * registered and no cost is charged anywhere, so a disabled build is
+ * byte-identical to a tree without the subsystem.
+ */
+
+#ifndef ULDMA_CAP_CAP_PARAMS_HH
+#define ULDMA_CAP_CAP_PARAMS_HH
+
+#include "util/bitfield.hh"
+#include "util/types.hh"
+
+namespace uldma {
+
+/**
+ * Capword layout.  A capability handle is one 64-bit word the kernel
+ * hands out at capGrant time: the slot index it names, the slot's
+ * generation at issue time, and a 40-bit secret drawn from the
+ * kernel's CSPRNG.  The engine compares all three against its table
+ * on every presentation, so a forged word fails on the secret and a
+ * word that outlived a revocation fails on the generation.
+ */
+namespace capfield {
+
+inline constexpr unsigned slotBits = 8;
+inline constexpr unsigned genShift = 8;
+inline constexpr unsigned genBits = 16;
+inline constexpr unsigned secretShift = 24;
+inline constexpr unsigned secretBits = 40;
+
+constexpr std::uint64_t
+pack(unsigned slot, std::uint64_t generation, std::uint64_t secret)
+{
+    return (std::uint64_t(slot) & mask(slotBits)) |
+           ((generation & mask(genBits)) << genShift) |
+           ((secret & mask(secretBits)) << secretShift);
+}
+
+constexpr unsigned
+slotOf(std::uint64_t word)
+{
+    return static_cast<unsigned>(word & mask(slotBits));
+}
+
+constexpr std::uint64_t
+genOf(std::uint64_t word)
+{
+    return (word >> genShift) & mask(genBits);
+}
+
+constexpr std::uint64_t
+secretOf(std::uint64_t word)
+{
+    return (word >> secretShift) & mask(secretBits);
+}
+
+} // namespace capfield
+
+/** Span rights bits in the capability table (kregs::capConfig). */
+namespace caprights {
+
+inline constexpr std::uint64_t read = 0x1;
+inline constexpr std::uint64_t write = 0x2;
+
+} // namespace caprights
+
+/**
+ * Layout of a slot's user-mapped presentation page: a presentation is
+ * three argument stores followed by the capword store, which commits
+ * (the engine validates and enqueues into the arbiter).  Reading back
+ * the word offset returns the slot's last initiation status.
+ */
+namespace cappage {
+
+inline constexpr Addr src = 0x00;   ///< store: source physical address
+inline constexpr Addr dst = 0x08;   ///< store: destination physical address
+inline constexpr Addr size = 0x10;  ///< store: transfer length in bytes
+inline constexpr Addr word = 0x18;  ///< store: capword (commit); load: status
+
+} // namespace cappage
+
+struct CapParams
+{
+    bool enabled = false;
+
+    /** Capability table entries == presentation pages decoded.  Caps
+     *  the tenant population; bounded by capfield::slotBits. */
+    unsigned numSlots = 256;
+
+    /** Frame spans one slot may hold (kernel appends one per
+     *  contiguous physical run it authorizes). */
+    unsigned maxSpansPerSlot = 8;
+
+    /** Weighted-round-robin rate classes; class c gets weight 1<<c,
+     *  so each step up doubles a tenant's bandwidth share. */
+    unsigned rateClasses = 4;
+
+    /** Bus-clock cycles charged for table lookup + secret/generation/
+     *  span validation on every presentation commit. */
+    Cycles checkCycles = 2;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CAP_CAP_PARAMS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The engine's kernel-owned capability table (docs/CAPABILITIES.md).
+ * Each slot holds one tenant's grant: the frame spans device access
+ * is confined to, the rights over them, a rate class for the arbiter,
+ * a generation counter, and the unforgeable secret the kernel drew at
+ * grant time.
+ *
+ * The kernel programs slots exclusively through the engine's kernel
+ * register block (kregs::cap*) — the same privilege argument as ring
+ * and IOMMU configuration: user processes can never reach the kernel
+ * block, so they can never mint or widen a capability.  Users only
+ * ever present capwords; check() compares slot, secret and generation
+ * and confines both endpoints of the transfer to the slot's spans.
+ *
+ * Revocation bumps the generation, so every capword issued before the
+ * revoke — the owner's and any delegate's — fails closed from that
+ * instant, while the kernel re-arms the owner with a fresh secret.
+ */
+
+#ifndef ULDMA_CAP_CAP_TABLE_HH
+#define ULDMA_CAP_CAP_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "cap/cap_params.hh"
+#include "sim/stats.hh"
+
+namespace uldma {
+
+/** Why a capability presentation was refused. */
+enum class CapFault : std::uint8_t
+{
+    None,
+    BadSlot,          ///< slot index outside the table
+    NotValid,         ///< slot not installed (never granted / reaped)
+    BadSecret,        ///< capword slot or secret mismatch (forgery)
+    StaleGeneration,  ///< capword predates a revocation
+    SpanDenied,       ///< endpoint outside the slot's frame spans
+};
+
+const char *toString(CapFault fault);
+
+/** One contiguous physical frame run a slot is authorized over. */
+struct CapSpan
+{
+    Addr base = 0;
+    Addr limit = 0;  ///< exclusive
+};
+
+class CapTable
+{
+  public:
+    CapTable(std::string name, const CapParams &params);
+
+    // --- kernel-facing (reached through kregs::cap*) ---------------
+
+    /** Set a slot's rights mask and rate class. */
+    bool configure(unsigned slot, std::uint64_t rights,
+                   unsigned rate_class);
+
+    /** Append a frame span; fails past maxSpansPerSlot. */
+    bool addSpan(unsigned slot, Addr base, Addr limit);
+
+    /** Arm the slot: store the secret and mark it valid.  The
+     *  generation is preserved, so re-installing after revoke() keeps
+     *  stale capwords dead. */
+    bool install(unsigned slot, std::uint64_t secret);
+
+    /** Bump the generation: every outstanding capword for this slot
+     *  fails closed from now on. */
+    bool revoke(unsigned slot);
+
+    /** Tear the slot down (process exit): invalid, spans cleared,
+     *  generation bumped. */
+    bool invalidate(unsigned slot);
+
+    // --- engine-facing ---------------------------------------------
+
+    /**
+     * Validate one presentation: @p capword against slot state, then
+     * [src, src+size) against the read spans and [dst, dst+size)
+     * against the write spans.
+     */
+    CapFault check(unsigned slot, std::uint64_t capword, Addr src,
+                   Addr dst, Addr size);
+
+    /** Per-tenant throughput accounting (completed transfers only). */
+    void recordBytes(unsigned slot, Addr bytes);
+
+    // --- introspection ---------------------------------------------
+
+    const CapParams &params() const { return params_; }
+    bool valid(unsigned slot) const { return slots_[slot].valid; }
+    unsigned rateClass(unsigned slot) const
+    {
+        return slots_[slot].rateClass;
+    }
+    std::uint64_t generation(unsigned slot) const
+    {
+        return slots_[slot].generation;
+    }
+    std::uint64_t slotBytes(unsigned slot) const
+    {
+        return slots_[slot].bytes;
+    }
+    const std::vector<CapSpan> &spans(unsigned slot) const
+    {
+        return slots_[slot].spans;
+    }
+
+    stats::Group &statsGroup() { return statsGroup_; }
+    std::uint64_t checks() const { return checks_.value(); }
+    std::uint64_t installs() const { return installs_.value(); }
+    std::uint64_t revocations() const { return revocations_.value(); }
+    std::uint64_t forgedRejects() const
+    {
+        return forgedRejects_.value();
+    }
+    std::uint64_t staleRejects() const { return staleRejects_.value(); }
+    std::uint64_t spanRejects() const { return spanRejects_.value(); }
+
+    /**
+     * Jain fairness index over every tenant that completed bytes:
+     * (sum x)^2 / (n * sum x^2), 1.0 = perfectly even shares.
+     * Returns 0 when no tenant moved any bytes.
+     */
+    double jainIndex() const;
+
+    /** FNV-1a mix of every slot's state (engine stateHash). */
+    std::uint64_t stateHash() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::vector<CapSpan> spans;
+        std::uint64_t rights = 0;
+        unsigned rateClass = 0;
+        std::uint64_t generation = 0;
+        std::uint64_t secret = 0;
+        std::uint64_t bytes = 0;
+    };
+
+    bool covered(const Entry &e, std::uint64_t need, Addr base,
+                 Addr size) const;
+
+    std::string name_;
+    CapParams params_;
+    std::vector<Entry> slots_;
+
+    stats::Group statsGroup_;
+    stats::Scalar installs_;
+    stats::Scalar revocations_;
+    stats::Scalar invalidations_;
+    stats::Scalar checks_;
+    stats::Scalar forgedRejects_;
+    stats::Scalar staleRejects_;
+    stats::Scalar spanRejects_;
+};
+
+} // namespace uldma
+
+#endif // ULDMA_CAP_CAP_TABLE_HH

@@ -144,6 +144,55 @@ checkInvariants(const RunArtifacts &a)
             }
         }
 
+        // Capability invariants (docs/CAPABILITIES.md), keyed on the
+        // engine's viaCap record: only the slot's owner or a
+        // currently-valid delegate may initiate through it, a revoked
+        // slot works for nobody but the re-armed owner, and both
+        // endpoints stay inside the slot's granted frame spans.
+        if (rec.viaCap && a.capEnabled) {
+            auto cap_owner = a.capSlotOwner.find(rec.capSlot);
+            const bool is_owner = cap_owner != a.capSlotOwner.end() &&
+                                  initiator == cap_owner->second;
+            auto dl_it = a.capDelegates.find(rec.capSlot);
+            const bool is_delegate =
+                dl_it != a.capDelegates.end() &&
+                std::find(dl_it->second.begin(), dl_it->second.end(),
+                          initiator) != dl_it->second.end();
+            if (!is_owner && !is_delegate) {
+                std::ostringstream d;
+                d << "cap transfer #" << i << " (" << describeTransfer(rec)
+                  << ") through slot " << rec.capSlot
+                  << " initiated by pid" << initiator
+                  << ", which was never issued that capability";
+                if (cap_owner != a.capSlotOwner.end())
+                    d << " (owner pid" << cap_owner->second << ")";
+                out.push_back({"cap-forgery", d.str()});
+            }
+            const bool revoked =
+                std::find(a.capRevoked.begin(), a.capRevoked.end(),
+                          rec.capSlot) != a.capRevoked.end();
+            if (revoked && !is_owner) {
+                std::ostringstream d;
+                d << "cap transfer #" << i << " went through revoked slot "
+                  << rec.capSlot << " on behalf of ex-delegate pid"
+                  << initiator;
+                out.push_back({"cap-revocation", d.str()});
+            }
+            auto span_it = a.capSpans.find(rec.capSlot);
+            const std::vector<FrameSpan> &cap_spans =
+                span_it != a.capSpans.end() ? span_it->second : empty;
+            if (!withinRights(cap_spans, rec.src, rec.size,
+                              /*need_write=*/false) ||
+                !withinRights(cap_spans, rec.dst, rec.size,
+                              /*need_write=*/true)) {
+                std::ostringstream d;
+                d << "cap transfer #" << i << " (" << describeTransfer(rec)
+                  << ") escapes slot " << rec.capSlot
+                  << "'s granted frame spans";
+                out.push_back({"cap-isolation", d.str()});
+            }
+        }
+
         // key-secrecy: a granted context only ever works for its owner.
         auto owner_it = a.ctxOwner.find(rec.ctx);
         if (owner_it != a.ctxOwner.end()) {

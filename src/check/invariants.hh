@@ -84,6 +84,25 @@ struct RunArtifacts
     /// context's I/O page table (Kernel::iommuMapRange), page granular.
     std::map<unsigned, std::vector<FrameSpan>> iommuFrames;
 
+    /// Capability-gated initiation was enabled (docs/CAPABILITIES.md);
+    /// audit viaCap records with the cap-* invariants below.
+    bool capEnabled = false;
+
+    /// Capability slot -> the process the kernel granted it to.
+    std::map<unsigned, Pid> capSlotOwner;
+
+    /// Capability slot -> processes holding a currently-valid (not
+    /// revoked) delegation of that slot.
+    std::map<unsigned, std::vector<Pid>> capDelegates;
+
+    /// Slots whose capability was revoked before the run's transfers:
+    /// ex-delegates keep their stale capwords, which must fail closed.
+    std::vector<unsigned> capRevoked;
+
+    /// Capability slot -> physical frame spans the kernel granted it
+    /// (oracle copy of the engine's table spans).
+    std::map<unsigned, std::vector<FrameSpan>> capSpans;
+
     Pid victimPid = 1;
     bool machineFinished = false;
     bool victimFinished = false;
@@ -115,6 +134,15 @@ struct RunArtifacts
  *    physical endpoints lie outside the frames mapped into its
  *    context's I/O page table (docs/IOMMU.md) — a translation fault
  *    must abort or trap, never let the device touch unmapped memory;
+ *  - "cap-forgery": a capability-gated transfer was started by a
+ *    process that is neither the slot's owner nor a currently-valid
+ *    delegate — a presentation whose capword the kernel never issued
+ *    to that process went through (docs/CAPABILITIES.md);
+ *  - "cap-revocation": a transfer went through a revoked capability
+ *    slot on behalf of an ex-delegate — the stale capword must fail
+ *    closed from the instant of the generation bump;
+ *  - "cap-isolation": a capability-gated transfer's endpoints lie
+ *    outside the frame spans the kernel granted to its slot;
  *  - "no-progress": the machine failed to run every process to
  *    completion.
  */

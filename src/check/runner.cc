@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "cap/cap_params.hh"
 #include "core/machine.hh"
 #include "core/methods.hh"
 #include "cpu/exec_context.hh"
@@ -44,6 +45,9 @@ burstLength(DmaMethod method, bool faults)
         return 1;   // one benign compute op per gap
     if (method == DmaMethod::Ring)
         return 6;   // malicious descriptor enqueue + arm + doorbell
+    if (method == DmaMethod::Cap)
+        return 6;   // hostile presentation: 3 arg stores + membar +
+                    // capword commit + status load
     switch (engineModeFor(method)) {
       case EngineMode::ShadowPair: return 2;   // probe LOAD + dangling STORE
       case EngineMode::KeyBased: return 2;     // two forged-key STOREs
@@ -90,6 +94,12 @@ runSchedule(const RunnerConfig &config,
         mconfig.node.dma.iommu.pinPolicy = PinPolicy::OnMap;
         mconfig.node.dma.weakIommu = config.weakIommu;
     }
+
+    // Capability mode: configureNode already enabled the table; the
+    // weakened engine starts presentations without consulting it.
+    const bool capOn = method == DmaMethod::Cap;
+    if (capOn)
+        mconfig.node.dma.weakCap = config.weakCap;
 
     const std::uint64_t gap = burstLength(method, config.faults);
     PreemptionScheduler *sched = nullptr;
@@ -142,6 +152,56 @@ runSchedule(const RunnerConfig &config,
         kernel.authorizeRingDma(adversary, adst, pageSize);
     }
 
+    // Capability scenario (docs/CAPABILITIES.md): three slots.
+    //  - B: the victim grants a capability over its buffers, delegates
+    //    it to the adversary, then revokes it — all at setup, so any
+    //    use of the stale delegated word is a violation without a
+    //    timing-dependent oracle (true mid-transfer revocation is unit
+    //    tested via TransferEngine::cancel).
+    //  - A: the victim's own working slot, granted after B so the
+    //    victim's emitInitiation (which presents capSlots.back()) uses
+    //    the healthy one.
+    //  - C: the adversary's own legitimate slot over its own buffers —
+    //    the valid word a span-escape attack presents while naming the
+    //    victim's frames.
+    int slotA = -1, slotB = -1, slotC = -1;
+    std::uint64_t staleWordB = 0, validWordC = 0;
+    if (capOn) {
+        slotB = kernel.capGrant(victim, vsrc, pageSize, /*rate_class=*/1);
+        ULDMA_ASSERT(slotB >= 0, "cap grant (slot B) failed");
+        kernel.capExtend(victim, static_cast<unsigned>(slotB), vdst,
+                         pageSize);
+        ULDMA_ASSERT(kernel.capDelegate(victim,
+                                        static_cast<unsigned>(slotB),
+                                        adversary),
+                     "cap delegation failed");
+        ULDMA_ASSERT(kernel.capRevoke(victim,
+                                      static_cast<unsigned>(slotB)),
+                     "cap revocation failed");
+        slotA = kernel.capGrant(victim, vsrc, pageSize, /*rate_class=*/0);
+        ULDMA_ASSERT(slotA >= 0, "cap grant (slot A) failed");
+        kernel.capExtend(victim, static_cast<unsigned>(slotA), vdst,
+                         pageSize);
+        slotC = kernel.capGrant(adversary, asrc, pageSize,
+                                /*rate_class=*/2);
+        ULDMA_ASSERT(slotC >= 0, "cap grant (slot C) failed");
+        kernel.capExtend(adversary, static_cast<unsigned>(slotC), adst,
+                         pageSize);
+
+        // The adversary's grant view: the stale delegated word for B
+        // (revocation left delegate copies untouched — that is the
+        // race under test) and its own valid word for C.
+        const DmaGrant &ag = adversary.dmaGrant();
+        for (std::size_t i = 0; i < ag.capSlots.size(); ++i) {
+            if (ag.capSlots[i] == static_cast<unsigned>(slotB))
+                staleWordB = ag.capWords[i];
+            if (ag.capSlots[i] == static_cast<unsigned>(slotC))
+                validWordC = ag.capWords[i];
+        }
+        ULDMA_ASSERT(staleWordB != 0 && validWordC != 0,
+                     "adversary capability words missing");
+    }
+
     const Addr vsrc_p = kernel.translateFor(victim, vsrc, Rights::Read).paddr;
     const Addr vdst_p = kernel.translateFor(victim, vdst, Rights::Write).paddr;
     const Addr asrc_p =
@@ -191,6 +251,26 @@ runSchedule(const RunnerConfig &config,
     }
     art.iommuEnabled = iommuOn;
 
+    // Capability oracle: who owns each slot, which slots were revoked,
+    // and the frame spans the kernel granted — independent copies of
+    // the kernel's bookkeeping, never read by the engine.
+    art.capEnabled = capOn;
+    if (capOn) {
+        const std::vector<FrameSpan> victim_spans = {
+            {vsrc_p, pageSize, true, true}, {vdst_p, pageSize, true, true}};
+        const std::vector<FrameSpan> adversary_spans = {
+            {asrc_p, pageSize, true, true}, {adst_p, pageSize, true, true}};
+        art.capSlotOwner[static_cast<unsigned>(slotA)] = victim.pid();
+        art.capSlotOwner[static_cast<unsigned>(slotB)] = victim.pid();
+        art.capSlotOwner[static_cast<unsigned>(slotC)] = adversary.pid();
+        art.capSpans[static_cast<unsigned>(slotA)] = victim_spans;
+        art.capSpans[static_cast<unsigned>(slotB)] = victim_spans;
+        art.capSpans[static_cast<unsigned>(slotC)] = adversary_spans;
+        // B's delegation was revoked, so no slot has a currently-valid
+        // delegate: capDelegates stays empty and B joins capRevoked.
+        art.capRevoked.push_back(static_cast<unsigned>(slotB));
+    }
+
     // Victim: one DMA initiation, then capture the status register.
     std::uint64_t status = 0;
     Program vp;
@@ -233,6 +313,33 @@ runSchedule(const RunnerConfig &config,
             ap.membar();
             ap.store(doorbell, payload);
             ap.withLabel("ring attack: doorbell");
+        }
+    } else if (config.faults && method == DmaMethod::Cap) {
+        // Capability attacks, one per gap, rotating three shapes: the
+        // stale delegated word (revocation race), a forged secret on
+        // the delegated page (forgery), and the adversary's own valid
+        // word naming the victim's frame (span escape).  The sound
+        // engine rejects all three at the commit; the weakened one
+        // starts them and the cap-* invariants catch the transfers.
+        const Addr pageB = capVirtualBase + Addr(slotB) * pageSize;
+        const Addr pageC = capVirtualBase + Addr(slotC) * pageSize;
+        const std::uint64_t forgedB = capfield::pack(
+            static_cast<unsigned>(slotB), 0, 0xBADC0DEULL);
+        for (std::size_t i = 0; i < preemptAfter.size(); ++i) {
+            switch (i % 3) {
+              case 0:
+                emitCapPresentationRaw(ap, pageB, staleWordB, vsrc_p,
+                                       vdst_p, burstBytes);
+                break;
+              case 1:
+                emitCapPresentationRaw(ap, pageB, forgedB, vsrc_p,
+                                       vdst_p, burstBytes);
+                break;
+              default:
+                emitCapPresentationRaw(ap, pageC, validWordC, vsrc_p,
+                                       adst_p, burstBytes);
+                break;
+            }
         }
     } else if (config.faults) {
         const Addr s_asrc = kernel.shadowVaddrFor(adversary, asrc);

@@ -43,6 +43,11 @@ struct RunnerConfig
      *  the raw untranslated address instead of aborting (implies
      *  useIommu). */
     bool weakIommu = false;
+    /** Engine fault injection: capability presentations start without
+     *  consulting the table — forged secrets, revoked generations and
+     *  span escapes all go through (docs/CAPABILITIES.md; requires
+     *  method == DmaMethod::Cap). */
+    bool weakCap = false;
 };
 
 /** Everything one run produced. */

@@ -20,6 +20,8 @@ protocolMethod(const std::string &token)
         return DmaMethod::Repeated5;
     if (token == "ring")
         return DmaMethod::Ring;
+    if (token == "cap")
+        return DmaMethod::Cap;
     return std::nullopt;
 }
 
@@ -32,6 +34,7 @@ protocolToken(DmaMethod method)
       case DmaMethod::ExtShadow: return "ext-shadow";
       case DmaMethod::Repeated5: return "repeated";
       case DmaMethod::Ring: return "ring";
+      case DmaMethod::Cap: return "cap";
       default: return "?";
     }
 }
@@ -80,6 +83,7 @@ writeScheduleJson(std::ostream &os, const Schedule &schedule,
     w.member("weakened_ring", schedule.weakRing);
     w.member("iommu", schedule.iommu);
     w.member("weakened_iommu", schedule.weakIommu);
+    w.member("weakened_cap", schedule.weakCap);
     w.member("boundary_space", schedule.boundarySpace);
     w.key("preempt_after");
     w.beginArray();
@@ -149,6 +153,9 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
         return fail(error, "iommu must be a boolean");
     if (!doc["weakened_iommu"].isNull() && !doc["weakened_iommu"].isBool())
         return fail(error, "weakened_iommu must be a boolean");
+    // weakened_cap postdates the original schema too.
+    if (!doc["weakened_cap"].isNull() && !doc["weakened_cap"].isBool())
+        return fail(error, "weakened_cap must be a boolean");
     if (!doc["boundary_space"].isNumber())
         return fail(error, "boundary_space must be a number");
     if (!doc["preempt_after"].isArray())
@@ -166,6 +173,9 @@ parseScheduleJson(const std::string &text, Schedule &schedule,
                              : false;
     if (schedule.weakIommu)
         schedule.iommu = true;
+    schedule.weakCap = doc["weakened_cap"].isBool()
+                           ? doc["weakened_cap"].asBool()
+                           : false;
     schedule.boundarySpace =
         static_cast<std::uint64_t>(doc["boundary_space"].asNumber());
     schedule.preemptAfter.clear();

@@ -28,9 +28,10 @@ namespace uldma::check {
 inline constexpr char scheduleSchema[] = "uldma-schedule-v1";
 
 /** CLI tokens of the checked protocols: the four paper protocols in
- *  paper order, plus the descriptor-ring extension (docs/RING.md). */
+ *  paper order, plus the descriptor-ring extension (docs/RING.md) and
+ *  the capability family (docs/CAPABILITIES.md). */
 inline constexpr const char *checkedProtocols[] = {
-    "pal", "key-based", "ext-shadow", "repeated", "ring",
+    "pal", "key-based", "ext-shadow", "repeated", "ring", "cap",
 };
 
 /** Map a protocol token to its DmaMethod (nullopt = unknown token). */
@@ -56,6 +57,11 @@ struct Schedule
      *  address on an IOMMU fault (absent in old files, parsed as
      *  false; implies iommu). */
     bool weakIommu = false;
+    /** Test-only fault injection: capability presentations start
+     *  without consulting the table (absent in old files, parsed as
+     *  false; only meaningful with protocol "cap";
+     *  docs/CAPABILITIES.md). */
+    bool weakCap = false;
     /** Number of distinct preemption positions (0..initiation length). */
     std::uint64_t boundarySpace = 0;
     /** Non-decreasing absolute victim instruction counts; a repeated

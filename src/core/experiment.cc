@@ -51,6 +51,19 @@ measureInitiation(const MeasureConfig &config)
         }
     }
 
+    if (config.method == DmaMethod::Cap) {
+        // One slot spanning both slot arrays (docs/CAPABILITIES.md).
+        const int slot =
+            kernel.capGrant(proc, src_base, slots * pageSize,
+                            /*rate_class=*/0);
+        ULDMA_ASSERT(slot >= 0,
+                     "benchmark process could not get a capability");
+        ULDMA_ASSERT(kernel.capExtend(proc, static_cast<unsigned>(slot),
+                                      dst_base, slots * pageSize),
+                     "benchmark capability could not span the "
+                     "destination");
+    }
+
     std::vector<Tick> marks;
     marks.reserve(config.iterations + 1);
     std::vector<std::uint64_t> instr_marks;

@@ -21,6 +21,7 @@ toString(DmaMethod method)
       case DmaMethod::Repeated4: return "repeated-4 (unsafe)";
       case DmaMethod::Repeated5: return "repeated-5";
       case DmaMethod::Ring: return "ring";
+      case DmaMethod::Cap: return "cap";
     }
     return "?";
 }
@@ -52,6 +53,7 @@ engineModeFor(DmaMethod method)
         return EngineMode::ShadowPair;
       case DmaMethod::KeyBased:
       case DmaMethod::Ring:   // doorbell is key-gated like §3.1
+      case DmaMethod::Cap:    // cap window is decoded besides the mode
         return EngineMode::KeyBased;
       case DmaMethod::Repeated3:
         return EngineMode::Repeated3;
@@ -81,6 +83,9 @@ initiationAccessCount(DmaMethod method)
       // status load per transfer — but the doorbell amortizes over a
       // batch (bench_ring measures the amortized curve).
       case DmaMethod::Ring: return 7;
+      // Cap: src/dst/size stores, the committing capword store, and
+      // the status load (docs/CAPABILITIES.md).
+      case DmaMethod::Cap: return 5;
     }
     return 0;
 }
@@ -91,6 +96,8 @@ configureNode(NodeConfig &config, DmaMethod method)
     config.dma.mode = engineModeFor(method);
     config.dma.ctxIdBits = method == DmaMethod::ExtShadow ? 2 : 0;
     config.dma.flashTagCheck = method == DmaMethod::Flash;
+    if (method == DmaMethod::Cap)
+        config.dma.cap.enabled = true;
 }
 
 void
@@ -130,6 +137,8 @@ spanProtocolFor(DmaMethod method)
     if (method == DmaMethod::Ring)
         return "ring";   // shares the key-based engine mode but spans
                          // and reports under its own protocol name
+    if (method == DmaMethod::Cap)
+        return "cap";
     return toString(engineModeFor(method));
 }
 
@@ -150,6 +159,11 @@ prepareProcess(Kernel &kernel, Process &process, DmaMethod method)
             return true;   // pre-configured by the caller
         return kernel.setupRing(process, defaultRingSlots,
                                 ringdesc::policyPolling);
+      case DmaMethod::Cap:
+        // Capabilities are granted per buffer (Kernel::capGrant at
+        // DmaSession::mapForDma time), not per process; slot
+        // exhaustion surfaces there.
+        return true;
       default:
         return true;
     }
@@ -291,7 +305,60 @@ emitInitiation(Program &program, Kernel &kernel, Process &process,
                       {{vsrc, vdst, size}});
         break;
       }
+
+      case DmaMethod::Cap: {
+        // docs/CAPABILITIES.md: physical endpoints resolved once at
+        // program-build time (uncosted, like shadowVaddrFor math), the
+        // grant's own capword commits the presentation.
+        const auto &grant = process.dmaGrant();
+        ULDMA_ASSERT(!grant.capSlots.empty(),
+                     "cap initiation without a granted capability");
+        const Translation src_x =
+            kernel.translateFor(process, vsrc, Rights::Read);
+        const Translation dst_x =
+            kernel.translateFor(process, vdst, Rights::Write);
+        ULDMA_ASSERT(src_x.ok() && dst_x.ok(),
+                     "cap initiation: transfer buffers not mapped");
+        emitCapPresentationRaw(program, grant.capPageVaddrs.back(),
+                               grant.capWords.back(), src_x.paddr,
+                               dst_x.paddr, size);
+        // The slot status stays `pending` from the commit until the
+        // arbiter dispatches and the transfer completes.  Wait it out:
+        // process exit tears the slot down (Kernel::reapGrants), which
+        // fails closed anything still queued or in flight — a process
+        // that wants its payload must outlive the transfer, exactly
+        // like the ring method's completion poll.
+        const Addr status_vaddr =
+            grant.capPageVaddrs.back() + cappage::word;
+        const int poll = program.here();
+        program.load(reg::v0, status_vaddr);
+        program.withLabel("cap: poll status");
+        program.membar();   // invalidate the merge buffer between polls
+        program.compute(8);
+        program.branchEq(reg::v0, dmastatus::pending, poll);
+        break;
+      }
     }
+}
+
+void
+emitCapPresentationRaw(Program &program, Addr page_vaddr,
+                       std::uint64_t capword, Addr src_paddr,
+                       Addr dst_paddr, Addr size)
+{
+    program.store(page_vaddr + cappage::src, src_paddr);
+    program.withLabel("cap: store src");
+    program.store(page_vaddr + cappage::dst, dst_paddr);
+    program.withLabel("cap: store dst");
+    program.store(page_vaddr + cappage::size, size);
+    program.withLabel("cap: store size");
+    program.membar();
+    // The capword store is the commit point — arguments must be
+    // visible before it lands.
+    program.store(page_vaddr + cappage::word, capword);
+    program.withLabel("cap: store capword (commit)");
+    program.load(reg::v0, page_vaddr + cappage::word);
+    program.withLabel("cap: load status");
 }
 
 void
@@ -406,6 +473,19 @@ void
 DmaSession::mapForDma(Addr vaddr, Addr bytes)
 {
     kernel_.createShadowMappings(process_, vaddr, bytes);
+    if (method_ == DmaMethod::Cap && ready_) {
+        // First buffer grants the slot; later buffers widen the same
+        // slot's spans so one capword covers src and dst alike.
+        auto &grant = process_.dmaGrant();
+        if (grant.capSlots.empty()) {
+            ready_ = kernel_.capGrant(process_, vaddr, bytes,
+                                      /*rate_class=*/0) >= 0;
+        } else {
+            kernel_.capExtend(process_, grant.capSlots.back(), vaddr,
+                              bytes);
+        }
+        return;
+    }
     if (method_ == DmaMethod::Ring && ready_) {
         if (process_.dmaGrant().ringIommu) {
             // IOMMU mode: the buffer enters the context's I/O page

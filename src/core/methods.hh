@@ -20,6 +20,7 @@
  * | Repeated4  | §3.3  | yes        | no (UNSAFE)| 4 (+membar)         |
  * | Repeated5  | §3.3  | yes        | no         | 5 (+membars)        |
  * | Ring       | RING.md | yes      | no         | 7/transfer, amortized|
+ * | Cap        | CAPABILITIES.md | yes | no      | 5 (4 stores + load) |
  *
  * ¹ Shrimp1 needs no context-switch hook but restricts each source
  *   page to a single pre-arranged destination.
@@ -55,6 +56,10 @@ enum class DmaMethod : std::uint8_t
      *  key-based engine mode.  Deliberately NOT in allMethods[]: the
      *  paper-order sweeps stay paper-only. */
     Ring,
+    /** Capability-gated initiation with multi-tenant QoS arbitration
+     *  (docs/CAPABILITIES.md) — a fifth protocol family beyond the
+     *  paper.  Like Ring, NOT in allMethods[]. */
+    Cap,
 };
 
 /** All methods, in paper order (for sweeps). */
@@ -157,6 +162,21 @@ struct RingTransfer
  */
 void emitRingBatch(Program &program, Kernel &kernel, Process &process,
                    const std::vector<RingTransfer> &batch);
+
+/**
+ * Append one raw capability presentation (docs/CAPABILITIES.md) to
+ * @p program: three argument stores, the committing capword store, and
+ * the status load (lands in reg::v0; dmastatus::failure = rejected,
+ * dmastatus::pending = queued at the arbiter).  Takes the presentation
+ * page's virtual address, the capword, and *physical* endpoints — the
+ * engine checks them against the slot's frame spans.  Tests and the
+ * model checker use this directly to present forged or stale words;
+ * emitInitiation(DmaMethod::Cap) wraps it with the process's own
+ * grant.
+ */
+void emitCapPresentationRaw(Program &program, Addr page_vaddr,
+                            std::uint64_t capword, Addr src_paddr,
+                            Addr dst_paddr, Addr size);
 
 /**
  * Number of user-mode instructions emitInitiation produces, excluding

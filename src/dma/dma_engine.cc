@@ -51,6 +51,13 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
                                          params_.numContexts);
     }
 
+    if (params_.cap.enabled) {
+        cap_ = std::make_unique<CapTable>(name_ + ".cap", params_.cap);
+        capArbiter_ = std::make_unique<CapArbiter>(
+            name_ + ".cap_arbiter", params_.cap.rateClasses);
+        capPres_.resize(params_.cap.numSlots);
+    }
+
     statsGroup_.addScalar("shadow_stores", &shadowStores_,
                           "stores decoded in the shadow window");
     statsGroup_.addScalar("shadow_loads", &shadowLoads_,
@@ -98,12 +105,25 @@ DmaEngine::DmaEngine(EventQueue &eq, std::string name,
         statsGroup_.addScalar("iommu_bypasses", &iommuBypasses_,
                               "weak-model translation bypasses");
     }
+    // Capability-path scalars likewise join only when the family is
+    // enabled, keeping non-cap stats documents byte-identical.
+    if (cap_) {
+        statsGroup_.addScalar("cap_presentations", &capPresentations_,
+                              "capability presentations committed");
+        statsGroup_.addScalar("cap_rejects", &capRejects_,
+                              "presentations refused by validation");
+        statsGroup_.addScalar("cap_starts", &capStarts_,
+                              "transfers started from presentations");
+        statsGroup_.addScalar("cap_cancels", &capCancels_,
+                              "queued/in-flight work failed closed by "
+                              "revocation");
+    }
 }
 
 std::vector<AddrRange>
 DmaEngine::deviceRanges() const
 {
-    return {
+    std::vector<AddrRange> ranges = {
         AddrRange(params_.kernelRegsBase,
                   params_.kernelRegsBase + kregs::blockSize),
         AddrRange(params_.contextPagesBase,
@@ -111,6 +131,12 @@ DmaEngine::deviceRanges() const
         AddrRange(params_.shadowBase,
                   params_.shadowBase + params_.shadowWindowSize()),
     };
+    if (cap_) {
+        ranges.push_back(AddrRange(
+            params_.capPagesBase,
+            params_.capPagesBase + Addr(params_.cap.numSlots) * pageSize));
+    }
+    return ranges;
 }
 
 Addr
@@ -147,6 +173,10 @@ DmaEngine::access(Packet &pkt)
         const Addr offset = a - params_.contextPagesBase;
         accessContextPage(pkt, static_cast<unsigned>(offset / pageSize),
                           offset % pageSize);
+    } else if (cap_ && a >= params_.capPagesBase &&
+               a < params_.capPagesBase +
+                       Addr(params_.cap.numSlots) * pageSize) {
+        accessCapPage(pkt, a - params_.capPagesBase);
     } else if (a >= params_.shadowBase &&
                a < params_.shadowBase + params_.shadowWindowSize()) {
         accessShadow(pkt);
@@ -316,6 +346,14 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
                 iommuLastStatus_ = dmastatus::failure;
             }
             break;
+          case kregs::capSlotSelect:
+          case kregs::capSpanBase:
+          case kregs::capSpanLimit:
+          case kregs::capConfig:
+          case kregs::capSecret:
+          case kregs::capOp:
+            capManage(offset, pkt.data);
+            break;
           default:
             ULDMA_WARN(name_, ": write to unknown kernel register 0x",
                        std::hex, offset);
@@ -346,6 +384,9 @@ DmaEngine::accessKernelRegs(Packet &pkt, Addr offset)
         break;
       case kregs::iommuStatus:
         pkt.data = iommuLastStatus_;
+        break;
+      case kregs::capStatus:
+        pkt.data = capLastStatus_;
         break;
       default:
         pkt.data = 0;
@@ -1354,6 +1395,248 @@ DmaEngine::iommuResume(unsigned ctx)
 }
 
 // ---------------------------------------------------------------------
+// Capability-gated initiation (docs/CAPABILITIES.md).
+// ---------------------------------------------------------------------
+
+Addr
+DmaEngine::capPageAddr(unsigned slot) const
+{
+    ULDMA_ASSERT(cap_ && slot < params_.cap.numSlots,
+                 name_, ": capPageAddr on invalid slot ", slot);
+    return params_.capPagesBase + Addr(slot) * pageSize;
+}
+
+std::uint64_t
+DmaEngine::capSlotStatus(unsigned slot) const
+{
+    ULDMA_ASSERT(cap_ && slot < capPres_.size(),
+                 name_, ": capSlotStatus on invalid slot ", slot);
+    return capPres_[slot].status;
+}
+
+void
+DmaEngine::capManage(Addr offset, std::uint64_t value)
+{
+    if (!cap_) {
+        capLastStatus_ = dmastatus::failure;
+        return;
+    }
+    const unsigned slot = static_cast<unsigned>(capSlotSelect_);
+    switch (offset) {
+      case kregs::capSlotSelect:
+        capSlotSelect_ = value;
+        capLastStatus_ = value < params_.cap.numSlots ? dmastatus::ok
+                                                      : dmastatus::failure;
+        break;
+      case kregs::capSpanBase:
+        capSpanBaseStage_ = value;
+        capLastStatus_ = dmastatus::ok;
+        break;
+      case kregs::capSpanLimit:
+        capLastStatus_ = cap_->addSpan(slot, capSpanBaseStage_, value)
+                             ? dmastatus::ok
+                             : dmastatus::failure;
+        break;
+      case kregs::capConfig:
+        capLastStatus_ = cap_->configure(slot, capconfig::rightsOf(value),
+                                         capconfig::rateClassOf(value))
+                             ? dmastatus::ok
+                             : dmastatus::failure;
+        break;
+      case kregs::capSecret:
+        capLastStatus_ = cap_->install(slot, value) ? dmastatus::ok
+                                                    : dmastatus::failure;
+        break;
+      case kregs::capOp:
+        if (value == capop::revoke) {
+            // Bump the generation first so any presentation racing the
+            // revocation already fails the generation check, then fail
+            // closed everything queued or in flight for the slot.
+            capLastStatus_ = cap_->revoke(slot) ? dmastatus::ok
+                                                : dmastatus::failure;
+            capCancelSlot(slot);
+        } else if (value == capop::invalidate) {
+            capCancelSlot(slot);
+            capLastStatus_ = cap_->invalidate(slot) ? dmastatus::ok
+                                                    : dmastatus::failure;
+        } else {
+            capLastStatus_ = dmastatus::failure;
+        }
+        break;
+      default:
+        capLastStatus_ = dmastatus::failure;
+    }
+}
+
+void
+DmaEngine::accessCapPage(Packet &pkt, Addr window_offset)
+{
+    const unsigned slot = static_cast<unsigned>(pageNumber(window_offset));
+    const Addr reg = pageOffset(window_offset);
+    ULDMA_ASSERT(slot < capPres_.size(),
+                 name_, ": cap window decode out of range");
+    CapPresentation &p = capPres_[slot];
+
+    if (pkt.isWrite()) {
+        switch (reg) {
+          case cappage::src:
+            p.src = pkt.data;
+            p.contributors.push_back(pkt.srcPid);
+            break;
+          case cappage::dst:
+            p.dst = pkt.data;
+            p.contributors.push_back(pkt.srcPid);
+            break;
+          case cappage::size:
+            p.size = pkt.data;
+            p.contributors.push_back(pkt.srcPid);
+            break;
+          case cappage::word:
+            p.contributors.push_back(pkt.srcPid);
+            capCommit(slot, pkt.data);
+            break;
+          default:
+            ULDMA_WARN(name_, ": write to unknown cap page offset 0x",
+                       std::hex, reg);
+        }
+        return;
+    }
+
+    // Loads: the capword offset reads back the presentation status
+    // (ok / pending / failure); everything else reads as zero so user
+    // code cannot use the page to spy on another tenant's arguments.
+    pkt.data = reg == cappage::word ? p.status : 0;
+}
+
+void
+DmaEngine::capCommit(unsigned slot, std::uint64_t capword)
+{
+    ++capPresentations_;
+    // The table walk (secret compare + span scan) costs a fixed number
+    // of engine cycles, charged to the presenting store like the FSM
+    // decode cost.
+    pendingExtraCycles_ += params_.cap.checkCycles;
+
+    CapPresentation &p = capPres_[slot];
+    span::SpanId sid = span::invalidSpan;
+    if (span::captureOn())
+        sid = span::tracker().open(name_, "cap", xfer_.now());
+
+    CapFault fault = CapFault::None;
+    if (!params_.weakCap)
+        fault = cap_->check(slot, capword, p.src, p.dst, p.size);
+
+    // Even the weakened engine cannot move bytes through endpoints the
+    // machine does not have (the transfer engine asserts on them), and
+    // the single-pipeline data mover keeps the paper's one-page bound.
+    const bool args_ok =
+        p.size != 0 && p.size <= params_.userMaxTransfer &&
+        pageNumber(p.src) == pageNumber(p.src + p.size - 1) &&
+        pageNumber(p.dst) == pageNumber(p.dst + p.size - 1) &&
+        backend_.validEndpoint(p.src, p.size) &&
+        backend_.validEndpoint(p.dst, p.size);
+
+    if (fault != CapFault::None || !args_ok) {
+        ++capRejects_;
+        ++rejected_;
+        p.status = dmastatus::failure;
+        p.contributors.clear();
+        if (span::captureOn())
+            span::tracker().reject(sid, xfer_.now());
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "cap_reject",
+                          "slot ", slot, " fault ",
+                          static_cast<int>(fault));
+        return;
+    }
+
+    if (span::captureOn())
+        span::tracker().recognize(sid, xfer_.now(), 0,
+                                  /*via_kernel=*/false, p.size);
+
+    const unsigned rate = cap_->valid(slot) ? cap_->rateClass(slot) : 0;
+    CapRequest req;
+    req.slot = slot;
+    req.src = p.src;
+    req.dst = p.dst;
+    req.size = p.size;
+    req.enqueued = xfer_.now();
+    req.spanId = sid;
+    req.contributors = p.contributors;
+    capArbiter_->enqueue(rate, std::move(req));
+
+    p.status = dmastatus::pending;
+    p.contributors.clear();
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "cap_accept",
+                      "slot ", slot, " rate ", rate);
+    capDispatch();
+}
+
+void
+DmaEngine::capDispatch()
+{
+    if (capActiveXfer_ != invalidTransfer)
+        return;
+    CapRequest req;
+    if (!capArbiter_->dispatch(xfer_.now(), req))
+        return;
+
+    capActiveSlot_ = req.slot;
+    capActiveSize_ = req.size;
+    capActiveCancelled_ = false;
+
+    ++capStarts_;
+    ++started_;
+    initiations_.push_back(InitiationRecord{
+        xfer_.now(), params_.mode, req.src, req.dst, req.size, 0,
+        /*viaKernel=*/false, /*viaRing=*/false, req.contributors,
+        /*viaCap=*/true, req.slot});
+    ULDMA_TRACE_EVENT(name_, xfer_.now(), "cap_start",
+                      "slot ", req.slot, " size ", req.size);
+
+    capActiveXfer_ = xfer_.start(req.src, req.dst, req.size,
+                                 [this]() { capTransferDone(); }, 0,
+                                 req.spanId);
+}
+
+void
+DmaEngine::capTransferDone()
+{
+    CapPresentation &p = capPres_[capActiveSlot_];
+    if (capActiveCancelled_) {
+        p.status = dmastatus::failure;
+    } else {
+        p.status = dmastatus::ok;
+        cap_->recordBytes(capActiveSlot_, capActiveSize_);
+    }
+    capActiveXfer_ = invalidTransfer;
+    capActiveCancelled_ = false;
+    capDispatch();
+}
+
+void
+DmaEngine::capCancelSlot(unsigned slot)
+{
+    if (!capArbiter_)
+        return;
+    // Queued presentations for the slot fail closed.
+    for (const CapRequest &r : capArbiter_->purgeSlot(slot)) {
+        ++capCancels_;
+        capPres_[r.slot].status = dmastatus::failure;
+        if (span::captureOn())
+            span::tracker().abort(r.spanId, xfer_.now());
+    }
+    // A transfer already on the bus keeps the pipeline busy but never
+    // delivers its payload (docs/CAPABILITIES.md fail-closed rule).
+    if (capActiveXfer_ != invalidTransfer && capActiveSlot_ == slot &&
+        xfer_.cancel(capActiveXfer_)) {
+        capActiveCancelled_ = true;
+        ++capCancels_;
+        ULDMA_TRACE_EVENT(name_, xfer_.now(), "cap_cancel_inflight",
+                          "slot ", slot);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Common start path.
 // ---------------------------------------------------------------------
 
@@ -1516,6 +1799,32 @@ DmaEngine::stateHash() const
         f.mix(iommuResumes_.value());
         f.mix(iommuAborts_.value());
         f.mix(iommuBypasses_.value());
+    }
+
+    // Capability path: table generations/spans, arbiter queue shape,
+    // per-slot presentation latches and the active-transfer latch.
+    // Mixed only when the family exists, so non-cap hashes are
+    // unchanged from the pre-capability model.
+    if (cap_) {
+        f.mix(cap_->stateHash());
+        f.mix(capArbiter_->stateHash());
+        for (const CapPresentation &p : capPres_) {
+            f.mix(p.src);
+            f.mix(p.dst);
+            f.mix(p.size);
+            f.mix(p.status);
+            f.mix(p.contributors.size());
+            for (Pid q : p.contributors)
+                f.mix(q);
+        }
+        f.mix(capActiveXfer_ != invalidTransfer);
+        f.mix(capActiveSlot_);
+        f.mix(capActiveSize_);
+        f.mix(capActiveCancelled_);
+        f.mix(capPresentations_.value());
+        f.mix(capRejects_.value());
+        f.mix(capStarts_.value());
+        f.mix(capCancels_.value());
     }
 
     // Kernel channel.

@@ -30,6 +30,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cap/cap_arbiter.hh"
+#include "cap/cap_table.hh"
 #include "dma/dma_params.hh"
 #include "dma/transfer_engine.hh"
 #include "iommu/iommu.hh"
@@ -119,6 +121,17 @@ class DmaEngine : public BusDevice
     const Iommu *iommu() const { return iommu_.get(); }
     Iommu *iommu() { return iommu_.get(); }
 
+    /** The capability table, or nullptr when cap is not enabled. */
+    const CapTable *cap() const { return cap_.get(); }
+    CapTable *cap() { return cap_.get(); }
+    /** The multi-tenant arbiter, or nullptr when cap is not enabled. */
+    const CapArbiter *capArbiter() const { return capArbiter_.get(); }
+
+    /** Physical address of capability presentation page @p slot. */
+    Addr capPageAddr(unsigned slot) const;
+    /** Last initiation status of @p slot's presentation page. */
+    std::uint64_t capSlotStatus(unsigned slot) const;
+
     /** Number of register contexts (and descriptor rings). */
     unsigned numContexts() const
     {
@@ -149,6 +162,8 @@ class DmaEngine : public BusDevice
         bool viaKernel;            ///< through the kernel register block
         bool viaRing;              ///< from a descriptor-ring drain
         std::vector<Pid> contributors;  ///< pids of contributing accesses
+        bool viaCap = false;       ///< from a capability presentation
+        unsigned capSlot = 0;      ///< capability slot (viaCap only)
     };
 
     const std::vector<InitiationRecord> &initiations() const
@@ -188,6 +203,10 @@ class DmaEngine : public BusDevice
         r.add(&statsGroup_);
         if (iommu_)
             r.add(&iommu_->statsGroup());
+        if (cap_) {
+            r.add(&cap_->statsGroup());
+            r.add(&capArbiter_->statsGroup());
+        }
         transferEngine().registerStats(r);
     }
 
@@ -225,6 +244,13 @@ class DmaEngine : public BusDevice
     {
         return iommuBypasses_.value();
     }
+    std::uint64_t numCapPresentations() const
+    {
+        return capPresentations_.value();
+    }
+    std::uint64_t numCapRejects() const { return capRejects_.value(); }
+    std::uint64_t numCapStarts() const { return capStarts_.value(); }
+    std::uint64_t numCapCancels() const { return capCancels_.value(); }
     /// @}
 
   private:
@@ -325,6 +351,21 @@ class DmaEngine : public BusDevice
     void accessKernelRegs(Packet &pkt, Addr offset);
     void accessContextPage(Packet &pkt, unsigned ctx, Addr offset);
     void accessShadow(Packet &pkt);
+    void accessCapPage(Packet &pkt, Addr window_offset);
+    /// @}
+
+    /// @name Capability path (docs/CAPABILITIES.md).
+    /// @{
+    /** Kernel-block capability-management register write. */
+    void capManage(Addr offset, std::uint64_t value);
+    /** Validate a committed presentation and enqueue it. */
+    void capCommit(unsigned slot, std::uint64_t capword);
+    /** Hand the pipeline to the arbiter's next pick, if idle. */
+    void capDispatch();
+    /** Completion bookkeeping for the dispatched transfer. */
+    void capTransferDone();
+    /** Revocation / teardown: fail queued and in-flight work closed. */
+    void capCancelSlot(unsigned slot);
     /// @}
 
     /// @name Per-protocol shadow handlers.
@@ -432,6 +473,34 @@ class DmaEngine : public BusDevice
     /// Kernel translation-fault fix-up hook (see the setter).
     std::function<std::uint64_t(unsigned, Addr, bool)> iommuFaultHandler_;
 
+    /// Capability table + arbiter (nullptr unless params_.cap.enabled).
+    std::unique_ptr<CapTable> cap_;
+    std::unique_ptr<CapArbiter> capArbiter_;
+    /// Capability-management staging registers (kernel block).
+    std::uint64_t capSlotSelect_ = 0;
+    Addr capSpanBaseStage_ = 0;
+    /// Status of the last capability management op (kregs::capStatus).
+    std::uint64_t capLastStatus_ = 0;
+
+    /** Per-slot presentation latch: the argument stores accumulate
+     *  here until the capword store commits; loads at cappage::word
+     *  read back the slot's last initiation status. */
+    struct CapPresentation
+    {
+        Addr src = 0;
+        Addr dst = 0;
+        Addr size = 0;
+        std::uint64_t status = dmastatus::ok;
+        std::vector<Pid> contributors;
+    };
+    std::vector<CapPresentation> capPres_;
+
+    /// The one arbiter-dispatched transfer in flight (slot + handle).
+    unsigned capActiveSlot_ = 0;
+    Addr capActiveSize_ = 0;
+    TransferId capActiveXfer_ = invalidTransfer;
+    bool capActiveCancelled_ = false;
+
     /// Extra device cycles charged to the access that caused a ring
     /// drain (descriptor fetch + control writeback per slot).
     Cycles pendingExtraCycles_ = 0;
@@ -501,6 +570,12 @@ class DmaEngine : public BusDevice
     stats::Scalar iommuResumes_;
     stats::Scalar iommuAborts_;
     stats::Scalar iommuBypasses_;
+    /// Capability-path counters (registered only when cap.enabled, so
+    /// the stats document is unchanged for non-cap configurations).
+    stats::Scalar capPresentations_;
+    stats::Scalar capRejects_;
+    stats::Scalar capStarts_;
+    stats::Scalar capCancels_;
 };
 
 } // namespace uldma

@@ -17,6 +17,7 @@
 #ifndef ULDMA_DMA_DMA_PARAMS_HH
 #define ULDMA_DMA_DMA_PARAMS_HH
 
+#include "cap/cap_params.hh"
 #include "iommu/iommu_params.hh"
 #include "mem/addr_range.hh"
 #include "util/bitfield.hh"
@@ -193,6 +194,19 @@ inline constexpr Addr iommuMapEntry = 0xA0;
 inline constexpr Addr iommuUnmap = 0xA8;
 inline constexpr Addr iommuPin = 0xB0;
 inline constexpr Addr iommuStatus = 0xB8;
+/** Capability-table management (docs/CAPABILITIES.md): the OS selects
+ *  a slot, appends authorized frame spans (base write latches, limit
+ *  write commits one span), sets rights + rate class via capConfig,
+ *  and arms the slot by writing its secret to capSecret.  capOp
+ *  carries lifecycle operations (capop below); capStatus reads back
+ *  whether the last capability operation succeeded. */
+inline constexpr Addr capSlotSelect = 0xC0;
+inline constexpr Addr capSpanBase = 0xC8;
+inline constexpr Addr capSpanLimit = 0xD0;
+inline constexpr Addr capConfig = 0xD8;
+inline constexpr Addr capSecret = 0xE0;
+inline constexpr Addr capOp = 0xE8;
+inline constexpr Addr capStatus = 0xF0;
 inline constexpr Addr blockSize = 0x100;
 } // namespace kregs
 
@@ -204,6 +218,30 @@ inline constexpr std::uint64_t write = 1 << 1;
 inline constexpr std::uint64_t pin = 1 << 2;
 inline constexpr std::uint64_t flagMask = read | write | pin;
 } // namespace iommumap
+
+/** kregs::capOp operations. */
+namespace capop {
+/** Bump the slot's generation: every outstanding capword fails closed
+ *  (including queued and in-flight transfers, which are cancelled). */
+inline constexpr std::uint64_t revoke = 1;
+/** Tear the slot down entirely (process exit). */
+inline constexpr std::uint64_t invalidate = 2;
+} // namespace capop
+
+/** kregs::capConfig layout: span rights in the low nibble
+ *  (caprights::*), the arbiter rate class above them. */
+namespace capconfig {
+constexpr std::uint64_t
+pack(std::uint64_t rights, unsigned rate_class)
+{
+    return (rights & 0xf) | (std::uint64_t(rate_class) << 4);
+}
+constexpr std::uint64_t rightsOf(std::uint64_t cfg) { return cfg & 0xf; }
+constexpr unsigned rateClassOf(std::uint64_t cfg)
+{
+    return static_cast<unsigned>((cfg >> 4) & 0xf);
+}
+} // namespace capconfig
 
 /** Full engine configuration. */
 struct DmaEngineParams
@@ -252,12 +290,28 @@ struct DmaEngineParams
      */
     bool weakIommu = false;
 
+    /**
+     * Fault injection for the model checker (src/check): accept every
+     * capability presentation without the secret/generation/span
+     * validation — any capword starts the transfer it names.  This is
+     * exactly what an unforgeable capability exists to rule out; never
+     * set outside tests.
+     */
+    bool weakCap = false;
+
     /** Address-translation unit between the engine and the bus.  When
      *  iommu.enabled, ring descriptors carry user virtual addresses
      *  (IOVAs) and the engine scatter-gathers them into per-page
      *  physical segments (docs/IOMMU.md).  Disabled by default: the
      *  engine is then byte-identical to the pre-IOMMU model. */
     IommuParams iommu;
+
+    /** Capability-gated initiation family (docs/CAPABILITIES.md).
+     *  When cap.enabled the engine decodes one presentation page per
+     *  capability slot at capPagesBase and arbitrates validated
+     *  presentations per rate class.  Disabled by default: the engine
+     *  is then byte-identical to the pre-capability model. */
+    CapParams cap;
 
     /** Device-side latency of a register/shadow access in bus cycles
      *  (the FPGA of the prototype board). */
@@ -278,6 +332,8 @@ struct DmaEngineParams
     /// @{
     Addr kernelRegsBase = 0x4000'0000;
     Addr contextPagesBase = 0x4001'0000;
+    /** Capability presentation pages, one per slot (cap.enabled). */
+    Addr capPagesBase = 0x4200'0000;
     Addr shadowBase = 0x8000'0000;
     /** Physical addresses representable through the shadow window
      *  (DRAM + remote windows must fit below this). */

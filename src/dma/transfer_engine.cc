@@ -79,11 +79,25 @@ TransferEngine::start(Addr src, Addr dst, Addr size,
         [this, id, src, dst, size, span, queued_at = now(),
          cb = std::move(on_complete)]() {
             ULDMA_PROF_SCOPE("dma.transfer_complete");
-            const Tick extra = backend_.moveBytes(src, dst, size);
+            bool cancelled = false;
+            for (const Flight &f : flights_) {
+                if (f.id == id) {
+                    cancelled = f.cancelled;
+                    break;
+                }
+            }
+            const Tick extra =
+                cancelled ? 0 : backend_.moveBytes(src, dst, size);
             ++completed_;
-            latencyUs_.sample(ticksToUs(now() + extra - queued_at));
-            if (span::captureOn())
-                span::tracker().complete(span, now() + extra);
+            if (cancelled) {
+                ++cancelledCount_;
+                if (span::captureOn())
+                    span::tracker().abort(span, now());
+            } else {
+                latencyUs_.sample(ticksToUs(now() + extra - queued_at));
+                if (span::captureOn())
+                    span::tracker().complete(span, now() + extra);
+            }
             ULDMA_TRACE_EVENT(name_, now(), "xfer_complete",
                               "id ", id, " size ", size);
             for (Flight &f : flights_) {
@@ -134,6 +148,22 @@ TransferEngine::remaining(TransferId id) const
         return f.size - std::min(moved, f.size);
     }
     return 0;
+}
+
+bool
+TransferEngine::cancel(TransferId id)
+{
+    for (Flight &f : flights_) {
+        if (f.id != id)
+            continue;
+        if (f.applied)
+            return false;
+        f.cancelled = true;
+        ULDMA_TRACE("Dma", now(), name_, ": transfer ", id,
+                    " cancelled (payload suppressed)");
+        return true;
+    }
+    return false;
 }
 
 bool

@@ -65,6 +65,20 @@ class TransferEngine : public Clocked
     /** True if the identified transfer has fully completed. */
     bool complete(TransferId id) const;
 
+    /**
+     * Cancel an in-flight transfer (capability revocation,
+     * docs/CAPABILITIES.md): the pipeline stays occupied — the bus
+     * cycles were spent — but the payload is never applied and the
+     * transfer's span is aborted instead of completed.  on_complete
+     * still runs so the initiator can observe the failure.
+     * @return true if the payload was suppressed in time; false when
+     *         the transfer already delivered (or is unknown).
+     */
+    bool cancel(TransferId id);
+
+    /** Transfers whose payload a cancel() suppressed. */
+    std::uint64_t transfersCancelled() const { return cancelledCount_; }
+
     /** Tick at which the engine pipeline frees up. */
     Tick busyUntil() const { return busyUntil_; }
 
@@ -90,6 +104,7 @@ class TransferEngine : public Clocked
         Tick startTick;
         Tick endTick;
         bool applied = false;
+        bool cancelled = false;
     };
 
     std::string name_;
@@ -98,6 +113,10 @@ class TransferEngine : public Clocked
 
     Tick busyUntil_ = 0;
     TransferId nextId_ = 1;
+    /** Plain counter, deliberately not a registered stat: cancels only
+     *  happen with capabilities enabled, and the shared stats document
+     *  must stay byte-identical for disabled configurations. */
+    std::uint64_t cancelledCount_ = 0;
 
     /** Recent transfers (kept until applied + queried once). */
     std::vector<Flight> flights_;

@@ -62,6 +62,16 @@ Kernel::setDmaEngine(DmaEngine *engine)
         statsGroup_.addScalar("iommu_fixups", &iommuFixups_,
                               "IOMMU faults repaired and resumed");
     }
+    if (engine_->cap() != nullptr) {
+        // Same byte-identity rule for the capability family's
+        // kernel-side counters.
+        statsGroup_.addScalar("cap_grants", &capGrants_,
+                              "capability slots granted");
+        statsGroup_.addScalar("cap_delegations", &capDelegations_,
+                              "capability slots delegated");
+        statsGroup_.addScalar("cap_revocations", &capRevocations_,
+                              "capability slots revoked and re-armed");
+    }
     // Tell the engine how long after a trap its SIZE write physically
     // lands (kernel entry + two software translations), so
     // kernel-channel transfers start at the honest wall-clock time.
@@ -607,6 +617,250 @@ Kernel::iommuPinRange(Process &process, Addr vaddr, Addr bytes)
 }
 
 // ---------------------------------------------------------------------
+// Capability services (docs/CAPABILITIES.md).
+// ---------------------------------------------------------------------
+
+int
+Kernel::capGrant(Process &process, Addr vaddr, Addr bytes,
+                 unsigned rate_class)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    if (engine_->cap() == nullptr || bytes == 0)
+        return -1;
+    const CapParams &cp = engine_->params().cap;
+    if (rate_class >= cp.rateClasses)
+        return -1;
+    if (capSlotOwner_.empty())
+        capSlotOwner_.assign(cp.numSlots, invalidPid);
+
+    int slot = -1;
+    for (unsigned s = 0; s < capSlotOwner_.size(); ++s) {
+        if (capSlotOwner_[s] == invalidPid) {
+            slot = static_cast<int>(s);
+            break;
+        }
+    }
+    if (slot < 0)
+        return -1;   // every slot taken: fall back to kernel DMA
+
+    const Addr base = engine_->params().kernelRegsBase;
+    const auto kwrite = [&](Addr off, std::uint64_t v) {
+        Packet pkt = Packet::makeWrite(base + off, v);
+        cpu_.kernelBusAccess(pkt);
+    };
+    const auto kstatus = [&]() {
+        Packet pkt = Packet::makeRead(base + kregs::capStatus);
+        cpu_.kernelBusAccess(pkt);
+        return pkt.data;
+    };
+
+    kwrite(kregs::capSlotSelect, static_cast<std::uint64_t>(slot));
+
+    // Program one frame span per physically contiguous run (same
+    // walk as authorizeRingDma) and take the rights every page allows
+    // — the slot gets the intersection.
+    bool read_ok = true;
+    bool write_ok = true;
+    bool spans_ok = true;
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    Addr span_base = 0;
+    Addr span_limit = 0;
+    const auto flushSpan = [&]() {
+        if (span_limit <= span_base)
+            return;
+        kwrite(kregs::capSpanBase, span_base);
+        kwrite(kregs::capSpanLimit, span_limit);
+        if (kstatus() != dmastatus::ok)
+            spans_ok = false;   // past maxSpansPerSlot
+    };
+    for (Addr page = first; page <= last && spans_ok; page += pageSize) {
+        const auto pte = process.pageTable().lookup(page);
+        if (!pte.has_value()) {
+            spans_ok = false;
+            break;
+        }
+        read_ok = read_ok && allows(pte->rights, Rights::Read);
+        write_ok = write_ok && allows(pte->rights, Rights::Write);
+        const Addr paddr = pte->pfn << pageShift;
+        if (span_limit == paddr) {
+            span_limit += pageSize;   // extend the contiguous run
+        } else {
+            flushSpan();
+            span_base = paddr;
+            span_limit = paddr + pageSize;
+        }
+    }
+    if (spans_ok)
+        flushSpan();
+
+    std::uint64_t rights = 0;
+    if (read_ok)
+        rights |= caprights::read;
+    if (write_ok)
+        rights |= caprights::write;
+    if (!spans_ok || rights == 0) {
+        // Roll back the partial programming so the slot stays free.
+        kwrite(kregs::capOp, capop::invalidate);
+        return -1;
+    }
+
+    kwrite(kregs::capConfig, capconfig::pack(rights, rate_class));
+    const std::uint64_t secret =
+        keyRng_.next64() & mask(capfield::secretBits);
+    kwrite(kregs::capSecret, secret);
+    if (kstatus() != dmastatus::ok) {
+        kwrite(kregs::capOp, capop::invalidate);
+        return -1;
+    }
+
+    capSlotOwner_[static_cast<unsigned>(slot)] = process.pid();
+    const std::uint64_t word = capfield::pack(
+        static_cast<unsigned>(slot),
+        engine_->cap()->generation(static_cast<unsigned>(slot)), secret);
+
+    // Map the slot's presentation page (uncacheable device memory).
+    const Addr pvaddr = capVirtualBase + Addr(slot) * pageSize;
+    process.pageTable().mapPage(
+        pvaddr, engine_->capPageAddr(static_cast<unsigned>(slot)),
+        Rights::ReadWrite, /*uncacheable=*/true);
+
+    auto &grant = process.dmaGrant();
+    grant.capSlots.push_back(static_cast<unsigned>(slot));
+    grant.capPageVaddrs.push_back(pvaddr);
+    grant.capWords.push_back(word);
+    grant.capRateClasses.push_back(rate_class);
+    ++capGrants_;
+    ULDMA_TRACE("Kernel", cpu_.clockEdge(), name_, ": cap grant slot ",
+                slot, " to pid ", process.pid(), " rate ", rate_class);
+    return slot;
+}
+
+bool
+Kernel::capExtend(Process &owner, unsigned slot, Addr vaddr, Addr bytes)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    if (engine_->cap() == nullptr || bytes == 0 ||
+        slot >= capSlotOwner_.size() ||
+        capSlotOwner_[slot] != owner.pid()) {
+        return false;
+    }
+    const Addr base = engine_->params().kernelRegsBase;
+    Packet sel = Packet::makeWrite(base + kregs::capSlotSelect, slot);
+    cpu_.kernelBusAccess(sel);
+
+    bool ok = true;
+    const Addr first = pageAlignDown(vaddr);
+    const Addr last = pageAlignDown(vaddr + bytes - 1);
+    Addr span_base = 0;
+    Addr span_limit = 0;
+    const auto flushSpan = [&]() {
+        if (span_limit <= span_base)
+            return;
+        Packet sb = Packet::makeWrite(base + kregs::capSpanBase,
+                                      span_base);
+        cpu_.kernelBusAccess(sb);
+        Packet sl = Packet::makeWrite(base + kregs::capSpanLimit,
+                                      span_limit);
+        cpu_.kernelBusAccess(sl);
+        Packet st = Packet::makeRead(base + kregs::capStatus);
+        cpu_.kernelBusAccess(st);
+        if (st.data != dmastatus::ok)
+            ok = false;
+    };
+    for (Addr page = first; page <= last && ok; page += pageSize) {
+        const auto pte = owner.pageTable().lookup(page);
+        if (!pte.has_value()) {
+            ok = false;
+            break;
+        }
+        const Addr paddr = pte->pfn << pageShift;
+        if (span_limit == paddr) {
+            span_limit += pageSize;
+        } else {
+            flushSpan();
+            span_base = paddr;
+            span_limit = paddr + pageSize;
+        }
+    }
+    if (ok)
+        flushSpan();
+    return ok;
+}
+
+bool
+Kernel::capDelegate(Process &owner, unsigned slot, Process &target)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    if (engine_->cap() == nullptr)
+        return false;
+    const auto &og = owner.dmaGrant();
+    std::size_t idx = og.capSlots.size();
+    for (std::size_t i = 0; i < og.capSlots.size(); ++i) {
+        if (og.capSlots[i] == slot) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == og.capSlots.size() ||
+        slot >= capSlotOwner_.size() ||
+        capSlotOwner_[slot] != owner.pid()) {
+        return false;   // only the owner may delegate
+    }
+
+    const Addr pvaddr = capVirtualBase + Addr(slot) * pageSize;
+    target.pageTable().mapPage(pvaddr, engine_->capPageAddr(slot),
+                               Rights::ReadWrite, /*uncacheable=*/true);
+    auto &tg = target.dmaGrant();
+    tg.capSlots.push_back(slot);
+    tg.capPageVaddrs.push_back(pvaddr);
+    tg.capWords.push_back(og.capWords[idx]);
+    tg.capRateClasses.push_back(og.capRateClasses[idx]);
+    ++capDelegations_;
+    ULDMA_TRACE("Kernel", cpu_.clockEdge(), name_, ": cap delegate slot ",
+                slot, " pid ", owner.pid(), " -> ", target.pid());
+    return true;
+}
+
+bool
+Kernel::capRevoke(Process &owner, unsigned slot)
+{
+    ULDMA_ASSERT(engine_ != nullptr, "no DMA engine attached");
+    if (engine_->cap() == nullptr || slot >= capSlotOwner_.size() ||
+        capSlotOwner_[slot] != owner.pid()) {
+        return false;
+    }
+
+    const Addr base = engine_->params().kernelRegsBase;
+    Packet sel = Packet::makeWrite(base + kregs::capSlotSelect, slot);
+    cpu_.kernelBusAccess(sel);
+    // The generation bump: the engine also fails closed anything the
+    // slot has queued or in flight.
+    Packet op = Packet::makeWrite(base + kregs::capOp, capop::revoke);
+    cpu_.kernelBusAccess(op);
+
+    // Re-arm the owner with a fresh secret; delegates keep their stale
+    // capwords and fail closed on the next presentation.
+    const std::uint64_t secret =
+        keyRng_.next64() & mask(capfield::secretBits);
+    Packet sec = Packet::makeWrite(base + kregs::capSecret, secret);
+    cpu_.kernelBusAccess(sec);
+
+    auto &grant = owner.dmaGrant();
+    for (std::size_t i = 0; i < grant.capSlots.size(); ++i) {
+        if (grant.capSlots[i] == slot) {
+            grant.capWords[i] = capfield::pack(
+                slot, engine_->cap()->generation(slot), secret);
+            break;
+        }
+    }
+    ++capRevocations_;
+    ULDMA_TRACE("Kernel", cpu_.clockEdge(), name_, ": cap revoke slot ",
+                slot, " by pid ", owner.pid());
+    return true;
+}
+
+// ---------------------------------------------------------------------
 // OsCallbacks: traps and scheduling.
 // ---------------------------------------------------------------------
 
@@ -641,6 +895,12 @@ Kernel::syscall(ExecContext &ctx, std::uint64_t number)
         return sysIommuUnmap(ctx);
       case sys::iommuPin:
         return sysIommuPin(ctx);
+      case sys::capGrant:
+        return sysCapGrant(ctx);
+      case sys::capDelegate:
+        return sysCapDelegate(ctx);
+      case sys::capRevoke:
+        return sysCapRevoke(ctx);
       default: {
         ULDMA_WARN(name_, ": unknown syscall ", number);
         SyscallResult r;
@@ -897,6 +1157,70 @@ Kernel::sysIommuPin(ExecContext &ctx)
     return r;
 }
 
+SyscallResult
+Kernel::sysCapGrant(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->cap() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const Addr vaddr = ctx.reg(reg::a0);
+    const Addr bytes = ctx.reg(reg::a1);
+    const unsigned rate = static_cast<unsigned>(ctx.reg(reg::a2));
+    if (bytes == 0)
+        return r;
+    // One software translation per page, like check_size().
+    const Addr npages =
+        pageNumber(vaddr + bytes - 1) - pageNumber(vaddr) + 1;
+    r.cost += cyclesToTicks(params_.translateCycles * npages);
+    const int slot = capGrant(proc, vaddr, bytes, rate);
+    if (slot >= 0)
+        r.retval = static_cast<std::uint64_t>(slot);
+    return r;
+}
+
+SyscallResult
+Kernel::sysCapDelegate(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->cap() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const unsigned slot = static_cast<unsigned>(ctx.reg(reg::a0));
+    const Pid target_pid = static_cast<Pid>(ctx.reg(reg::a1));
+    Process *target = nullptr;
+    for (auto &p : processes_) {
+        if (p->pid() == target_pid) {
+            target = p.get();
+            break;
+        }
+    }
+    if (target == nullptr || target->finished())
+        return r;
+    if (capDelegate(proc, slot, *target))
+        r.retval = 0;
+    return r;
+}
+
+SyscallResult
+Kernel::sysCapRevoke(ExecContext &ctx)
+{
+    SyscallResult r;
+    r.cost = cyclesToTicks(params_.syscallOverheadCycles);
+    r.retval = ~std::uint64_t(0);
+    if (engine_ == nullptr || engine_->cap() == nullptr)
+        return r;
+    Process &proc = process(ctx.pid());
+    const unsigned slot = static_cast<unsigned>(ctx.reg(reg::a0));
+    if (capRevoke(proc, slot))
+        r.retval = 0;
+    return r;
+}
+
 std::uint64_t
 Kernel::onIommuFault(unsigned ctx, Addr iova, bool is_write)
 {
@@ -1062,6 +1386,33 @@ Kernel::reapGrants(Process &process)
             shadowContextOwner_[ctx] = invalidPid;
         }
         process.dmaGrant().shadowContext.reset();
+    }
+    if (!process.dmaGrant().capSlots.empty()) {
+        // Tear down every slot this process *owns* (delegated views of
+        // other tenants' slots just drop the grant entry — the owner
+        // keeps its capability).
+        auto &grant = process.dmaGrant();
+        for (unsigned slot : grant.capSlots) {
+            if (slot >= capSlotOwner_.size() ||
+                capSlotOwner_[slot] != process.pid()) {
+                continue;
+            }
+            capSlotOwner_[slot] = invalidPid;
+            if (engine_ != nullptr && engine_->cap() != nullptr) {
+                const Addr base = engine_->params().kernelRegsBase;
+                Packet sel = Packet::makeWrite(
+                    base + kregs::capSlotSelect, slot);
+                cpu_.kernelBusAccess(sel);
+                Packet op = Packet::makeWrite(base + kregs::capOp,
+                                              capop::invalidate);
+                cpu_.kernelBusAccess(op);
+                cost += cyclesToTicks(60);
+            }
+        }
+        grant.capSlots.clear();
+        grant.capPageVaddrs.clear();
+        grant.capWords.clear();
+        grant.capRateClasses.clear();
     }
     return cost;
 }

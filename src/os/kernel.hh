@@ -242,6 +242,46 @@ class Kernel : public OsCallbacks
      *  when a page is unmapped or the pin budget is full. */
     bool iommuPinRange(Process &process, Addr vaddr, Addr bytes);
     /// @}
+
+    /// @name Capability services (docs/CAPABILITIES.md; engine must
+    /// have a capability table).  Also reachable at runtime through
+    /// sys::capGrant / capDelegate / capRevoke.
+    /// @{
+    /**
+     * Grant @p process a DMA capability over [vaddr, vaddr+bytes) with
+     * QoS class @p rate_class: claim a free slot, program its frame
+     * spans (one per physically contiguous run), arm it with a fresh
+     * secret, and map the slot's presentation page.  The issued
+     * capword lands in the process's DmaGrant.
+     * @return the slot index, or -1 when no slot/spans are available.
+     */
+    int capGrant(Process &process, Addr vaddr, Addr bytes,
+                 unsigned rate_class);
+
+    /**
+     * Widen @p owner's capability @p slot to also cover
+     * [vaddr, vaddr+bytes): program additional frame spans (bounded by
+     * CapParams::maxSpansPerSlot).  The capword is unchanged — spans
+     * are slot state, not handle state.
+     */
+    bool capExtend(Process &owner, unsigned slot, Addr vaddr, Addr bytes);
+
+    /**
+     * Delegate @p owner's capability @p slot to @p target: map the
+     * presentation page into the target and hand over the current
+     * capword.  Pure kernel bookkeeping — the engine's table is
+     * untouched, which is what makes revocation a generation bump.
+     */
+    bool capDelegate(Process &owner, unsigned slot, Process &target);
+
+    /**
+     * Revoke @p owner's capability @p slot: the engine bumps the
+     * generation (outstanding capwords — delegated copies included —
+     * fail closed, even mid-transfer) and the slot is re-armed with a
+     * fresh secret for the owner alone.
+     */
+    bool capRevoke(Process &owner, unsigned slot);
+    /// @}
     /// @}
 
     /**
@@ -305,6 +345,9 @@ class Kernel : public OsCallbacks
     SyscallResult sysIommuMap(ExecContext &ctx);
     SyscallResult sysIommuUnmap(ExecContext &ctx);
     SyscallResult sysIommuPin(ExecContext &ctx);
+    SyscallResult sysCapGrant(ExecContext &ctx);
+    SyscallResult sysCapDelegate(ExecContext &ctx);
+    SyscallResult sysCapRevoke(ExecContext &ctx);
 
     /**
      * IOMMU translation-fault fix-up (IommuFaultPolicy::Trap): the
@@ -354,6 +397,8 @@ class Kernel : public OsCallbacks
     std::vector<Pid> keyContextOwner_;
     /** CONTEXT_ID occupancy (extended shadow addressing). */
     std::vector<Pid> shadowContextOwner_;
+    /** Capability-slot occupancy (owner pid; delegates never own). */
+    std::vector<Pid> capSlotOwner_;
 
     Random keyRng_;
 
@@ -368,6 +413,9 @@ class Kernel : public OsCallbacks
     stats::Scalar ringInterrupts_;
     stats::Scalar iommuMaps_;
     stats::Scalar iommuFixups_;
+    stats::Scalar capGrants_;
+    stats::Scalar capDelegations_;
+    stats::Scalar capRevocations_;
 };
 
 } // namespace uldma

@@ -50,6 +50,19 @@ struct DmaGrant
      *  the engine translates through its I/O page table.  Set by
      *  Kernel::setupRing when the engine has an IOMMU. */
     bool ringIommu = false;
+
+    /// @name Capability-gated DMA (docs/CAPABILITIES.md), set up by
+    /// Kernel::capGrant / capDelegate.  Parallel vectors, one entry per
+    /// slot this process can present to.  A delegate's capword goes
+    /// stale when the owner revokes — the kernel deliberately does not
+    /// scrub it: presenting a stale handle fails closed in hardware,
+    /// which is exactly the behaviour tests and the checker probe.
+    /// @{
+    std::vector<unsigned> capSlots;        ///< engine slot indices
+    std::vector<Addr> capPageVaddrs;       ///< mapped presentation pages
+    std::vector<std::uint64_t> capWords;   ///< capwords as last issued
+    std::vector<unsigned> capRateClasses;  ///< QoS class per slot
+    /// @}
 };
 
 /**

@@ -72,6 +72,28 @@ inline constexpr std::uint64_t iommuUnmap = 8;
  *  on success, ~0 when a page is unmapped or the budget is full. */
 inline constexpr std::uint64_t iommuPin = 9;
 
+/**
+ * Grant a DMA capability over [a0, a0+a1) of the caller's address
+ * space with QoS rate class a2 (docs/CAPABILITIES.md).  Returns the
+ * slot index, or ~0 when no slot is free / the engine has no
+ * capability table / the range is bad.
+ */
+inline constexpr std::uint64_t capGrant = 10;
+
+/** Delegate the caller's capability slot a0 to process a1: the target
+ *  gets the presentation page and the current capword.  Returns 0 on
+ *  success, ~0 on failure. */
+inline constexpr std::uint64_t capDelegate = 11;
+
+/**
+ * Revoke the caller's capability slot a0: the engine bumps the slot
+ * generation (every outstanding capword — including delegated copies —
+ * goes stale and fails closed, even mid-transfer) and the kernel
+ * re-arms the slot with a fresh secret for the owner.  Returns 0 on
+ * success, ~0 on failure.
+ */
+inline constexpr std::uint64_t capRevoke = 12;
+
 } // namespace uldma::sys
 
 #endif // ULDMA_OS_SYSCALLS_HH

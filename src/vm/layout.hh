@@ -37,6 +37,11 @@ inline constexpr Addr atomicVirtualBase = 0x6000'0000'0000;
 /** Virtual base where register-context pages are mapped. */
 inline constexpr Addr contextVirtualBase = 0x7000'0000'0000;
 
+/** Virtual base where capability presentation pages are mapped
+ *  (docs/CAPABILITIES.md): slot N's page lands at
+ *  capVirtualBase + N * pageSize, for owner and delegates alike. */
+inline constexpr Addr capVirtualBase = 0x7100'0000'0000;
+
 } // namespace uldma
 
 #endif // ULDMA_VM_LAYOUT_HH

@@ -112,7 +112,18 @@ runWorkload(const Scenario &scenario, std::uint64_t seed,
                     nc.dma.ctxIdBits = 2;
                 if (m == DmaMethod::Flash)
                     nc.dma.flashTagCheck = true;
+                if (m == DmaMethod::Cap)
+                    nc.dma.cap.enabled = true;
             }
+        }
+        if (scenario.cap.enabled) {
+            // Geometry overrides apply wherever a cap stream enabled
+            // the table; the member alone does not switch it on, so a
+            // cap-free scenario stays byte-identical to the baseline.
+            nc.dma.cap.numSlots = scenario.cap.slots;
+            nc.dma.cap.maxSpansPerSlot = scenario.cap.spansPerSlot;
+            nc.dma.cap.rateClasses = scenario.cap.rateClasses;
+            nc.dma.cap.checkCycles = scenario.cap.checkCycles;
         }
         if (scenario.iotlb.enabled) {
             nc.dma.iommu.enabled = true;

@@ -69,6 +69,21 @@ buildWorker(Machine &machine, const Scenario &scenario,
         }
     }
 
+    if (method == DmaMethod::Cap) {
+        // One slot covers both buffers: the grant walks src's frames,
+        // the extension widens the same slot over dst.  Slot or span
+        // exhaustion degrades to the kernel channel like every other
+        // fallback (the reaper reclaims the slot at process exit).
+        const int slot = kernel.capGrant(proc, src, region,
+                                         spec.rateClass);
+        if (slot < 0 ||
+            !kernel.capExtend(proc, static_cast<unsigned>(slot), dst,
+                              region)) {
+            method = DmaMethod::Kernel;
+            ++runtime.kernelFallbacks;
+        }
+    }
+
     if (method == DmaMethod::Shrimp1) {
         for (unsigned s = 0; s < spec.slots; ++s) {
             kernel.setupMapOut(

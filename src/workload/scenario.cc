@@ -281,15 +281,53 @@ parseIotlb(const Value &v, IotlbSpec &out, const std::string &where,
 }
 
 bool
+parseCap(const Value &v, CapSpec &out, const std::string &where,
+         std::string *error)
+{
+    if (v.isNull())
+        return true;    // engine-default geometry
+    if (!v.isObject())
+        return fail(error, where + " must be an object");
+    if (!checkKeys(v,
+                   {"slots", "spans_per_slot", "rate_classes",
+                    "check_cycles"},
+                   where, error))
+        return false;
+
+    std::uint64_t slots = out.slots, spans = out.spansPerSlot;
+    std::uint64_t classes = out.rateClasses;
+    if (!getUint(v, "slots", slots, false, where, error) ||
+        !getUint(v, "spans_per_slot", spans, false, where, error) ||
+        !getUint(v, "rate_classes", classes, false, where, error) ||
+        !getUint(v, "check_cycles", out.checkCycles, false, where, error))
+        return false;
+    // The capword's slot field is 8 bits (capfield::slotBits).
+    if (slots < 1 || slots > 256)
+        return fail(error, where + ".slots must be in [1, 256]");
+    if (spans < 1 || spans > 64)
+        return fail(error, where + ".spans_per_slot must be in [1, 64]");
+    if (classes < 1 || classes > 8)
+        return fail(error, where + ".rate_classes must be in [1, 8]");
+    out.slots = static_cast<unsigned>(slots);
+    out.spansPerSlot = static_cast<unsigned>(spans);
+    out.rateClasses = static_cast<unsigned>(classes);
+
+    out.enabled = true;
+    return true;
+}
+
+bool
 parseStream(const Value &v, unsigned num_nodes, bool iommu,
-            StreamSpec &out, const std::string &where, std::string *error)
+            unsigned rate_classes, StreamSpec &out,
+            const std::string &where, std::string *error)
 {
     if (!v.isObject())
         return fail(error, where + " must be an object");
     if (!checkKeys(v,
                    {"name", "count", "node", "protocol", "adversarial",
                     "initiations", "ops", "size", "pacing", "slots",
-                    "remote_node", "queue_depth", "sg_buffer"},
+                    "remote_node", "queue_depth", "sg_buffer",
+                    "rate_class"},
                    where, error))
         return false;
 
@@ -383,6 +421,19 @@ parseStream(const Value &v, unsigned num_nodes, bool iommu,
         out.sgPages = static_cast<unsigned>(pages);
     }
 
+    if (v.has("rate_class")) {
+        if (out.method != DmaMethod::Cap)
+            return fail(error, where + ".rate_class only valid on a "
+                                       "cap-protocol stream");
+        std::uint64_t rate = 0;
+        if (!getUint(v, "rate_class", rate, true, where, error))
+            return false;
+        if (rate >= rate_classes)
+            return fail(error, where + ".rate_class must be < " +
+                                   std::to_string(rate_classes));
+        out.rateClass = static_cast<unsigned>(rate);
+    }
+
     // The engine caps one user transfer at a page; a scatter-gather
     // buffer lifts the cap to its page count (docs/IOMMU.md).
     const Addr size_cap = Addr(out.sgPages) * maxTransferBytes;
@@ -422,6 +473,7 @@ methodName(DmaMethod method)
       case DmaMethod::Repeated4: return "repeated4";
       case DmaMethod::Repeated5: return "repeated5";
       case DmaMethod::Ring: return "ring";
+      case DmaMethod::Cap: return "cap";
     }
     return "?";
 }
@@ -441,6 +493,10 @@ parseMethodName(const std::string &name, DmaMethod &out)
         out = DmaMethod::Ring;
         return true;
     }
+    if (name == "cap") {
+        out = DmaMethod::Cap;
+        return true;
+    }
     return false;
 }
 
@@ -456,7 +512,7 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
     if (!checkKeys(doc,
                    {"schema", "name", "description", "nodes", "bus",
                     "cpu_mhz", "syscall_cycles", "scheduler", "iotlb",
-                    "limit_us", "streams"},
+                    "capability", "limit_us", "streams"},
                    "scenario", error))
         return false;
 
@@ -512,6 +568,10 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
                     error))
         return false;
 
+    if (!parseCap(doc["capability"], scenario.cap, "scenario.capability",
+                  error))
+        return false;
+
     if (!getUint(doc, "limit_us", scenario.limitUs, false, "scenario",
                  error))
         return false;
@@ -524,8 +584,9 @@ parseScenario(const std::string &text, Scenario &out, std::string *error)
     for (std::size_t i = 0; i < streams.size(); ++i) {
         StreamSpec spec;
         if (!parseStream(streams[i], scenario.nodes,
-                         scenario.iotlb.enabled, spec,
-                         "streams[" + std::to_string(i) + "]", error))
+                         scenario.iotlb.enabled, scenario.cap.rateClasses,
+                         spec, "streams[" + std::to_string(i) + "]",
+                         error))
             return false;
         for (const StreamSpec &prior : scenario.streams) {
             if (prior.name == spec.name)

@@ -98,6 +98,9 @@ struct StreamSpec
     /** >= 0: destinations live on that node, reached through a remote
      *  window (multi-node traffic).  -1 = local destinations. */
     int remoteNode = -1;
+    /** Cap streams only: weighted-round-robin rate class the stream's
+     *  grants run at (class c gets weight 1<<c, docs/CAPABILITIES.md). */
+    unsigned rateClass = 0;
 };
 
 /** Engine IOMMU/IOTLB configuration (the "iotlb" scenario member,
@@ -117,6 +120,19 @@ struct IotlbSpec
     std::uint64_t pinBudgetPages = 0;
     /** "abort" | "trap" (IommuFaultPolicy). */
     std::string fault = "abort";
+};
+
+/** Capability-table geometry (the "capability" scenario member,
+ *  docs/CAPABILITIES.md).  The table itself is enabled whenever any
+ *  stream runs the cap protocol; this member only overrides the
+ *  engine defaults (slot count, spans, rate classes, check cost). */
+struct CapSpec
+{
+    bool enabled = false;
+    unsigned slots = 256;        ///< capability-table entries (tenants)
+    unsigned spansPerSlot = 8;   ///< frame spans one slot may hold
+    unsigned rateClasses = 4;    ///< WRR rate classes (weight 1<<c)
+    std::uint64_t checkCycles = 2;  ///< per-presentation validation cost
 };
 
 /** Scheduler every node runs. */
@@ -145,6 +161,8 @@ struct Scenario
     SchedulerSpec scheduler;
     /** Engine IOMMU (absent = no IOMMU, byte-identical baseline). */
     IotlbSpec iotlb;
+    /** Capability-table overrides (absent = engine defaults). */
+    CapSpec cap;
     /** Simulated-time cap; a run hitting it reports finished=false. */
     std::uint64_t limitUs = 60 * 1000 * 1000;
     std::vector<StreamSpec> streams;

@@ -55,8 +55,9 @@ loadShipped(const std::string &name)
 
 /** Every scenario file the repo ships (scenarios/README-worthy set). */
 const std::vector<std::string> kShippedScenarios = {
-    "table1_mix",      "contended_4proc", "multinode_scatter",
-    "adversarial_mix", "parallel_shards", "ring_pipeline",
+    "table1_mix",        "contended_4proc", "multinode_scatter",
+    "adversarial_mix",   "parallel_shards", "ring_pipeline",
+    "multitenant_storm",
 };
 
 // ---------------------------------------------------------------------

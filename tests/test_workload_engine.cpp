@@ -111,6 +111,61 @@ TEST(ScenarioParse, EngineModeConflictOnOneNodeIsRejected)
         << error;
 }
 
+TEST(ScenarioParse, CapMembersAreValidated)
+{
+    Scenario s;
+    std::string error;
+    // rate_class is a capability-arbiter knob: meaningless (and so an
+    // error) on any other protocol's stream.
+    EXPECT_FALSE(parseScenario(
+        minimalScenario(
+            R"({"name": "s", "protocol": "key-based", "initiations": 1,
+                "rate_class": 1})"),
+        s, &error));
+    EXPECT_NE(error.find("rate_class"), std::string::npos) << error;
+
+    // The class must exist in the scenario's arbiter geometry.
+    EXPECT_FALSE(parseScenario(
+        R"({"schema": "uldma-scenario-v1", "name": "t",
+            "capability": {"rate_classes": 2},
+            "streams": [{"name": "s", "protocol": "cap",
+                         "initiations": 1, "rate_class": 2}]})",
+        s, &error));
+    EXPECT_NE(error.find("rate_class must be < 2"), std::string::npos)
+        << error;
+
+    // The capability block is strictly checked like everything else.
+    EXPECT_FALSE(parseScenario(
+        R"({"schema": "uldma-scenario-v1", "name": "t",
+            "capability": {"slotz": 16},
+            "streams": [{"name": "s", "protocol": "cap",
+                         "initiations": 1}]})",
+        s, &error));
+    EXPECT_NE(error.find("slotz"), std::string::npos) << error;
+    EXPECT_FALSE(parseScenario(
+        R"({"schema": "uldma-scenario-v1", "name": "t",
+            "capability": {"slots": 1000},
+            "streams": [{"name": "s", "protocol": "cap",
+                         "initiations": 1}]})",
+        s, &error));
+    EXPECT_NE(error.find("slots must be in [1, 256]"),
+              std::string::npos)
+        << error;
+
+    // A valid cap scenario: geometry lands, classes default to 4.
+    ASSERT_TRUE(parseScenario(
+        R"({"schema": "uldma-scenario-v1", "name": "t",
+            "capability": {"slots": 16, "rate_classes": 3},
+            "streams": [{"name": "s", "protocol": "cap",
+                         "initiations": 1, "rate_class": 2}]})",
+        s, &error))
+        << error;
+    EXPECT_TRUE(s.cap.enabled);
+    EXPECT_EQ(s.cap.slots, 16u);
+    EXPECT_EQ(s.cap.rateClasses, 3u);
+    EXPECT_EQ(s.streams[0].rateClass, 2u);
+}
+
 TEST(ScenarioParse, MethodNamesRoundTrip)
 {
     for (DmaMethod method : allMethods) {
@@ -264,6 +319,50 @@ TEST(WorkloadEngine, MixedScenarioCompletesItsOfferedLoad)
     for (const ProtocolStats &row : result.protocols)
         completed += row.completed;
     EXPECT_EQ(completed, offered);
+}
+
+TEST(WorkloadEngine, CapTenantsCompleteTheirOfferedLoad)
+{
+    // Multi-tenant capability traffic in two rate classes: every
+    // presentation must validate and complete (no rejects — each
+    // tenant stays inside its own grant), deterministically.
+    const std::string text = R"({
+      "schema": "uldma-scenario-v1",
+      "name": "cap-mix",
+      "capability": {"slots": 16, "rate_classes": 4},
+      "streams": [
+        {"name": "bronze", "count": 3, "protocol": "cap",
+         "initiations": 12, "rate_class": 0,
+         "size": {"kind": "fixed", "bytes": 256}},
+        {"name": "gold", "count": 2, "protocol": "cap",
+         "initiations": 12, "rate_class": 3,
+         "size": {"kind": "uniform", "min": 64, "max": 2048}}
+      ]
+    })";
+    Scenario scenario;
+    std::string error;
+    ASSERT_TRUE(parseScenario(text, scenario, &error)) << error;
+
+    const WorkloadResult result = runWorkload(scenario, 11);
+    EXPECT_TRUE(result.finished);
+    std::uint64_t offered = 0, failures = 0;
+    for (const StreamRuntime &stream : result.streams) {
+        offered += stream.issued;
+        failures += stream.failures;
+    }
+    EXPECT_EQ(offered, 3u * 12 + 2u * 12);
+    EXPECT_EQ(failures, 0u);
+
+    const ProtocolStats *cap_row = nullptr;
+    for (const ProtocolStats &row : result.protocols) {
+        if (row.protocol == "cap")
+            cap_row = &row;
+    }
+    ASSERT_NE(cap_row, nullptr) << "no 'cap' protocol row";
+    EXPECT_EQ(cap_row->completed, offered);
+    EXPECT_EQ(cap_row->rejected, 0u);
+
+    EXPECT_EQ(reportFor(scenario, 11), reportFor(scenario, 11));
 }
 
 // ---------------------------------------------------------------------

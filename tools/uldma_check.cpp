@@ -78,6 +78,7 @@ replayMode(const std::string &path, const std::string &report)
     config.weakRing = schedule.weakRing;
     config.useIommu = schedule.iommu;
     config.weakIommu = schedule.weakIommu;
+    config.weakCap = schedule.weakCap;
     const RunResult r = runSchedule(config, schedule.preemptAfter);
     const Outcome reproduced = outcomeOf(r);
 
@@ -113,7 +114,7 @@ main(int argc, char **argv)
         "Systematic interleaving explorer for the DMA-initiation "
         "protocols (see docs/CHECKING.md).");
     opts.addString("protocol", "repeated",
-                   "pal | key-based | ext-shadow | repeated | ring");
+                   "pal | key-based | ext-shadow | repeated | ring | cap");
     opts.addInt("depth", 2, "max preemption points per schedule");
     opts.addFlag("faults", false,
                  "adversarial shadow traffic in every preemption gap");
@@ -127,6 +128,10 @@ main(int argc, char **argv)
     opts.addFlag("weaken-iommu", false,
                  "fault-inject raw-address bypass on IOMMU faults "
                  "(implies --iommu)");
+    opts.addFlag("weaken-cap", false,
+                 "fault-inject a capability engine that starts "
+                 "presentations without consulting the table "
+                 "(requires --protocol=cap)");
     opts.addFlag("no-prune", false, "disable state-hash prefix pruning");
     opts.addInt("max-runs", 0, "cap on schedule executions (0 = none)");
     opts.addString("replay", "", "re-execute a uldma-schedule-v1 file");
@@ -150,7 +155,7 @@ main(int argc, char **argv)
         return usageError("unknown protocol '" +
                           opts.getString("protocol") +
                           "' (pal | key-based | ext-shadow | repeated | "
-                          "ring)");
+                          "ring | cap)");
     }
     if (opts.getInt("depth") < 0)
         return usageError("depth must be >= 0");
@@ -165,6 +170,9 @@ main(int argc, char **argv)
         opts.getFlag("iommu") || config.runner.weakIommu;
     if (config.runner.useIommu && *method != DmaMethod::Ring)
         return usageError("--iommu/--weaken-iommu require --protocol=ring");
+    config.runner.weakCap = opts.getFlag("weaken-cap");
+    if (config.runner.weakCap && *method != DmaMethod::Cap)
+        return usageError("--weaken-cap requires --protocol=cap");
     config.depth = static_cast<unsigned>(opts.getInt("depth"));
     config.prune = !opts.getFlag("no-prune");
     config.maxRuns = static_cast<std::uint64_t>(opts.getInt("max-runs"));
@@ -195,6 +203,7 @@ main(int argc, char **argv)
             schedule.weakRing = config.runner.weakRing;
             schedule.iommu = config.runner.useIommu;
             schedule.weakIommu = config.runner.weakIommu;
+            schedule.weakCap = config.runner.weakCap;
             schedule.boundarySpace = result.boundarySpace;
             schedule.preemptAfter = cex.preemptAfter;
             if (!writeReport(report, schedule, outcomeOf(cex.result)))

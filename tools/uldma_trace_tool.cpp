@@ -431,14 +431,15 @@ validateSchedule(Problems &p, const Value &doc)
     checkNoExtra(p, doc,
                  {"schema", "protocol", "faults", "weakened_recognizer",
                   "weakened_ring", "iommu", "weakened_iommu",
-                  "boundary_space", "preempt_after", "outcome"},
+                  "weakened_cap", "boundary_space", "preempt_after",
+                  "outcome"},
                  "root");
     p.require(doc["protocol"].isString(), "protocol missing");
     if (doc["protocol"].isString()) {
         const std::string proto = doc["protocol"].asString();
         p.require(proto == "pal" || proto == "key-based" ||
                       proto == "ext-shadow" || proto == "repeated" ||
-                      proto == "ring",
+                      proto == "ring" || proto == "cap",
                   "unknown protocol '" + proto + "'");
     }
     p.require(doc["faults"].isBool(), "faults missing");
@@ -455,6 +456,10 @@ validateSchedule(Problems &p, const Value &doc)
     if (!doc["weakened_iommu"].isNull())
         p.require(doc["weakened_iommu"].isBool(),
                   "weakened_iommu is not a bool");
+    // Optional likewise: absent before the capability subsystem.
+    if (!doc["weakened_cap"].isNull())
+        p.require(doc["weakened_cap"].isBool(),
+                  "weakened_cap is not a bool");
     p.require(doc["boundary_space"].isNumber(), "boundary_space missing");
     p.require(doc["preempt_after"].isArray(), "preempt_after missing");
     if (doc["preempt_after"].isArray()) {
@@ -667,6 +672,107 @@ validateIommu(Problems &p, const Value &doc)
     }
 }
 
+/** Strict uldma-cap-v1 check (bench_cap initiation/fairness report). */
+void
+validateCap(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "benchmark", "wall_ns", "seed", "initiation",
+                  "fairness", "cap_avg_us", "key_based_avg_us",
+                  "cap_premium_us"},
+                 "root");
+    p.require(doc["benchmark"].isString(), "benchmark missing");
+    for (const char *f : {"wall_ns", "seed", "cap_avg_us",
+                          "key_based_avg_us", "cap_premium_us"})
+        p.require(doc[f].isNumber(), std::string(f) + " missing");
+
+    p.require(doc["initiation"].isArray(), "initiation missing");
+    if (doc["initiation"].isArray()) {
+        const auto &rows = doc["initiation"].asArray();
+        p.require(!rows.empty(), "initiation is empty");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "initiation[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"method", "iterations", "avg_us", "min_us",
+                          "max_us", "instructions_per_initiation",
+                          "uncached_accesses_per_initiation"},
+                         where);
+            p.require(r["method"].isString(), where + ".method missing");
+            if (r["method"].isString()) {
+                const std::string &m = r["method"].asString();
+                p.require(m == "cap" || m == "key-based",
+                          where + ".method must be cap|key-based");
+            }
+            for (const char *f :
+                 {"iterations", "avg_us", "min_us", "max_us",
+                  "instructions_per_initiation",
+                  "uncached_accesses_per_initiation"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+        }
+    }
+
+    const Value &fair = doc["fairness"];
+    p.require(fair.isObject(), "fairness missing");
+    if (fair.isObject()) {
+        checkNoExtra(p, fair,
+                     {"tenants", "transfers_per_tenant", "transfer_bytes",
+                      "duration_us", "total_bytes", "presentations",
+                      "rejects", "classes", "jain_index",
+                      "min_tenant_share", "max_tenant_share",
+                      "max_starvation_us"},
+                     "fairness");
+        for (const char *f :
+             {"tenants", "transfers_per_tenant", "transfer_bytes",
+              "duration_us", "total_bytes", "presentations", "rejects",
+              "jain_index", "min_tenant_share", "max_tenant_share",
+              "max_starvation_us"})
+            p.require(fair[f].isNumber(),
+                      std::string("fairness.") + f + " missing");
+        for (const char *f :
+             {"jain_index", "min_tenant_share", "max_tenant_share"}) {
+            if (fair[f].isNumber()) {
+                const double v = fair[f].asNumber();
+                p.require(v >= 0.0 && v <= 1.0,
+                          std::string("fairness.") + f +
+                              " outside [0, 1]");
+            }
+        }
+        p.require(fair["classes"].isArray(), "fairness.classes missing");
+        if (fair["classes"].isArray()) {
+            const auto &rows = fair["classes"].asArray();
+            p.require(!rows.empty(), "fairness.classes is empty");
+            double last_class = -1.0;
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                const Value &r = rows[i];
+                const std::string where =
+                    "fairness.classes[" + std::to_string(i) + "]";
+                checkNoExtra(p, r,
+                             {"rate_class", "weight", "tenants", "bytes",
+                              "share"},
+                             where);
+                for (const char *f : {"rate_class", "weight", "tenants",
+                                      "bytes", "share"})
+                    p.require(r[f].isNumber(),
+                              where + "." + f + " missing");
+                if (r["share"].isNumber()) {
+                    const double s = r["share"].asNumber();
+                    p.require(s >= 0.0 && s <= 1.0,
+                              where + ".share outside [0, 1]");
+                }
+                if (r["rate_class"].isNumber()) {
+                    const double c = r["rate_class"].asNumber();
+                    p.require(c > last_class,
+                              where + ".rate_class breaks strictly "
+                                      "increasing order");
+                    last_class = c;
+                }
+            }
+        }
+    }
+}
+
 /** Strict uldma-profile-v1 scope-tree node check (recursive). */
 void
 validateProfileNode(Problems &p, const Value &node, bool host_time,
@@ -731,8 +837,15 @@ void dispatchSchema(Problems &p, const std::string &schema,
 void
 validateBenchSummary(Problems &p, const Value &doc)
 {
-    checkNoExtra(p, doc, {"schema", "seed", "reports"}, "root");
+    checkNoExtra(p, doc, {"schema", "seed", "host_cores", "reports"},
+                 "root");
     p.require(doc["seed"].isNumber(), "seed missing");
+    // Host core count of the producing machine; optional (older
+    // summaries predate it), informational only — never gated.
+    if (!doc["host_cores"].isNull())
+        p.require(doc["host_cores"].isNumber() &&
+                      doc["host_cores"].asNumber() >= 0.0,
+                  "host_cores is not a non-negative number");
     p.require(doc["reports"].isArray(), "reports missing");
     if (!doc["reports"].isArray())
         return;
@@ -800,6 +913,7 @@ const SchemaEntry schemaRegistry[] = {
     {"uldma-schedule", 1, validateSchedule},
     {"uldma-ring", 1, validateRing},
     {"uldma-iommu", 1, validateIommu},
+    {"uldma-cap", 1, validateCap},
     {"uldma-profile", 1, validateProfile},
     {"uldma-bench-summary", 1, validateBenchSummary},
 };
@@ -1015,6 +1129,55 @@ summarizeIommu(const std::string &path, const Value &doc)
     return 0;
 }
 
+/** Initiation-cost and fairness tables of one uldma-cap-v1 document. */
+int
+summarizeCap(const std::string &path, const Value &doc)
+{
+    std::printf("%s: %s, seed %.0f\n\n", path.c_str(),
+                doc["benchmark"].asString().c_str(),
+                doc["seed"].asNumber());
+
+    std::printf("%-12s %10s %10s %10s %10s %12s %10s\n", "method",
+                "iters", "avg us", "min us", "max us", "instr/init",
+                "uncached");
+    for (const Value &r : doc["initiation"].asArray()) {
+        std::printf("%-12s %10.0f %10.3f %10.3f %10.3f %12.1f %10.2f\n",
+                    r["method"].asString().c_str(),
+                    r["iterations"].asNumber(), r["avg_us"].asNumber(),
+                    r["min_us"].asNumber(), r["max_us"].asNumber(),
+                    r["instructions_per_initiation"].asNumber(),
+                    r["uncached_accesses_per_initiation"].asNumber());
+    }
+    std::printf("\ncapability check premium over key-based: %.3f us "
+                "per initiation\n",
+                doc["cap_premium_us"].asNumber());
+
+    const Value &fair = doc["fairness"];
+    std::printf("\nstorm: %.0f tenant(s) x %.0f transfer(s) of %.0f B "
+                "over %.1f us (%.0f presentations, %.0f rejects)\n\n",
+                fair["tenants"].asNumber(),
+                fair["transfers_per_tenant"].asNumber(),
+                fair["transfer_bytes"].asNumber(),
+                fair["duration_us"].asNumber(),
+                fair["presentations"].asNumber(),
+                fair["rejects"].asNumber());
+    std::printf("%-6s %7s %8s %14s %9s\n", "class", "weight", "tenants",
+                "bytes", "share");
+    for (const Value &c : fair["classes"].asArray()) {
+        std::printf("%-6.0f %7.0f %8.0f %14.0f %9.4f\n",
+                    c["rate_class"].asNumber(), c["weight"].asNumber(),
+                    c["tenants"].asNumber(), c["bytes"].asNumber(),
+                    c["share"].asNumber());
+    }
+    std::printf("\nJain fairness index %.4f, per-tenant share "
+                "[%.5f, %.5f], worst queue wait %.1f us\n",
+                fair["jain_index"].asNumber(),
+                fair["min_tenant_share"].asNumber(),
+                fair["max_tenant_share"].asNumber(),
+                fair["max_starvation_us"].asNumber());
+    return 0;
+}
+
 int
 cmdSummarize(const std::string &path)
 {
@@ -1027,10 +1190,13 @@ cmdSummarize(const std::string &path)
         return summarizeRing(path, doc);
     if (doc["schema"].asString() == "uldma-iommu-v1")
         return summarizeIommu(path, doc);
+    if (doc["schema"].asString() == "uldma-cap-v1")
+        return summarizeCap(path, doc);
     if (doc["schema"].asString() != "uldma-spans-v1") {
         std::fprintf(stderr,
                      "%s: not a uldma-spans-v1, uldma-workload-v1, "
-                     "uldma-ring-v1 or uldma-iommu-v1 document\n",
+                     "uldma-ring-v1, uldma-iommu-v1 or uldma-cap-v1 "
+                     "document\n",
                      path.c_str());
         return 2;
     }
@@ -1612,6 +1778,76 @@ benchDiffIommu(BenchDiffStats &st, const Value &base, const Value &cur,
     }
 }
 
+void
+benchDiffCap(BenchDiffStats &st, const Value &base, const Value &cur,
+             double threshold_pct)
+{
+    for (const Value &b : base["initiation"].asArray()) {
+        const std::string method = b["method"].asString();
+        const Value *c = nullptr;
+        for (const Value &cand : cur["initiation"].asArray()) {
+            if (cand["method"].asString() == method) {
+                c = &cand;
+                break;
+            }
+        }
+        const std::string row = "initiation/" + method;
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole method)");
+            continue;
+        }
+        for (const char *metric :
+             {"avg_us", "instructions_per_initiation",
+              "uncached_accesses_per_initiation"}) {
+            compareMetric(st, row, metric, -1, b[metric].asNumber(),
+                          (*c)[metric].asNumber(), threshold_pct);
+        }
+    }
+
+    // The headline claim: protected initiation must stay cheap...
+    compareMetric(st, "headline", "cap_premium_us", -1,
+                  base["cap_premium_us"].asNumber(),
+                  cur["cap_premium_us"].asNumber(), threshold_pct);
+
+    // ...and the arbiter must stay fair.  Jain and the weakest
+    // tenant's share gate upward (+1); starvation gates downward.
+    const Value &bf = base["fairness"];
+    const Value &cf = cur["fairness"];
+    compareMetric(st, "fairness", "jain_index", +1,
+                  bf["jain_index"].asNumber(),
+                  cf["jain_index"].asNumber(), threshold_pct);
+    compareMetric(st, "fairness", "min_tenant_share", +1,
+                  bf["min_tenant_share"].asNumber(),
+                  cf["min_tenant_share"].asNumber(), threshold_pct);
+    compareMetric(st, "fairness", "max_starvation_us", -1,
+                  bf["max_starvation_us"].asNumber(),
+                  cf["max_starvation_us"].asNumber(), threshold_pct);
+    for (const Value &b : bf["classes"].asArray()) {
+        const double rc = b["rate_class"].asNumber();
+        const Value *c = nullptr;
+        for (const Value &cand : cf["classes"].asArray()) {
+            if (cand["rate_class"].asNumber() == rc) {
+                c = &cand;
+                break;
+            }
+        }
+        char rowbuf[32];
+        std::snprintf(rowbuf, sizeof(rowbuf), "class/%.0f", rc);
+        const std::string row = rowbuf;
+        if (c == nullptr) {
+            reportMissing(st, row, "(whole class)");
+            continue;
+        }
+        // Only the lowest class gates: its share eroding is the
+        // starvation failure mode; upper classes trading share among
+        // themselves is the arbiter doing its job.
+        if (rc == 0.0) {
+            compareMetric(st, row, "share", +1, b["share"].asNumber(),
+                          (*c)["share"].asNumber(), threshold_pct);
+        }
+    }
+}
+
 int
 cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
              double threshold_pct)
@@ -1628,11 +1864,11 @@ cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
         return 2;
     }
     if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1" &&
-        schema != "uldma-iommu-v1") {
+        schema != "uldma-iommu-v1" && schema != "uldma-cap-v1") {
         std::fprintf(stderr,
                      "%s: bench-diff compares uldma-bench-v1, "
-                     "uldma-ring-v1 or uldma-iommu-v1 documents, "
-                     "not '%s'\n",
+                     "uldma-ring-v1, uldma-iommu-v1 or uldma-cap-v1 "
+                     "documents, not '%s'\n",
                      base_path.c_str(), schema.c_str());
         return 2;
     }
@@ -1651,6 +1887,8 @@ cmdBenchDiff(const std::string &base_path, const std::string &cur_path,
         benchDiffRecords(st, base, cur, threshold_pct);
     else if (schema == "uldma-iommu-v1")
         benchDiffIommu(st, base, cur, threshold_pct);
+    else if (schema == "uldma-cap-v1")
+        benchDiffCap(st, base, cur, threshold_pct);
     else
         benchDiffRing(st, base, cur, threshold_pct);
 
@@ -1710,11 +1948,11 @@ cmdBenchPerturb(const std::string &in_path, const std::string &out_path,
         return 2;
     const std::string schema = doc["schema"].asString();
     if (schema != "uldma-bench-v1" && schema != "uldma-ring-v1" &&
-        schema != "uldma-iommu-v1") {
+        schema != "uldma-iommu-v1" && schema != "uldma-cap-v1") {
         std::fprintf(stderr,
                      "%s: bench-perturb handles uldma-bench-v1, "
-                     "uldma-ring-v1 or uldma-iommu-v1 documents, "
-                     "not '%s'\n",
+                     "uldma-ring-v1, uldma-iommu-v1 or uldma-cap-v1 "
+                     "documents, not '%s'\n",
                      in_path.c_str(), schema.c_str());
         return 2;
     }
@@ -1734,6 +1972,13 @@ cmdBenchPerturb(const std::string &in_path, const std::string &out_path,
             return v * factor;
         if (parent == "points" &&
             (key == "amortized_us" || key == "translation_p50_us"))
+            return v * factor;
+        if (parent == "initiation" &&
+            (key == "avg_us" || key == "min_us" || key == "max_us" ||
+             key == "instructions_per_initiation" ||
+             key == "uncached_accesses_per_initiation"))
+            return v * factor;
+        if (parent == "fairness" && key == "max_starvation_us")
             return v * factor;
         return v;
     };
@@ -1764,7 +2009,7 @@ usage()
     std::fprintf(stderr,
                  "usage: uldma_trace_tool summarize <spans.json | "
                  "workload-report.json | ring-sweep.json | "
-                 "iommu-sweep.json>\n"
+                 "iommu-sweep.json | cap-report.json>\n"
                  "       uldma_trace_tool diff <before.json> <after.json>"
                  " [--threshold=<pct>]\n"
                  "       uldma_trace_tool profile <profile.json> "
