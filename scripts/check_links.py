@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Markdown cross-reference checker for README.md and docs/*.md.
+
+Walks every markdown link in the repo's documentation and verifies:
+
+  * relative file links resolve to a file or directory in the tree
+    (absolute paths and bare anchors are resolved too; http(s)/mailto
+    links are skipped — this is a cross-reference checker, not a
+    network link checker);
+  * anchor fragments (``page.md#section`` or in-page ``#section``)
+    match a heading in the target file, using GitHub's slugification
+    (lowercase, punctuation stripped, spaces to hyphens, duplicate
+    slugs numbered).
+
+Exit status: 0 when every link resolves, 1 with a listing of broken
+links otherwise.  No dependencies beyond the standard library; CI
+runs it on every push (.github/workflows/ci.yml), and it is handy
+locally after any docs edit:
+
+    python3 scripts/check_links.py
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — skipping images' leading '!' is unnecessary: image
+# targets are checked like any other relative path.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs, name))
+    return files
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug for a heading text (with dedup numbering)."""
+    # Inline code/emphasis markers do not contribute to the slug
+    # (literal underscores DO survive GitHub's slugification).
+    text = re.sub(r"[`*]", "", heading)
+    # Links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    text = text.replace(" ", "-")
+    if text in seen:
+        seen[text] += 1
+        return f"{text}-{seen[text]}"
+    seen[text] = 0
+    return text
+
+
+def heading_slugs(path):
+    slugs = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                slugs.add(github_slug(m.group(2), seen))
+    return slugs
+
+
+def links_of(path):
+    """Yield (lineno, target) for every markdown link outside code
+    fences."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Inline code spans may hold example links; strip them.
+            stripped = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(stripped):
+                yield lineno, m.group(1)
+
+
+def check_file(path, slug_cache):
+    problems = []
+    base = os.path.dirname(path)
+    for lineno, target in links_of(path):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+            continue
+        where = f"{os.path.relpath(path, REPO_ROOT)}:{lineno}"
+
+        fragment = None
+        if "#" in target:
+            target, fragment = target.split("#", 1)
+
+        if target == "":
+            resolved = path  # in-page anchor
+        else:
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                problems.append(f"{where}: broken link '{target}'")
+                continue
+
+        if fragment is not None:
+            if not resolved.endswith(".md"):
+                continue  # anchors into non-markdown are not checked
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved)
+            if fragment.lower() not in slug_cache[resolved]:
+                name = os.path.relpath(resolved, REPO_ROOT)
+                problems.append(
+                    f"{where}: no heading '#{fragment}' in {name}")
+    return problems
+
+
+def main():
+    problems = []
+    slug_cache = {}
+    files = doc_files()
+    for path in files:
+        problems.extend(check_file(path, slug_cache))
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"check_links: {len(problems)} broken link(s) "
+              f"across {len(files)} file(s)")
+        return 1
+    print(f"check_links: all links ok across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

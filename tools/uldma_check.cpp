@@ -12,13 +12,24 @@
  * compares the reproduced outcome against the recorded one; --report
  * re-serialises the reproduced document (byte-identical to the
  * original when the run reproduces).
+ *
+ * Fuzz mode: --fuzz runs the coverage-guided mutational loop
+ * (docs/FUZZING.md) instead of the exhaustive DFS; --swarm re-draws
+ * protocol and fault flags every batch.  Findings are shrunk and the
+ * first one is written to --report as a replayable repro;
+ * --fuzz-report writes the strict uldma-fuzz-v1 campaign document.
+ * Exit 0 unless a violation was found on a configuration with no
+ * --weaken-* flag (a real bug); --expect-violation inverts: exit 0
+ * iff at least one finding (for the seeded fault-injection soaks).
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "check/explorer.hh"
+#include "check/fuzzer.hh"
 #include "check/runner.hh"
 #include "check/schedule.hh"
 #include "util/options.hh"
@@ -105,6 +116,65 @@ replayMode(const std::string &path, const std::string &report)
     return 0;
 }
 
+int
+fuzzMode(const FuzzConfig &config, const std::string &report,
+         const std::string &fuzzReport, bool hostTime,
+         bool expectViolation)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const FuzzReport result = fuzz(config);
+    const auto wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+
+    std::cout << (config.swarm ? "swarm" : "fuzz") << " seed "
+              << config.seed << ": " << result.execs
+              << " schedule(s) executed (+" << result.shrinkExecs
+              << " shrinking), " << result.coverageEdges
+              << " coverage edge(s), corpus " << result.corpusSize
+              << ", " << result.configs.size() << " config(s)\n";
+    for (const FuzzFinding &f : result.findings) {
+        std::cout << (f.expected ? "expected" : "UNEXPECTED")
+                  << " finding: " << protocolToken(f.config.method)
+                  << " at exec " << f.foundAtExec
+                  << ", minimal schedule: preempt-after [";
+        for (std::size_t i = 0; i < f.preemptAfter.size(); ++i)
+            std::cout << (i ? " " : "") << f.preemptAfter[i];
+        std::cout << "]\n";
+        printViolations(f.outcome.violations);
+    }
+
+    if (!fuzzReport.empty()) {
+        std::ofstream out(fuzzReport, std::ios::binary);
+        if (!out) {
+            std::cerr << "uldma_check: cannot write '" << fuzzReport
+                      << "'\n";
+            return 2;
+        }
+        if (hostTime) {
+            const double perSec =
+                wallNs ? result.execs * 1e9 /
+                             static_cast<double>(wallNs)
+                       : 0.0;
+            writeFuzzJson(out, result, wallNs, perSec);
+        } else {
+            writeFuzzJson(out, result);
+        }
+        std::cout << "fuzz report written to " << fuzzReport << "\n";
+    }
+    if (!report.empty() && !result.findings.empty()) {
+        const FuzzFinding &f = result.findings.front();
+        if (!writeReport(report, findingSchedule(f), f.outcome))
+            return 2;
+        std::cout << "repro written to " << report << "\n";
+    }
+
+    if (expectViolation)
+        return result.findings.empty() ? 1 : 0;
+    return result.unexpectedFindings > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -134,6 +204,27 @@ main(int argc, char **argv)
                  "(requires --protocol=cap)");
     opts.addFlag("no-prune", false, "disable state-hash prefix pruning");
     opts.addInt("max-runs", 0, "cap on schedule executions (0 = none)");
+    opts.addFlag("fuzz", false,
+                 "coverage-guided mutational fuzzing instead of the "
+                 "exhaustive DFS (docs/FUZZING.md)");
+    opts.addInt("budget-schedules", 2000,
+                "fuzz mode: total schedule executions");
+    opts.addInt("seed", 0, "fuzz mode: PRNG seed (deterministic)");
+    opts.addInt("max-points", 8,
+                "fuzz mode: cap on preemption points per schedule");
+    opts.addInt("batch-schedules", 64,
+                "fuzz mode: schedules per (swarm) config batch");
+    opts.addFlag("swarm", false,
+                 "fuzz mode: re-draw protocol and fault flags every "
+                 "batch");
+    opts.addFlag("no-shrink", false,
+                 "fuzz mode: skip greedy counterexample shrinking");
+    opts.addString("fuzz-report", "",
+                   "fuzz mode: write the uldma-fuzz-v1 campaign "
+                   "report here");
+    opts.addFlag("fuzz-host-time", false,
+                 "fuzz mode: include wall_ns/execs_per_sec in the "
+                 "fuzz report (breaks byte-determinism)");
     opts.addString("replay", "", "re-execute a uldma-schedule-v1 file");
     opts.addString("report", "",
                    "write the counterexample / reproduced schedule here");
@@ -147,8 +238,13 @@ main(int argc, char **argv)
 
     const std::string replay = opts.getString("replay");
     const std::string report = opts.getString("report");
-    if (!replay.empty())
+    if (!replay.empty()) {
+        if (opts.getFlag("fuzz"))
+            return usageError("--replay and --fuzz are exclusive");
         return replayMode(replay, report);
+    }
+    if (opts.getFlag("swarm") && !opts.getFlag("fuzz"))
+        return usageError("--swarm requires --fuzz");
 
     const auto method = protocolMethod(opts.getString("protocol"));
     if (!method) {
@@ -173,6 +269,32 @@ main(int argc, char **argv)
     config.runner.weakCap = opts.getFlag("weaken-cap");
     if (config.runner.weakCap && *method != DmaMethod::Cap)
         return usageError("--weaken-cap requires --protocol=cap");
+
+    if (opts.getFlag("fuzz")) {
+        if (opts.getInt("budget-schedules") <= 0)
+            return usageError("--budget-schedules must be > 0");
+        if (opts.getInt("max-points") <= 0)
+            return usageError("--max-points must be > 0");
+        if (opts.getInt("batch-schedules") <= 0)
+            return usageError("--batch-schedules must be > 0");
+        if (opts.getInt("seed") < 0)
+            return usageError("--seed must be >= 0");
+        FuzzConfig fc;
+        fc.runner = config.runner;
+        fc.swarm = opts.getFlag("swarm");
+        fc.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+        fc.budgetSchedules =
+            static_cast<std::uint64_t>(opts.getInt("budget-schedules"));
+        fc.maxPoints =
+            static_cast<unsigned>(opts.getInt("max-points"));
+        fc.batchSchedules =
+            static_cast<unsigned>(opts.getInt("batch-schedules"));
+        fc.shrinkFindings = !opts.getFlag("no-shrink");
+        return fuzzMode(fc, report, opts.getString("fuzz-report"),
+                        opts.getFlag("fuzz-host-time"),
+                        opts.getFlag("expect-violation"));
+    }
+
     config.depth = static_cast<unsigned>(opts.getInt("depth"));
     config.prune = !opts.getFlag("no-prune");
     config.maxRuns = static_cast<std::uint64_t>(opts.getInt("max-runs"));

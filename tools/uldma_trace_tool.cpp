@@ -42,9 +42,10 @@
  *       Schema-check any of the simulator's JSON artifacts
  *       (uldma-stats-v1, uldma-spans-v1, uldma-timeseries-v1,
  *       uldma-bench-v1, uldma-workload-v1, uldma-schedule-v1,
- *       uldma-ring-v1, chrome://tracing).  Every accepted shape is
- *       documented in docs/SCHEMAS.md.  uldma-workload-v1,
- *       uldma-schedule-v1 and uldma-ring-v1 validation is strict:
+ *       uldma-fuzz-v1, uldma-ring-v1, chrome://tracing).  Every
+ *       accepted shape is documented in docs/SCHEMAS.md.
+ *       uldma-workload-v1, uldma-schedule-v1, uldma-fuzz-v1 and
+ *       uldma-ring-v1 validation is strict:
  *       unknown members anywhere in the document are problems.
  *       Schema tags are resolved through a family/version registry:
  *       an unknown *version* of a known family (e.g.
@@ -826,6 +827,194 @@ validateProfile(Problems &p, const Value &doc)
     }
 }
 
+/** One scenario-config member block shared by uldma-fuzz-v1 config
+ *  and finding rows (mirrors the uldma-schedule-v1 header fields). */
+void
+checkFuzzConfigMembers(Problems &p, const Value &r,
+                       const std::string &where)
+{
+    p.require(r["protocol"].isString(), where + ".protocol missing");
+    if (r["protocol"].isString()) {
+        const std::string proto = r["protocol"].asString();
+        p.require(proto == "pal" || proto == "key-based" ||
+                      proto == "ext-shadow" || proto == "repeated" ||
+                      proto == "ring" || proto == "cap",
+                  where + ": unknown protocol '" + proto + "'");
+    }
+    for (const char *f : {"faults", "weakened_recognizer",
+                          "weakened_ring", "iommu", "weakened_iommu",
+                          "weakened_cap"})
+        p.require(r[f].isBool(), where + "." + f + " missing");
+}
+
+/** Strict uldma-fuzz-v1 check (coverage-guided fuzzing campaign
+ *  reports, docs/FUZZING.md). */
+void
+validateFuzz(Problems &p, const Value &doc)
+{
+    checkNoExtra(p, doc,
+                 {"schema", "mode", "seed", "budget_schedules",
+                  "max_points", "batch_schedules", "shrink", "execs",
+                  "shrink_execs", "coverage_edges", "corpus_size",
+                  "expected_findings", "unexpected_findings",
+                  "coverage_curve", "configs", "findings", "wall_ns",
+                  "execs_per_sec"},
+                 "root");
+    p.require(doc["mode"].isString(), "mode missing");
+    if (doc["mode"].isString()) {
+        const std::string mode = doc["mode"].asString();
+        p.require(mode == "fuzz" || mode == "swarm",
+                  "mode is neither 'fuzz' nor 'swarm'");
+    }
+    for (const char *f :
+         {"seed", "budget_schedules", "max_points", "batch_schedules",
+          "execs", "shrink_execs", "coverage_edges", "corpus_size",
+          "expected_findings", "unexpected_findings"})
+        p.require(doc[f].isNumber(), std::string(f) + " missing");
+    p.require(doc["shrink"].isBool(), "shrink missing");
+
+    // Host-time members are opt-in (--fuzz-host-time): optional, and
+    // never part of the byte-determinism contract.
+    for (const char *f : {"wall_ns", "execs_per_sec"}) {
+        if (!doc[f].isNull())
+            p.require(doc[f].isNumber() && doc[f].asNumber() >= 0.0,
+                      std::string(f) + " is not a non-negative number");
+    }
+
+    p.require(doc["coverage_curve"].isArray(), "coverage_curve missing");
+    if (doc["coverage_curve"].isArray()) {
+        const auto &rows = doc["coverage_curve"].asArray();
+        double lastExecs = 0.0, lastEdges = 0.0, lastCorpus = 0.0;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "coverage_curve[" + std::to_string(i) + "]";
+            checkNoExtra(p, r, {"execs", "edges", "corpus"}, where);
+            for (const char *f : {"execs", "edges", "corpus"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+            if (!r["execs"].isNumber() || !r["edges"].isNumber() ||
+                !r["corpus"].isNumber())
+                continue;
+            p.require(i == 0 || r["execs"].asNumber() > lastExecs,
+                      where + ".execs is not increasing");
+            p.require(r["edges"].asNumber() >= lastEdges,
+                      where + ".edges decreased");
+            p.require(r["corpus"].asNumber() >= lastCorpus,
+                      where + ".corpus decreased");
+            lastExecs = r["execs"].asNumber();
+            lastEdges = r["edges"].asNumber();
+            lastCorpus = r["corpus"].asNumber();
+        }
+    }
+
+    p.require(doc["configs"].isArray(), "configs missing");
+    if (doc["configs"].isArray()) {
+        const auto &rows = doc["configs"].asArray();
+        p.require(!rows.empty(), "configs is empty");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "configs[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"protocol", "faults", "weakened_recognizer",
+                          "weakened_ring", "iommu", "weakened_iommu",
+                          "weakened_cap", "boundary_space", "execs",
+                          "new_edges", "corpus", "findings"},
+                         where);
+            checkFuzzConfigMembers(p, r, where);
+            for (const char *f : {"boundary_space", "execs",
+                                  "new_edges", "corpus", "findings"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+        }
+    }
+
+    p.require(doc["findings"].isArray(), "findings missing");
+    if (doc["findings"].isArray()) {
+        const auto &rows = doc["findings"].asArray();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Value &r = rows[i];
+            const std::string where =
+                "findings[" + std::to_string(i) + "]";
+            checkNoExtra(p, r,
+                         {"protocol", "faults", "weakened_recognizer",
+                          "weakened_ring", "iommu", "weakened_iommu",
+                          "weakened_cap", "boundary_space",
+                          "preempt_after", "found_at_exec",
+                          "shrink_execs", "expected", "outcome"},
+                         where);
+            checkFuzzConfigMembers(p, r, where);
+            for (const char *f :
+                 {"boundary_space", "found_at_exec", "shrink_execs"})
+                p.require(r[f].isNumber(), where + "." + f + " missing");
+            p.require(r["expected"].isBool(), where + ".expected missing");
+            p.require(r["preempt_after"].isArray(),
+                      where + ".preempt_after missing");
+            if (r["preempt_after"].isArray()) {
+                const auto &pts = r["preempt_after"].asArray();
+                double last = 0.0;
+                for (std::size_t j = 0; j < pts.size(); ++j) {
+                    const std::string pw =
+                        where + ".preempt_after[" + std::to_string(j) +
+                        "]";
+                    p.require(pts[j].isNumber(), pw + " is not a number");
+                    if (!pts[j].isNumber())
+                        continue;
+                    const double v = pts[j].asNumber();
+                    if (r["boundary_space"].isNumber())
+                        p.require(v < r["boundary_space"].asNumber(),
+                                  pw + " out of boundary space");
+                    p.require(j == 0 || v >= last,
+                              pw + " breaks non-decreasing order");
+                    last = v;
+                }
+            }
+
+            const Value &oc = r["outcome"];
+            p.require(oc.isObject(), where + ".outcome missing");
+            checkNoExtra(p, oc,
+                         {"finished", "status", "initiations",
+                          "state_hash", "violations"},
+                         where + ".outcome");
+            p.require(oc["finished"].isBool(),
+                      where + ".outcome.finished missing");
+            p.require(oc["initiations"].isNumber(),
+                      where + ".outcome.initiations missing");
+            for (const char *f : {"status", "state_hash"}) {
+                const std::string fw = where + ".outcome." + f;
+                p.require(oc[f].isString(), fw + " missing");
+                if (oc[f].isString()) {
+                    const std::string &s = oc[f].asString();
+                    bool hex = s.size() > 2 && s.size() <= 18 &&
+                               s.compare(0, 2, "0x") == 0;
+                    for (std::size_t j = 2; hex && j < s.size(); ++j) {
+                        const char c = s[j];
+                        hex = (c >= '0' && c <= '9') ||
+                              (c >= 'a' && c <= 'f');
+                    }
+                    p.require(hex, fw + " is not a 0x hex string");
+                }
+            }
+            p.require(oc["violations"].isArray(),
+                      where + ".outcome.violations missing");
+            if (oc["violations"].isArray()) {
+                const auto &vs = oc["violations"].asArray();
+                p.require(!vs.empty(),
+                          where + ".outcome.violations is empty");
+                for (std::size_t j = 0; j < vs.size(); ++j) {
+                    const std::string vw =
+                        where + ".outcome.violations[" +
+                        std::to_string(j) + "]";
+                    checkNoExtra(p, vs[j], {"invariant", "detail"}, vw);
+                    p.require(vs[j]["invariant"].isString(),
+                              vw + ".invariant missing");
+                    p.require(vs[j]["detail"].isString(),
+                              vw + ".detail missing");
+                }
+            }
+        }
+    }
+}
+
 void dispatchSchema(Problems &p, const std::string &schema,
                     const Value &doc);
 
@@ -911,6 +1100,7 @@ const SchemaEntry schemaRegistry[] = {
     {"uldma-bench", 1, validateBench},
     {"uldma-workload", 1, validateWorkload},
     {"uldma-schedule", 1, validateSchedule},
+    {"uldma-fuzz", 1, validateFuzz},
     {"uldma-ring", 1, validateRing},
     {"uldma-iommu", 1, validateIommu},
     {"uldma-cap", 1, validateCap},
